@@ -1,0 +1,64 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace p4db::bench {
+
+BenchTime BenchTime::FromEnv() {
+  BenchTime t;
+  const char* quick = std::getenv("P4DB_BENCH_QUICK");
+  if (quick != nullptr && quick[0] == '1') {
+    t.warmup = 1 * kMillisecond;
+    t.measure = 3 * kMillisecond;
+  }
+  return t;
+}
+
+RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
+                      size_t sample_size, size_t max_hot_items,
+                      const BenchTime& time) {
+  core::Engine engine(config);
+  engine.SetWorkload(workload);
+  RunOutput out;
+  out.offload = engine.Offload(sample_size, max_hot_items);
+  out.metrics = engine.Run(time.warmup, time.measure);
+  out.pipeline = engine.pipeline().stats();
+  out.throughput = out.metrics.Throughput(time.measure);
+  return out;
+}
+
+core::SystemConfig PaperCluster(core::EngineMode mode) {
+  core::SystemConfig cfg;
+  cfg.mode = mode;
+  cfg.num_nodes = 8;
+  cfg.workers_per_node = 20;
+  cfg.seed = 42;
+  return cfg;
+}
+
+size_t YcsbHotItems(const wl::YcsbConfig& cfg, uint16_t num_nodes) {
+  return static_cast<size_t>(cfg.hot_keys_per_node) * num_nodes;
+}
+
+size_t SmallBankHotItems(const wl::SmallBankConfig& cfg, uint16_t num_nodes) {
+  // savings + checking per hot account.
+  return 2ull * cfg.hot_accounts_per_node * num_nodes;
+}
+
+void PrintBanner(const char* figure, const char* description) {
+  std::printf("================================================================"
+              "================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("Setup: 8 nodes, ToR switch simulator; throughput = committed "
+              "txn/s over the\nmeasured window. Absolute values are "
+              "simulator-calibrated; compare SHAPES with\nthe paper (see "
+              "EXPERIMENTS.md).\n");
+  std::printf("================================================================"
+              "================\n");
+}
+
+void PrintSectionHeader(const std::string& text) {
+  std::printf("\n--- %s ---\n", text.c_str());
+}
+
+}  // namespace p4db::bench

@@ -1,0 +1,59 @@
+#ifndef P4DB_BENCH_BENCH_COMMON_H_
+#define P4DB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace p4db::bench {
+
+/// Wall-clock budget knobs shared by all figure benches. The defaults give
+/// stable numbers; `P4DB_BENCH_QUICK=1` in the environment shrinks the
+/// simulated horizon ~4x for smoke runs.
+struct BenchTime {
+  SimTime warmup = 2 * kMillisecond;
+  SimTime measure = 10 * kMillisecond;
+
+  static BenchTime FromEnv();
+};
+
+/// Everything one simulated run produces.
+struct RunOutput {
+  core::Metrics metrics;
+  sw::PipelineStats pipeline;
+  core::OffloadReport offload;
+  double throughput = 0;  // committed txn/s
+};
+
+/// Builds an Engine for `config`, offloads `max_hot_items` detected from
+/// `sample_size` sampled transactions, runs the closed loop, and collects
+/// results. The workload object must outlive the call.
+RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
+                      size_t sample_size, size_t max_hot_items,
+                      const BenchTime& time);
+
+/// Baseline cluster configuration used by all figure benches: the paper's
+/// 8-node rack (Section 7.1).
+core::SystemConfig PaperCluster(core::EngineMode mode);
+
+/// Hot-item budgets for the standard workload setups.
+size_t YcsbHotItems(const wl::YcsbConfig& cfg, uint16_t num_nodes);
+size_t SmallBankHotItems(const wl::SmallBankConfig& cfg, uint16_t num_nodes);
+constexpr size_t kTpccHotItemBudget = 2000;
+
+/// Formatting helpers: all figure benches print aligned rows so the bench
+/// output is diffable run-to-run.
+void PrintBanner(const char* figure, const char* description);
+void PrintSectionHeader(const std::string& text);
+
+inline double Speedup(double a, double b) { return b == 0 ? 0 : a / b; }
+
+}  // namespace p4db::bench
+
+#endif  // P4DB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Figure 1 (teaser): P4DB vs No-Switch on SmallBank and TPC-C at high
+// contention — the headline speedups of the paper's introduction.
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+double RunSmallBank(core::EngineMode mode, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  wl::SmallBankConfig wcfg;
+  wcfg.hot_accounts_per_node = 5;
+  wl::SmallBank workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000,
+                     SmallBankHotItems(wcfg, cfg.num_nodes), time)
+      .throughput;
+}
+
+double RunTpcc(core::EngineMode mode, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  wl::TpccConfig wcfg;
+  wcfg.num_warehouses = 8;
+  wl::Tpcc workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000, kTpccHotItemBudget, time)
+      .throughput;
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  using p4db::core::EngineMode;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 1", "teaser: OLTP processing with and without P4DB");
+  std::printf("%-10s %16s %14s %10s\n", "workload", "No-Switch(tx/s)",
+              "P4DB(tx/s)", "speedup");
+  const double sb_base = RunSmallBank(EngineMode::kNoSwitch, time);
+  const double sb_p4 = RunSmallBank(EngineMode::kP4db, time);
+  std::printf("%-10s %16.0f %14.0f %9.2fx\n", "SmallBank", sb_base, sb_p4,
+              Speedup(sb_p4, sb_base));
+  const double tp_base = RunTpcc(EngineMode::kNoSwitch, time);
+  const double tp_p4 = RunTpcc(EngineMode::kP4db, time);
+  std::printf("%-10s %16.0f %14.0f %9.2fx\n", "TPC-C", tp_base, tp_p4,
+              Speedup(tp_p4, tp_base));
+  return 0;
+}

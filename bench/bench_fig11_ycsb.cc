@@ -1,0 +1,76 @@
+// Figure 11 (speedups) + Figure 19 (raw throughput): YCSB A/B/C.
+// Upper row: varying contention (worker threads per node, 8 -> 20).
+// Lower row: varying fraction of distributed transactions (0% -> 100%).
+// Series: P4DB and LM-Switch, both relative to No-Switch.
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+RunOutput Run(core::EngineMode mode, char variant, uint16_t workers,
+              double distributed, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  cfg.workers_per_node = workers;
+  wl::YcsbConfig wcfg;
+  wcfg.variant = variant;
+  wcfg.distributed_fraction = distributed;
+  wl::Ycsb workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000,
+                     YcsbHotItems(wcfg, cfg.num_nodes), time);
+}
+
+void SweepContention(const BenchTime& time) {
+  for (char variant : {'A', 'B', 'C'}) {
+    PrintSectionHeader(std::string("YCSB-") + variant +
+                       ": varying contention (workers/node), 20% distributed");
+    std::printf("%8s %14s %14s %14s %10s %10s\n", "workers", "NoSwitch(tx/s)",
+                "LM-Sw(tx/s)", "P4DB(tx/s)", "LM-spdup", "P4-spdup");
+    for (uint16_t workers : {8, 12, 16, 20}) {
+      const RunOutput base =
+          Run(core::EngineMode::kNoSwitch, variant, workers, 0.2, time);
+      const RunOutput lm =
+          Run(core::EngineMode::kLmSwitch, variant, workers, 0.2, time);
+      const RunOutput p4 =
+          Run(core::EngineMode::kP4db, variant, workers, 0.2, time);
+      std::printf("%8u %14.0f %14.0f %14.0f %9.2fx %9.2fx\n", workers,
+                  base.throughput, lm.throughput, p4.throughput,
+                  Speedup(lm.throughput, base.throughput),
+                  Speedup(p4.throughput, base.throughput));
+    }
+  }
+}
+
+void SweepDistributed(const BenchTime& time) {
+  for (char variant : {'A', 'B', 'C'}) {
+    PrintSectionHeader(std::string("YCSB-") + variant +
+                       ": varying distributed transactions, 20 workers/node");
+    std::printf("%8s %14s %14s %14s %10s %10s\n", "dist%", "NoSwitch(tx/s)",
+                "LM-Sw(tx/s)", "P4DB(tx/s)", "LM-spdup", "P4-spdup");
+    for (double dist : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+      const RunOutput base =
+          Run(core::EngineMode::kNoSwitch, variant, 20, dist, time);
+      const RunOutput lm =
+          Run(core::EngineMode::kLmSwitch, variant, 20, dist, time);
+      const RunOutput p4 =
+          Run(core::EngineMode::kP4db, variant, 20, dist, time);
+      std::printf("%7.0f%% %14.0f %14.0f %14.0f %9.2fx %9.2fx\n", dist * 100,
+                  base.throughput, lm.throughput, p4.throughput,
+                  Speedup(lm.throughput, base.throughput),
+                  Speedup(p4.throughput, base.throughput));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 11 + Figure 19",
+              "YCSB speedup over No-Switch and raw throughput");
+  SweepContention(time);
+  SweepDistributed(time);
+  return 0;
+}

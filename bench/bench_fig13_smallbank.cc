@@ -1,0 +1,60 @@
+// Figure 13 (speedups) + Figure 20 (raw throughput): SmallBank.
+// Upper row: varying contention via hot-set size (5 / 10 / 15 hot accounts
+// per node) and worker threads. Lower row: varying distributed fraction.
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+RunOutput Run(core::EngineMode mode, uint32_t hot_accounts, uint16_t workers,
+              double distributed, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  cfg.workers_per_node = workers;
+  wl::SmallBankConfig wcfg;
+  wcfg.hot_accounts_per_node = hot_accounts;
+  wcfg.distributed_fraction = distributed;
+  wl::SmallBank workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000,
+                     SmallBankHotItems(wcfg, cfg.num_nodes), time);
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  using p4db::core::EngineMode;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 13 + Figure 20",
+              "SmallBank speedup over No-Switch and raw throughput");
+
+  for (uint32_t hot : {5u, 10u, 15u}) {
+    PrintSectionHeader("hot-set " + std::to_string(hot) +
+                       " accounts/node: varying workers, 20% distributed");
+    std::printf("%8s %14s %14s %10s\n", "workers", "NoSwitch(tx/s)",
+                "P4DB(tx/s)", "speedup");
+    for (uint16_t workers : {8, 12, 16, 20}) {
+      const RunOutput base =
+          Run(EngineMode::kNoSwitch, hot, workers, 0.2, time);
+      const RunOutput p4 = Run(EngineMode::kP4db, hot, workers, 0.2, time);
+      std::printf("%8u %14.0f %14.0f %9.2fx\n", workers, base.throughput,
+                  p4.throughput, Speedup(p4.throughput, base.throughput));
+    }
+  }
+
+  for (uint32_t hot : {5u, 10u, 15u}) {
+    PrintSectionHeader("hot-set " + std::to_string(hot) +
+                       " accounts/node: varying distributed, 20 workers");
+    std::printf("%8s %14s %14s %10s\n", "dist%", "NoSwitch(tx/s)",
+                "P4DB(tx/s)", "speedup");
+    for (double dist : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+      const RunOutput base = Run(EngineMode::kNoSwitch, hot, 20, dist, time);
+      const RunOutput p4 = Run(EngineMode::kP4db, hot, 20, dist, time);
+      std::printf("%7.0f%% %14.0f %14.0f %9.2fx\n", dist * 100,
+                  base.throughput, p4.throughput,
+                  Speedup(p4.throughput, base.throughput));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 14 (speedups) + Figure 21 (raw throughput): TPC-C
+// (NewOrder + Payment mix, warm transactions).
+// Upper row: varying contention via warehouses (8 / 16 / 32) and workers.
+// Lower row: varying remote probability (distributed transactions).
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+RunOutput Run(core::EngineMode mode, uint32_t warehouses, uint16_t workers,
+              double remote, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  cfg.workers_per_node = workers;
+  wl::TpccConfig wcfg;
+  wcfg.num_warehouses = warehouses;
+  wcfg.remote_fraction = remote;
+  wl::Tpcc workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000, kTpccHotItemBudget, time);
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  using p4db::core::EngineMode;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 14 + Figure 21",
+              "TPC-C speedup over No-Switch and raw throughput (warm txns)");
+
+  for (uint32_t wh : {8u, 16u, 32u}) {
+    PrintSectionHeader(std::to_string(wh) +
+                       " warehouses: varying workers, 20% remote");
+    std::printf("%8s %14s %14s %10s %12s\n", "workers", "NoSwitch(tx/s)",
+                "P4DB(tx/s)", "speedup", "warm-share");
+    for (uint16_t workers : {8, 12, 16, 20}) {
+      const RunOutput base =
+          Run(EngineMode::kNoSwitch, wh, workers, 0.2, time);
+      const RunOutput p4 = Run(EngineMode::kP4db, wh, workers, 0.2, time);
+      const double warm_share =
+          p4.metrics.committed == 0
+              ? 0
+              : 100.0 * p4.metrics.committed_by_class[2] /
+                    p4.metrics.committed;
+      std::printf("%8u %14.0f %14.0f %9.2fx %11.1f%%\n", workers,
+                  base.throughput, p4.throughput,
+                  Speedup(p4.throughput, base.throughput), warm_share);
+    }
+  }
+
+  for (uint32_t wh : {8u, 16u, 32u}) {
+    PrintSectionHeader(std::to_string(wh) +
+                       " warehouses: varying remote fraction, 20 workers");
+    std::printf("%8s %14s %14s %10s\n", "remote%", "NoSwitch(tx/s)",
+                "P4DB(tx/s)", "speedup");
+    for (double remote : {0.0, 0.1, 0.2, 0.5, 0.8}) {
+      const RunOutput base = Run(EngineMode::kNoSwitch, wh, 20, remote, time);
+      const RunOutput p4 = Run(EngineMode::kP4db, wh, 20, remote, time);
+      std::printf("%7.0f%% %14.0f %14.0f %9.2fx\n", remote * 100,
+                  base.throughput, p4.throughput,
+                  Speedup(p4.throughput, base.throughput));
+    }
+  }
+  return 0;
+}

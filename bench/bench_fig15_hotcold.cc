@@ -1,0 +1,42 @@
+// Figure 15a/15b: varying the hot/cold transaction ratio (YCSB-A, 20%
+// distributed, 20 workers/node). Throughput of No-Switch falls as more of
+// the workload hits the hot set; P4DB's rises — crossing 50x speedup at
+// 100% hot in the paper.
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+RunOutput Run(core::EngineMode mode, double hot_fraction,
+              const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  wl::YcsbConfig wcfg;
+  wcfg.variant = 'A';
+  wcfg.hot_txn_fraction = hot_fraction;
+  wl::Ycsb workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000,
+                     YcsbHotItems(wcfg, cfg.num_nodes), time);
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  using p4db::core::EngineMode;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 15a/15b",
+              "throughput and speedup vs. %% of hot transactions (YCSB-A)");
+  std::printf("%8s %14s %14s %10s %12s\n", "hot%", "NoSwitch(tx/s)",
+              "P4DB(tx/s)", "speedup", "base-abort%");
+  for (double hot : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const RunOutput base = Run(EngineMode::kNoSwitch, hot, time);
+    const RunOutput p4 = Run(EngineMode::kP4db, hot, time);
+    std::printf("%7.0f%% %14.0f %14.0f %9.2fx %11.1f%%\n", hot * 100,
+                base.throughput, p4.throughput,
+                Speedup(p4.throughput, base.throughput),
+                base.metrics.AbortRate() * 100);
+  }
+  return 0;
+}

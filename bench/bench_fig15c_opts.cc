@@ -1,0 +1,67 @@
+// Figure 15c: ablation of the multi-pass optimizations (Section 5.3), on
+// the hot (switch-only) transactions of YCSB-A. Baseline "Unoptimized" uses
+// a random data layout (program-order instructions) with neither the fast
+// recirculation port nor fine-grained locks; optimizations are then enabled
+// one at a time, ending with the optimal declustered layout.
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  bool fast_recirc;
+  bool fine_grained;
+  bool optimal_layout;
+};
+
+RunOutput Run(const Config& c, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+  cfg.pipeline.fast_recirc_enabled = c.fast_recirc;
+  cfg.pipeline.fine_grained_locks = c.fine_grained;
+  cfg.optimal_layout = c.optimal_layout;
+  wl::YcsbConfig wcfg;
+  wcfg.variant = 'A';
+  wcfg.hot_txn_fraction = 1.0;  // switch-only transactions
+  wl::Ycsb workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000,
+                     YcsbHotItems(wcfg, cfg.num_nodes), time);
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 15c",
+              "multi-pass optimization ablation (YCSB-A hot txns only)");
+  const Config configs[] = {
+      {"Unoptimized", false, false, false},
+      {"+Fast-Recirculate", true, false, false},
+      {"+Fine-grained locks", true, true, false},
+      {"+Optimal data layout", true, true, true},
+  };
+  std::printf("%-22s %14s %10s %12s %12s %14s\n", "config", "tput(tx/s)",
+              "speedup", "multi-pass%", "avg-passes", "blocked-recirc");
+  double base = 0;
+  for (const Config& c : configs) {
+    const RunOutput r = Run(c, time);
+    if (base == 0) base = r.throughput;
+    const auto& p = r.pipeline;
+    const double multi_share =
+        p.txns_completed == 0
+            ? 0
+            : 100.0 * p.multi_pass_txns / p.txns_completed;
+    const double avg_passes =
+        p.txns_completed == 0
+            ? 0
+            : static_cast<double>(p.total_passes) / p.txns_completed;
+    std::printf("%-22s %14.0f %9.2fx %11.1f%% %12.2f %14llu\n", c.name,
+                r.throughput, Speedup(r.throughput, base), multi_share,
+                avg_passes,
+                static_cast<unsigned long long>(p.lock_blocked_recircs));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 16: impact of the declustered data layout. For each of the three
+// workloads, P4DB with the optimal layout vs. a random ("worst case")
+// layout: throughput and average transaction latency as load grows.
+// SmallBank benefits most (read-dependent writes); TPC-C barely moves
+// (warm transactions are bounded by the cold sub-transactions).
+
+#include <memory>
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+struct WorkloadCase {
+  const char* name;
+  std::function<std::unique_ptr<wl::Workload>()> make;
+  size_t hot_items;
+};
+
+void Sweep(const WorkloadCase& wc, const BenchTime& time) {
+  PrintSectionHeader(std::string(wc.name) +
+                     ": optimal vs random layout, growing load");
+  std::printf("%8s %13s %13s %9s %12s %12s %11s %11s\n", "workers",
+              "opt(tx/s)", "rand(tx/s)", "gain", "opt-lat(us)",
+              "rand-lat(us)", "opt-multi%", "rand-mult%");
+  for (uint16_t workers : {8, 12, 16, 20}) {
+    RunOutput results[2];
+    for (int i = 0; i < 2; ++i) {
+      core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+      cfg.workers_per_node = workers;
+      cfg.optimal_layout = (i == 0);
+      auto workload = wc.make();
+      results[i] = RunWorkload(cfg, workload.get(), 20000, wc.hot_items,
+                               time);
+    }
+    const auto multi_share = [](const RunOutput& r) {
+      return r.pipeline.txns_completed == 0
+                 ? 0.0
+                 : 100.0 * r.pipeline.multi_pass_txns /
+                       r.pipeline.txns_completed;
+    };
+    std::printf("%8u %13.0f %13.0f %8.2fx %12.1f %12.1f %10.1f%% %10.1f%%\n",
+                workers, results[0].throughput, results[1].throughput,
+                Speedup(results[0].throughput, results[1].throughput),
+                results[0].metrics.latency_all.Mean() / 1e3,
+                results[1].metrics.latency_all.Mean() / 1e3,
+                multi_share(results[0]), multi_share(results[1]));
+  }
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db;
+  using namespace p4db::bench;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 16", "optimal vs random data layout, all workloads");
+
+  const uint16_t nodes = 8;
+  const WorkloadCase cases[] = {
+      {"YCSB-A",
+       [] {
+         wl::YcsbConfig cfg;
+         cfg.variant = 'A';
+         return std::make_unique<wl::Ycsb>(cfg);
+       },
+       YcsbHotItems(wl::YcsbConfig{}, nodes)},
+      {"SmallBank",
+       [] {
+         wl::SmallBankConfig cfg;
+         cfg.hot_accounts_per_node = 10;
+         return std::make_unique<wl::SmallBank>(cfg);
+       },
+       SmallBankHotItems(wl::SmallBankConfig{}, nodes)},
+      {"TPC-C",
+       [] {
+         wl::TpccConfig cfg;
+         cfg.num_warehouses = 8;
+         return std::make_unique<wl::Tpcc>(cfg);
+       },
+       kTpccHotItemBudget},
+  };
+  for (const WorkloadCase& wc : cases) Sweep(wc, time);
+  return 0;
+}

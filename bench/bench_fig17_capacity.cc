@@ -1,0 +1,62 @@
+// Figure 17: graceful degradation when the hot-set outgrows the switch
+// capacity (YCSB-A). Four switch capacities arise from four tuple widths
+// (8..64B); when the hot set exceeds capacity, overflow items stay on the
+// nodes and throughput degrades toward the No-Switch level instead of
+// falling off a cliff. (Log-scale x in the paper.)
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+double Run(core::EngineMode mode, uint32_t tuple_bytes,
+           uint32_t hot_keys_per_node, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  // Scaled-down switch so capacity crossover points are reachable with
+  // short simulations: 2.5K..20K rows instead of 81K..650K. Ratios match
+  // the paper's four tuple-width configurations.
+  cfg.pipeline.sram_bytes_per_stage = 8 * 1024;
+  cfg.pipeline.tuple_bytes = tuple_bytes;
+  wl::YcsbConfig wcfg;
+  wcfg.variant = 'A';
+  wcfg.hot_keys_per_node = hot_keys_per_node;
+  wl::Ycsb workload(wcfg);
+  const RunOutput r = RunWorkload(cfg, &workload, 50000,
+                                  YcsbHotItems(wcfg, cfg.num_nodes), time);
+  return r.throughput;
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  using p4db::core::EngineMode;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 17",
+              "growing hot-set vs switch capacity (YCSB-A, log-scale x)");
+
+  const uint32_t widths[] = {8, 16, 32, 64};
+  std::printf("capacities (rows): ");
+  for (uint32_t w : widths) {
+    p4db::core::SystemConfig cfg = PaperCluster(EngineMode::kP4db);
+    cfg.pipeline.sram_bytes_per_stage = 8 * 1024;
+    cfg.pipeline.tuple_bytes = w;
+    std::printf("%uB->%llu  ", w,
+                static_cast<unsigned long long>(cfg.pipeline.CapacityRows()));
+  }
+  std::printf("\n\n%10s", "hotset");
+  for (uint32_t w : widths) std::printf(" %11uB", w);
+  std::printf(" %12s\n", "NoSwitch");
+
+  for (uint32_t hot_per_node : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    std::printf("%10u", hot_per_node * 8);
+    for (uint32_t w : widths) {
+      std::printf(" %12.0f",
+                  Run(EngineMode::kP4db, w, hot_per_node, time));
+    }
+    std::printf(" %12.0f\n",
+                Run(EngineMode::kNoSwitch, 8, hot_per_node, time));
+  }
+  return 0;
+}

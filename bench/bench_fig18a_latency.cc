@@ -1,0 +1,42 @@
+// Figure 18a: latency break-down for committed TPC-C transactions (8
+// warehouses, 20 workers/node). P4DB cuts the lock-acquisition share (hot
+// columns are lock-free on the switch) and the remote-access share (hot
+// items cost half a round trip).
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+void Row(core::EngineMode mode, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  wl::TpccConfig wcfg;
+  wcfg.num_warehouses = 8;
+  wl::Tpcc workload(wcfg);
+  const RunOutput r = RunWorkload(cfg, &workload, 20000, kTpccHotItemBudget,
+                                  time);
+  const double n = static_cast<double>(r.metrics.committed);
+  const auto& b = r.metrics.breakdown;
+  const auto us = [n](int64_t v) { return n == 0 ? 0.0 : v / n / 1e3; };
+  std::printf("%-10s %11.1f %11.1f %11.1f %11.1f %11.1f %11.1f %11.1f\n",
+              core::EngineModeName(mode), us(b.lock_wait),
+              us(b.remote_access), us(b.switch_access), us(b.local_work),
+              us(b.commit), us(b.backoff),
+              r.metrics.latency_all.Mean() / 1e3);
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 18a",
+              "TPC-C latency break-down per committed txn (us)");
+  std::printf("%-10s %11s %11s %11s %11s %11s %11s %11s\n", "engine",
+              "lock-acq", "remote", "switch", "local", "commit",
+              "abort+back", "total-lat");
+  Row(p4db::core::EngineMode::kNoSwitch, time);
+  Row(p4db::core::EngineMode::kP4db, time);
+  return 0;
+}

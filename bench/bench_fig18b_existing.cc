@@ -1,0 +1,51 @@
+// Figure 18b: P4DB vs. existing optimizations for distributed transactions
+// and contention, on TPC-C with 8 warehouses:
+//   Plain 2PL/2PC (80% remote)  ->  +Optimal partitioning (20% remote)
+//   ->  +Chiller-style two-region execution  ->  P4DB.
+
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+double Run(core::EngineMode mode, double remote, const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(mode);
+  wl::TpccConfig wcfg;
+  wcfg.num_warehouses = 8;
+  wcfg.remote_fraction = remote;
+  wl::Tpcc workload(wcfg);
+  return RunWorkload(cfg, &workload, 20000, kTpccHotItemBudget, time)
+      .throughput;
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  using p4db::core::EngineMode;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("Figure 18b",
+              "existing distributed-txn/contention optimizations vs P4DB "
+              "(TPC-C, 8 warehouses)");
+
+  struct Step {
+    const char* name;
+    EngineMode mode;
+    double remote;
+  };
+  const Step steps[] = {
+      {"Plain 2PL/2PC (80% remote)", EngineMode::kNoSwitch, 0.8},
+      {"+Opt. partitioning (20% remote)", EngineMode::kNoSwitch, 0.2},
+      {"+Chiller two-region", EngineMode::kChiller, 0.2},
+      {"P4DB", EngineMode::kP4db, 0.2},
+  };
+  std::printf("%-34s %14s %10s\n", "configuration", "tput(tx/s)", "vs plain");
+  double base = 0;
+  for (const Step& s : steps) {
+    const double tput = Run(s.mode, s.remote, time);
+    if (base == 0) base = tput;
+    std::printf("%-34s %14.0f %9.2fx\n", s.name, tput, Speedup(tput, base));
+  }
+  return 0;
+}

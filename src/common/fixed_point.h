@@ -1,0 +1,59 @@
+#ifndef P4DB_COMMON_FIXED_POINT_H_
+#define P4DB_COMMON_FIXED_POINT_H_
+
+#include <cstdint>
+
+namespace p4db {
+
+/// Fixed-point money/amount arithmetic as used on the switch. Tofino-class
+/// ASICs have no FPU (Table 1: "Fixed point arithmetic, use external FPU if
+/// possible"), so all monetary values (SmallBank balances, TPC-C ytd
+/// amounts) are stored as 64-bit integers scaled by 100 (cents).
+///
+/// Operations mirror what a single-cycle RegisterAction can compute:
+/// add/subtract and compare. Multiplication/division by arbitrary values is
+/// deliberately absent (the switch would decompose them into shifts); hosts
+/// use ScaleByPercent below, which decomposes into integer ops.
+class Fixed {
+ public:
+  static constexpr int64_t kScale = 100;
+
+  constexpr Fixed() : raw_(0) {}
+  constexpr explicit Fixed(int64_t raw) : raw_(raw) {}
+
+  static constexpr Fixed FromUnits(int64_t units) {
+    return Fixed(units * kScale);
+  }
+  static constexpr Fixed FromCents(int64_t cents) { return Fixed(cents); }
+
+  constexpr int64_t raw() const { return raw_; }
+  constexpr int64_t whole_units() const { return raw_ / kScale; }
+
+  constexpr Fixed operator+(Fixed o) const { return Fixed(raw_ + o.raw_); }
+  constexpr Fixed operator-(Fixed o) const { return Fixed(raw_ - o.raw_); }
+  constexpr Fixed operator-() const { return Fixed(-raw_); }
+  Fixed& operator+=(Fixed o) {
+    raw_ += o.raw_;
+    return *this;
+  }
+  Fixed& operator-=(Fixed o) {
+    raw_ -= o.raw_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) = default;
+  friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+  /// value * percent / 100, in pure integer arithmetic (host-side helper for
+  /// TPC-C tax/discount computations; the switch never multiplies).
+  static constexpr Fixed ScaleByPercent(Fixed value, int64_t percent) {
+    return Fixed(value.raw_ * percent / 100);
+  }
+
+ private:
+  int64_t raw_;
+};
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_FIXED_POINT_H_

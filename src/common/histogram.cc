@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace p4db {
+
+namespace {
+// 16 sub-buckets per power of two: bucket = 16*log2(v) + sub.
+constexpr int kSubBucketsLog2 = 4;
+constexpr int kSubBuckets = 1 << kSubBucketsLog2;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  const uint64_t v = static_cast<uint64_t>(value);
+  const int log2 = 63 - std::countl_zero(v);
+  int sub = 0;
+  if (log2 > kSubBucketsLog2) {
+    sub = static_cast<int>((v >> (log2 - kSubBucketsLog2)) & (kSubBuckets - 1));
+  }
+  const int bucket = log2 * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketMid(int bucket) {
+  const int log2 = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const int64_t base = int64_t{1} << log2;
+  const int64_t step =
+      log2 > kSubBucketsLog2 ? (int64_t{1} << (log2 - kSubBucketsLog2)) : 0;
+  return base + step * sub + step / 2;
+}
+
+void Histogram::Record(int64_t value_ns) {
+  if (count_ == 0) {
+    min_ = max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  ++count_;
+  sum_ += value_ns;
+  ++buckets_[BucketFor(value_ns)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q >= 1.0) return max_;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(BucketMid(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace p4db

@@ -1,0 +1,41 @@
+#ifndef P4DB_COMMON_HISTOGRAM_H_
+#define P4DB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace p4db {
+
+/// Log-bucketed latency histogram (nanosecond samples). Buckets grow
+/// geometrically, ~4.6% relative error, constant memory. Used by the
+/// benchmark harness for the paper's latency plots (Figures 16, 18a).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  /// q in [0, 1]; returns an approximate quantile (bucket midpoint).
+  int64_t Quantile(double q) const;
+
+ private:
+  static constexpr int kNumBuckets = 256;
+  static int BucketFor(int64_t value);
+  static int64_t BucketMid(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_HISTOGRAM_H_

@@ -1,0 +1,43 @@
+#ifndef P4DB_COMMON_RNG_H_
+#define P4DB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace p4db {
+
+/// Deterministic xoshiro256** PRNG. Every simulated entity owns its own
+/// stream (seeded from a master seed + entity id) so that experiments are
+/// bit-reproducible regardless of event interleaving.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextRange(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+ private:
+  static uint64_t SplitMix64(uint64_t* state);
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_RNG_H_

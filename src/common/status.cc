@@ -1,0 +1,36 @@
+#include "common/status.h"
+
+namespace p4db {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kAborted:
+      return "ABORTED";
+    case Code::kNotFound:
+      return "NOT_FOUND";
+    case Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Code::kCapacityExceeded:
+      return "CAPACITY_EXCEEDED";
+    case Code::kConstraintViolation:
+      return "CONSTRAINT_VIOLATION";
+    case Code::kUnsupported:
+      return "UNSUPPORTED";
+    case Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace p4db

@@ -1,0 +1,106 @@
+#ifndef P4DB_COMMON_STATUS_H_
+#define P4DB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace p4db {
+
+/// Error taxonomy shared by all subsystems. Hot paths signal failure via
+/// `Status`/`StatusOr` instead of exceptions so that aborts (a normal event
+/// in OLTP under contention) stay cheap and explicit.
+enum class Code {
+  kOk = 0,
+  kAborted,           // Transaction aborted (lock conflict, WAIT_DIE "die").
+  kNotFound,          // Key or object does not exist.
+  kInvalidArgument,   // Caller bug: malformed request.
+  kCapacityExceeded,  // Switch stage/register or queue out of space.
+  kConstraintViolation,  // Integrity constraint failed (e.g. balance < 0).
+  kUnsupported,          // Operation not expressible on this substrate.
+  kInternal,             // Invariant violation inside the engine.
+};
+
+/// Lightweight status object. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg = "") {
+    return Status(Code::kCapacityExceeded, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg = "") {
+    return Status(Code::kConstraintViolation, std::move(msg));
+  }
+  static Status Unsupported(std::string msg = "") {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// Result-or-error. `value()` asserts on access when not ok.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr(Status) requires an error status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+const char* CodeName(Code code);
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+#ifndef P4DB_COMMON_TYPES_H_
+#define P4DB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace p4db {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000 * 1000 * 1000;
+
+/// Identifier of a database node (0..num_nodes-1). The switch is not a
+/// NodeId; it is addressed separately (it is an "additional database node"
+/// only at the logical level, Section 3).
+using NodeId = uint16_t;
+
+/// Identifier of a worker thread within a node.
+using WorkerId = uint16_t;
+
+/// Logical table identifier, assigned at schema registration.
+using TableId = uint16_t;
+
+/// Primary key within a table. All benchmark schemas use 64-bit surrogate
+/// keys; composite keys are packed (see workload/ schemas).
+using Key = uint64_t;
+
+/// A (table, key) pair identifying one tuple in the cluster.
+struct TupleId {
+  TableId table = 0;
+  Key key = 0;
+
+  friend bool operator==(const TupleId& a, const TupleId& b) = default;
+  friend auto operator<=>(const TupleId& a, const TupleId& b) = default;
+};
+
+/// Tuple values on the switch are 64-bit registers (fixed-point / integer
+/// only, Table 1). Host tuples may carry wider payloads; the hot columns
+/// mirrored to the switch are always Value64.
+using Value64 = int64_t;
+
+/// Globally-unique, switch-assigned serial transaction id (Section 6.1).
+/// GIDs define the serial execution order of all switch transactions and are
+/// the backbone of switch-state recovery.
+using Gid = uint64_t;
+
+constexpr Gid kInvalidGid = 0;
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& t) const {
+    // Mix table into the high bits; keys are dense per table.
+    uint64_t x = (static_cast<uint64_t>(t.table) << 48) ^ t.key;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace p4db
+
+template <>
+struct std::hash<p4db::TupleId> : p4db::TupleIdHash {};
+
+#endif  // P4DB_COMMON_TYPES_H_

@@ -1,0 +1,61 @@
+#ifndef P4DB_COMMON_ZIPF_H_
+#define P4DB_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace p4db {
+
+/// Zipfian generator over [0, n) with parameter theta, using the
+/// Gray et al. rejection-free method popularized by YCSB. Rank 0 is the most
+/// popular item.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+/// Hot-set distribution used by the paper's YCSB/SmallBank setups: a small
+/// hot-set receives `hot_fraction` of accesses uniformly; the remaining
+/// accesses are uniform over the cold residue (Section 7.2).
+class HotSetDistribution {
+ public:
+  HotSetDistribution(uint64_t n, uint64_t hot_size, double hot_fraction)
+      : n_(n), hot_size_(hot_size), hot_fraction_(hot_fraction) {}
+
+  /// Returns an index in [0, n). Indexes < hot_size are the hot items.
+  uint64_t Next(Rng& rng) const {
+    if (hot_size_ > 0 && rng.NextBool(hot_fraction_)) {
+      return rng.NextRange(hot_size_);
+    }
+    if (n_ == hot_size_) return rng.NextRange(n_);
+    return hot_size_ + rng.NextRange(n_ - hot_size_);
+  }
+
+  bool IsHot(uint64_t index) const { return index < hot_size_; }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_size_;
+  double hot_fraction_;
+};
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_ZIPF_H_

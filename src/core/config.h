@@ -1,0 +1,77 @@
+#ifndef P4DB_CORE_CONFIG_H_
+#define P4DB_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "db/lock_manager.h"
+#include "net/network.h"
+#include "switchsim/register_file.h"
+
+namespace p4db::core {
+
+/// Which transaction-processing architecture the cluster runs (Section 7.1
+/// "Baselines").
+enum class EngineMode : uint8_t {
+  /// Full P4DB: hot transactions on the switch, warm via the extended 2PC.
+  kP4db,
+  /// Traditional distributed DBMS; the switch only forwards packets.
+  kNoSwitch,
+  /// NetLock-style baseline: the switch is a centralized lock manager for
+  /// hot tuples, data stays on the nodes.
+  kLmSwitch,
+  /// No-Switch plus Chiller-style two-region execution with early lock
+  /// release on contended items (Figure 18b).
+  kChiller,
+};
+
+const char* EngineModeName(EngineMode mode);
+
+/// Concurrency-control protocol for cold/warm transactions (Appendix A.4).
+/// k2pl uses the pessimistic lock manager (NO_WAIT / WAIT_DIE per
+/// SystemConfig::cc_scheme); kOcc runs optimistic concurrency control:
+/// buffered writes, a validation phase that locks the write set and checks
+/// read versions, and — for warm transactions — the switch sub-transaction
+/// issued between validation and the write phase, exactly where the
+/// appendix places it ("the coordinator sends and receives the switch
+/// sub-transaction on the hot items before broadcasting the
+/// commit-decision").
+enum class CcProtocol : uint8_t { k2pl, kOcc };
+
+const char* CcProtocolName(CcProtocol protocol);
+
+/// Host-side CPU cost model (all values simulated nanoseconds). These are
+/// calibration constants, not measurements; DESIGN.md Section 5 documents
+/// the choices.
+struct TimingConfig {
+  SimTime txn_setup = 400;       // parse/plan/marshal one transaction
+  SimTime op_local = 200;        // execute one tuple op on a node
+  SimTime lock_op = 100;         // lock-table manipulation
+  SimTime wal_append = 150;      // append one WAL record
+  SimTime commit_local = 300;    // local commit bookkeeping
+  SimTime abort_cost = 300;      // rollback bookkeeping
+  SimTime backoff_base = 2 * kMicrosecond;   // retry backoff (exponential)
+  SimTime backoff_max = 64 * kMicrosecond;
+};
+
+/// Complete configuration of one simulated cluster run.
+struct SystemConfig {
+  EngineMode mode = EngineMode::kP4db;
+  uint16_t num_nodes = 8;
+  uint16_t workers_per_node = 20;
+  CcProtocol cc_protocol = CcProtocol::k2pl;
+  db::CcScheme cc_scheme = db::CcScheme::kNoWait;
+  uint64_t seed = 42;
+
+  TimingConfig timing;
+  net::NetworkConfig network;
+  sw::PipelineConfig pipeline;
+
+  /// Use the declustered data-layout algorithm (Section 4.3); if false, hot
+  /// items are placed randomly ("worst case" layout of Figure 16).
+  bool optimal_layout = true;
+};
+
+}  // namespace p4db::core
+
+#endif  // P4DB_CORE_CONFIG_H_

@@ -1,0 +1,202 @@
+#ifndef P4DB_CORE_ENGINE_H_
+#define P4DB_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/layout.h"
+#include "core/metrics.h"
+#include "core/partition_manager.h"
+#include "db/lock_manager.h"
+#include "db/table.h"
+#include "db/txn.h"
+#include "db/wal.h"
+#include "net/network.h"
+#include "sim/co_task.h"
+#include "sim/future.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "switchsim/control_plane.h"
+#include "switchsim/pipeline.h"
+#include "workload/workload.h"
+
+namespace p4db::core {
+
+/// Result of the offline offload step (Section 3.1).
+struct OffloadReport {
+  size_t requested_hot_items = 0;
+  size_t offloaded_hot_items = 0;  // may be smaller: switch capacity
+  bool truncated_by_capacity = false;
+  LayoutPlan plan;
+};
+
+/// One simulated P4DB cluster: N database nodes with worker threads, the
+/// ToR switch (pipeline + control plane), the rack network, per-node lock
+/// managers and WALs — wired to a workload and executed under one of the
+/// four engine modes (P4DB, No-Switch, LM-Switch, Chiller).
+///
+/// Lifecycle: construct -> SetWorkload -> Offload -> Run (once) -> inspect
+/// metrics / state. Crash-recovery experiments use SimulateSwitchCrash +
+/// RecoverSwitch between runs of the recovery tests.
+class Engine {
+ public:
+  explicit Engine(const SystemConfig& config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Installs the workload: creates and populates the schema.
+  void SetWorkload(wl::Workload* workload);
+
+  /// Offline step: sample the workload, detect the hot set (at most
+  /// max_hot_items, further bounded by switch capacity), compute the data
+  /// layout and install hot items on the switch. In kNoSwitch/kChiller
+  /// modes the hot set is still registered (classification statistics need
+  /// it) but execution ignores the switch.
+  OffloadReport Offload(size_t sample_size, size_t max_hot_items);
+
+  /// Runs the closed-loop workers for warmup + duration (simulated time)
+  /// and returns metrics collected over the measured window. Callable once.
+  Metrics Run(SimTime warmup, SimTime duration);
+
+  /// Executes a single transaction to completion on an otherwise idle
+  /// cluster (for tests and examples). Returns per-op results.
+  StatusOr<std::vector<Value64>> ExecuteOnce(db::Transaction txn,
+                                             NodeId home);
+
+  // -- Crash / recovery hooks (Section 6.1, Appendix A.3) --
+
+  /// Power-cycles the switch: all register state and allocations are lost.
+  void SimulateSwitchCrash();
+  /// Marks a node as crashed: its WAL survives, but gids of its in-flight
+  /// switch transactions can never be filled in.
+  void SimulateNodeCrash(NodeId node);
+  /// Rebuilds the switch state from all node WALs (delegates to
+  /// RecoverSwitchState in core/recovery.h).
+  Status RecoverSwitch();
+
+  // -- Accessors --
+  const SystemConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return net_; }
+  sw::Pipeline& pipeline() { return pipeline_; }
+  sw::ControlPlane& control_plane() { return control_plane_; }
+  db::Catalog& catalog() { return *catalog_; }
+  PartitionManager& partition_manager() { return pm_; }
+  db::LockManager& lock_manager(NodeId node) { return *lock_managers_[node]; }
+  db::LockManager& switch_lock_manager() { return *switch_lm_; }
+  db::Wal& wal(NodeId node) { return *wals_[node]; }
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  struct LockPlanEntry {
+    TupleId tuple;
+    db::LockMode mode;
+    NodeId owner;
+    bool hot;
+  };
+
+  sim::Task RunWorker(NodeId node, WorkerId worker);
+  /// Driver for ExecuteOnce: retries one transaction to completion.
+  sim::Task DriveOnce(db::Transaction* txn, NodeId home,
+                      std::vector<std::optional<Value64>>* results,
+                      bool* done);
+  sim::CoTask<bool> ExecuteAttempt(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results, TxnTimers* timers);
+  /// Entirely-on-switch transactions (Section 6.1). Never fails.
+  sim::CoTask<bool> ExecuteHot(NodeId node, db::Transaction& txn,
+                               std::vector<std::optional<Value64>>* results,
+                               TxnTimers* timers);
+  /// Host execution under 2PL/2PC; used for cold transactions and for
+  /// everything in the No-Switch / LM-Switch / Chiller modes.
+  sim::CoTask<bool> ExecuteCold(NodeId node, db::Transaction& txn,
+                                uint64_t txn_id, uint64_t ts,
+                                std::vector<std::optional<Value64>>* results,
+                                TxnTimers* timers);
+  /// Mixed transactions: cold sub-txn first, then the switch sub-txn with
+  /// the extended 2PC (Section 6.2, Figure 10).
+  sim::CoTask<bool> ExecuteWarm(NodeId node, db::Transaction& txn,
+                                uint64_t txn_id, uint64_t ts,
+                                std::vector<std::optional<Value64>>* results,
+                                TxnTimers* timers);
+
+  // -- Optimistic concurrency control (Appendix A.4), engine_occ.cc --
+
+  /// OCC state carried through one attempt: buffered writes, versions read.
+  struct OccContext;
+  /// Cold transactions under OCC: read phase (buffered), validation phase
+  /// (write locks + read-version checks), write phase.
+  sim::CoTask<bool> ExecuteColdOcc(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results, TxnTimers* timers);
+  /// Warm transactions under OCC: the switch sub-transaction is issued
+  /// after validation succeeds (the cold part can no longer abort) and the
+  /// switch's multicast doubles as the commit broadcast.
+  sim::CoTask<bool> ExecuteWarmOcc(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results, TxnTimers* timers);
+  /// Applies one op against the OCC write buffer; reads record versions.
+  Value64 OccApplyOp(const db::Op& op,
+                     const std::vector<std::optional<Value64>>& results,
+                     OccContext* ctx);
+  uint64_t OccVersionOf(const TupleId& tuple) const;
+
+  /// Acquires one lock (possibly remote / at the switch for LM-Switch hot
+  /// items), charging the right timers. Returns false on abort decision.
+  sim::CoTask<bool> AcquireLock(NodeId node, const LockPlanEntry& entry,
+                                uint64_t txn_id, uint64_t ts,
+                                TxnTimers* timers);
+
+  std::vector<LockPlanEntry> BuildLockPlan(const db::Transaction& txn,
+                                           bool only_cold_ops) const;
+  /// Applies one op to host storage. `undo` collects (tuple, column, old
+  /// value) for every write — used to build the WAL commit record. There is
+  /// no rollback path: aborts can only happen during lock acquisition /
+  /// validation, before any write is applied (constrained writes skip
+  /// instead of aborting, matching the switch, Section 5.1).
+  Value64 ApplyHostOp(const db::Op& op,
+                      const std::vector<std::optional<Value64>>& results,
+                      std::vector<std::tuple<TupleId, uint16_t, Value64>>*
+                          undo);
+  /// Releases txn_id's locks at every involved node; remote releases take
+  /// effect after the release message's one-way latency.
+  void ReleaseLocks(NodeId node, uint64_t txn_id,
+                    const std::vector<LockPlanEntry>& plan);
+
+  SimTime NodeRttEstimate() const;
+  SimTime BackoffDelay(int attempt, Rng& rng);
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  net::Network net_;
+  sw::Pipeline pipeline_;
+  sw::ControlPlane control_plane_;
+  std::unique_ptr<db::Catalog> catalog_;
+  PartitionManager pm_;
+  std::vector<std::unique_ptr<db::LockManager>> lock_managers_;
+  std::unique_ptr<db::LockManager> switch_lm_;
+  std::vector<std::unique_ptr<db::Wal>> wals_;
+  std::vector<bool> node_crashed_;
+
+  wl::Workload* workload_ = nullptr;
+  Metrics metrics_;
+  std::vector<sim::Task> workers_;
+  bool ran_ = false;
+  bool measuring_ = false;
+
+  uint64_t next_txn_id_ = 1;
+  std::vector<uint32_t> next_client_seq_;
+  /// Per-tuple commit counters for OCC validation (Appendix A.4).
+  std::unordered_map<TupleId, uint64_t> occ_versions_;
+};
+
+}  // namespace p4db::core
+
+#endif  // P4DB_CORE_ENGINE_H_

@@ -1,0 +1,410 @@
+// Optimistic concurrency control for cold and warm transactions
+// (Appendix A.4). The protocol is backward-validation OCC:
+//
+//   READ PHASE    ops execute against a private write buffer; the version
+//                 of every tuple read is recorded.
+//   VALIDATION    the write set is locked (NO_WAIT: a denied lock aborts),
+//                 then every read version is re-checked.
+//   [WARM ONLY]   the switch sub-transaction is sent HERE — after the cold
+//                 part can no longer abort, before the commit broadcast —
+//                 exactly where the appendix integrates it.
+//   WRITE PHASE   the buffer is applied, versions bump, locks release.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/engine.h"
+
+namespace p4db::core {
+
+namespace {
+constexpr uint32_t kDataRequestBytes = 128;
+}  // namespace
+
+const char* CcProtocolName(CcProtocol protocol) {
+  switch (protocol) {
+    case CcProtocol::k2pl:
+      return "2PL";
+    case CcProtocol::kOcc:
+      return "OCC";
+  }
+  return "?";
+}
+
+struct Engine::OccContext {
+  /// Buffered writes, per (tuple, column) — the HotItem key reuses the
+  /// same identity.
+  std::unordered_map<HotItem, Value64, HotItemHash> write_buffer;
+  /// First version observed per tuple (read set).
+  std::unordered_map<TupleId, uint64_t> read_versions;
+  /// Tuples with buffered writes, in first-write order (lock order).
+  std::vector<TupleId> write_set;
+  /// Remote tuples already fetched this attempt (one RTT each).
+  std::unordered_set<TupleId> fetched;
+  /// Insert rows created during the write phase: (tuple+column, value).
+  std::vector<std::pair<HotItem, Value64>> inserts;
+};
+
+uint64_t Engine::OccVersionOf(const TupleId& tuple) const {
+  auto it = occ_versions_.find(tuple);
+  return it == occ_versions_.end() ? 0 : it->second;
+}
+
+Value64 Engine::OccApplyOp(const db::Op& op,
+                           const std::vector<std::optional<Value64>>& results,
+                           OccContext* ctx) {
+  const auto carried = [&](int16_t src, bool negate) -> Value64 {
+    const Value64 v = results[src].has_value() ? *results[src] : 0;
+    return negate ? -v : v;
+  };
+
+  Key key = op.tuple.key;
+  Value64 operand = op.operand;
+  if (op.type == db::OpType::kInsert) {
+    if (op.has_src()) key += static_cast<Key>(carried(op.operand_src,
+                                                      op.negate_src));
+    if (op.has_src2()) operand += carried(op.operand_src2, op.negate_src2);
+    const HotItem cell{TupleId{op.tuple.table, key}, op.column};
+    ctx->inserts.emplace_back(cell, operand);
+    return operand;
+  }
+  if (op.key_from_src) {
+    if (op.has_src()) key += static_cast<Key>(carried(op.operand_src,
+                                                      op.negate_src));
+    if (op.has_src2()) operand += carried(op.operand_src2, op.negate_src2);
+  } else {
+    if (op.has_src()) operand += carried(op.operand_src, op.negate_src);
+    if (op.has_src2()) operand += carried(op.operand_src2, op.negate_src2);
+  }
+
+  const HotItem cell{TupleId{op.tuple.table, key}, op.column};
+  // Current value: write buffer first, then the table.
+  Value64 value;
+  if (auto it = ctx->write_buffer.find(cell); it != ctx->write_buffer.end()) {
+    value = it->second;
+  } else {
+    value = catalog_->table(op.tuple.table).GetOrCreate(key)[op.column];
+  }
+  const TupleId effective{op.tuple.table, key};
+  // Snapshot (key_from_src) accesses target write-once rows: no version
+  // tracking, no validation locks (db/txn.h).
+  if (!catalog_->IsReplicated(op.tuple.table) && !op.key_from_src) {
+    ctx->read_versions.emplace(effective, OccVersionOf(effective));
+  }
+
+  const auto buffer_write = [&](Value64 v) {
+    if (!ctx->write_buffer.contains(cell)) {
+      bool known = false;
+      for (const TupleId& t : ctx->write_set) known |= (t == effective);
+      if (!known && !op.key_from_src) ctx->write_set.push_back(effective);
+    }
+    ctx->write_buffer[cell] = v;
+  };
+
+  switch (op.type) {
+    case db::OpType::kGet:
+      return value;
+    case db::OpType::kPut:
+      buffer_write(operand);
+      return operand;
+    case db::OpType::kAdd:
+      buffer_write(value + operand);
+      return value + operand;
+    case db::OpType::kCondAddGeZero:
+      if (value + operand >= 0) {
+        buffer_write(value + operand);
+        return value + operand;
+      }
+      return value;
+    case db::OpType::kMax:
+      buffer_write(std::max(value, operand));
+      return std::max(value, operand);
+    case db::OpType::kSwap:
+      buffer_write(operand);
+      return value;
+    case db::OpType::kInsert:
+      break;  // handled above
+  }
+  return 0;
+}
+
+sim::CoTask<bool> Engine::ExecuteColdOcc(
+    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
+  const TimingConfig& t = config_.timing;
+  co_await sim::Delay(sim_, t.txn_setup);
+  timers->local_work += t.txn_setup;
+
+  // ---- READ PHASE ----
+  OccContext ctx;
+  const net::Endpoint self = net::Endpoint::Node(node);
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    const db::Op& op = txn.ops[i];
+    const NodeId owner = catalog_->OwnerOf(op.tuple);
+    if (op.type != db::OpType::kInsert &&
+        !catalog_->IsReplicated(op.tuple.table) && owner != node &&
+        !ctx.fetched.contains(op.tuple)) {
+      // Remote snapshot read: one data round trip per distinct tuple.
+      const SimTime t0 = sim_.now();
+      co_await net_.Send(self, net::Endpoint::Node(owner),
+                         kDataRequestBytes);
+      co_await net_.Send(net::Endpoint::Node(owner), self,
+                         kDataRequestBytes);
+      timers->remote_access += sim_.now() - t0;
+      ctx.fetched.insert(op.tuple);
+    }
+    (*results)[i] = OccApplyOp(op, *results, &ctx);
+  }
+  const SimTime exec_cost = t.op_local * static_cast<SimTime>(txn.ops.size());
+  co_await sim::Delay(sim_, exec_cost);
+  timers->local_work += exec_cost;
+
+  // ---- VALIDATION PHASE ----
+  bool valid = true;
+  for (const TupleId& tuple : ctx.write_set) {
+    const NodeId owner = catalog_->OwnerOf(tuple);
+    const SimTime t0 = sim_.now();
+    if (owner != node) {
+      co_await net_.Send(self, net::Endpoint::Node(owner),
+                         kDataRequestBytes);
+    }
+    co_await sim::Delay(sim_, t.lock_op);
+    Status st = co_await lock_managers_[owner]->Acquire(
+        txn_id, ts, tuple, db::LockMode::kExclusive);
+    if (owner != node) {
+      co_await net_.Send(net::Endpoint::Node(owner), self,
+                         kDataRequestBytes);
+    }
+    timers->lock_wait += sim_.now() - t0;
+    if (!st.ok()) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (const auto& [tuple, version] : ctx.read_versions) {
+      if (OccVersionOf(tuple) != version) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    for (NodeId n = 0; n < config_.num_nodes; ++n) {
+      lock_managers_[n]->ReleaseAll(txn_id);
+    }
+    co_await sim::Delay(sim_, t.abort_cost);
+    timers->backoff += t.abort_cost;
+    co_return false;
+  }
+
+  // ---- WRITE PHASE ----
+  for (const auto& [cell, value] : ctx.write_buffer) {
+    catalog_->table(cell.tuple.table).GetOrCreate(cell.tuple.key)
+        [cell.column] = value;
+  }
+  for (const auto& [cell, value] : ctx.inserts) {
+    catalog_->table(cell.tuple.table).GetOrCreate(cell.tuple.key)
+        [cell.column] = value;
+  }
+  std::vector<db::HostLogOp> writes;
+  for (const TupleId& tuple : ctx.write_set) {
+    ++occ_versions_[tuple];
+    writes.push_back(db::HostLogOp{tuple, 0, 0});
+  }
+  co_await sim::Delay(sim_, t.wal_append);
+  timers->local_work += t.wal_append;
+  wals_[node]->AppendHostCommit(std::move(writes));
+
+  bool has_remote = false;
+  for (const TupleId& tuple : ctx.write_set) {
+    has_remote |= (catalog_->OwnerOf(tuple) != node);
+  }
+  if (has_remote) {
+    const SimTime rtt = NodeRttEstimate();
+    co_await sim::Delay(sim_, 2 * rtt + t.wal_append);  // 2PC rounds
+    timers->commit += 2 * rtt + t.wal_append;
+  } else {
+    co_await sim::Delay(sim_, t.commit_local);
+    timers->commit += t.commit_local;
+  }
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    lock_managers_[n]->ReleaseAll(txn_id);
+  }
+  co_return true;
+}
+
+sim::CoTask<bool> Engine::ExecuteWarmOcc(
+    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
+  const TimingConfig& t = config_.timing;
+  co_await sim::Delay(sim_, t.txn_setup);
+  timers->local_work += t.txn_setup;
+
+  // Partition ops as in the 2PL warm path: hot (switch), deferred cold
+  // (after the switch sub-txn), immediate cold (read phase now).
+  std::vector<bool> is_hot_op(txn.ops.size(), false);
+  std::vector<bool> deferred(txn.ops.size(), false);
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    const db::Op& op = txn.ops[i];
+    if (op.type != db::OpType::kInsert && !op.key_from_src &&
+        pm_.IsHot(HotItem{op.tuple, op.column})) {
+      is_hot_op[i] = true;
+      continue;
+    }
+    const auto dep = [&](int16_t src) {
+      return src >= 0 && (is_hot_op[src] || deferred[src]);
+    };
+    deferred[i] = op.type == db::OpType::kInsert || dep(op.operand_src) ||
+                  dep(op.operand_src2);
+    for (size_t k = 0; !deferred[i] && k < i; ++k) {
+      deferred[i] = deferred[k] && !is_hot_op[k] &&
+                    txn.ops[k].type != db::OpType::kInsert &&
+                    txn.ops[k].tuple == op.tuple &&
+                    txn.ops[k].column == op.column;
+    }
+  }
+
+  // ---- READ PHASE (immediate cold ops) ----
+  OccContext ctx;
+  const net::Endpoint self = net::Endpoint::Node(node);
+  size_t cold_ops = 0;
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    if (is_hot_op[i] || deferred[i]) continue;
+    const db::Op& op = txn.ops[i];
+    const NodeId owner = catalog_->OwnerOf(op.tuple);
+    if (!catalog_->IsReplicated(op.tuple.table) && owner != node &&
+        !ctx.fetched.contains(op.tuple)) {
+      const SimTime t0 = sim_.now();
+      co_await net_.Send(self, net::Endpoint::Node(owner),
+                         kDataRequestBytes);
+      co_await net_.Send(net::Endpoint::Node(owner), self,
+                         kDataRequestBytes);
+      timers->remote_access += sim_.now() - t0;
+      ctx.fetched.insert(op.tuple);
+    }
+    (*results)[i] = OccApplyOp(op, *results, &ctx);
+    ++cold_ops;
+  }
+  if (cold_ops > 0) {
+    const SimTime exec_cost = t.op_local * static_cast<SimTime>(cold_ops);
+    co_await sim::Delay(sim_, exec_cost);
+    timers->local_work += exec_cost;
+  }
+
+  // ---- VALIDATION PHASE ----
+  // Deferred cold ops run after the switch sub-transaction, so their
+  // tuples must be locked now (they are not yet in the write buffer).
+  std::vector<TupleId> to_lock = ctx.write_set;
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    if (!deferred[i] || txn.ops[i].type == db::OpType::kInsert) continue;
+    bool known = false;
+    for (const TupleId& t2 : to_lock) known |= (t2 == txn.ops[i].tuple);
+    if (!known) to_lock.push_back(txn.ops[i].tuple);
+  }
+  bool valid = true;
+  std::unordered_set<NodeId> participants;
+  for (const TupleId& tuple : to_lock) {
+    const NodeId owner = catalog_->OwnerOf(tuple);
+    if (owner != node) participants.insert(owner);
+    const SimTime t0 = sim_.now();
+    if (owner != node) {
+      co_await net_.Send(self, net::Endpoint::Node(owner),
+                         kDataRequestBytes);
+    }
+    co_await sim::Delay(sim_, t.lock_op);
+    Status st = co_await lock_managers_[owner]->Acquire(
+        txn_id, ts, tuple, db::LockMode::kExclusive);
+    if (owner != node) {
+      co_await net_.Send(net::Endpoint::Node(owner), self,
+                         kDataRequestBytes);
+    }
+    timers->lock_wait += sim_.now() - t0;
+    if (!st.ok()) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (const auto& [tuple, version] : ctx.read_versions) {
+      if (OccVersionOf(tuple) != version) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    for (NodeId n = 0; n < config_.num_nodes; ++n) {
+      lock_managers_[n]->ReleaseAll(txn_id);
+    }
+    co_await sim::Delay(sim_, t.abort_cost);
+    timers->backoff += t.abort_cost;
+    co_return false;
+  }
+
+  // ---- SWITCH SUB-TRANSACTION (validated: can no longer abort) ----
+  auto compiled = pm_.Compile(txn, *results, node, next_client_seq_[node]++);
+  assert(compiled.ok() && "warm transaction's hot part must compile");
+  co_await sim::Delay(sim_, t.wal_append);
+  timers->local_work += t.wal_append;
+  const db::Lsn lsn = wals_[node]->AppendSwitchIntent(
+      compiled->txn.client_seq, compiled->txn.instrs);
+
+  const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
+  const size_t resp_bytes =
+      sw::PacketCodec::ResponseWireSize(compiled->txn.instrs.size());
+  const std::vector<uint16_t> op_index = compiled->op_index;
+
+  const SimTime t0 = sim_.now();
+  co_await net_.Send(self, net::Endpoint::Switch(),
+                     static_cast<uint32_t>(wire));
+  sw::SwitchResult res = co_await pipeline_.Submit(std::move(compiled->txn));
+  if (!participants.empty()) {
+    const std::vector<SimTime> arrivals =
+        net_.MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
+    for (NodeId p : participants) {
+      db::LockManager* lm = lock_managers_[p].get();
+      sim_.ScheduleAt(arrivals[p], [lm, txn_id] { lm->ReleaseAll(txn_id); });
+    }
+    co_await sim::Delay(sim_, arrivals[node] - sim_.now());
+  } else {
+    co_await net_.Send(net::Endpoint::Switch(), self,
+                       static_cast<uint32_t>(resp_bytes));
+  }
+  timers->switch_access += sim_.now() - t0;
+  if (!node_crashed_[node]) {
+    wals_[node]->FillSwitchResult(lsn, res.gid, res.values);
+  }
+  for (size_t i = 0; i < op_index.size(); ++i) {
+    (*results)[op_index[i]] = res.values[i];
+  }
+
+  // ---- WRITE PHASE (buffer + deferred ops) ----
+  size_t deferred_ops = 0;
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    if (!deferred[i]) continue;
+    (*results)[i] = OccApplyOp(txn.ops[i], *results, &ctx);
+    ++deferred_ops;
+  }
+  if (deferred_ops > 0) {
+    const SimTime def_cost = t.op_local * static_cast<SimTime>(deferred_ops);
+    co_await sim::Delay(sim_, def_cost);
+    timers->local_work += def_cost;
+  }
+  for (const auto& [cell, value] : ctx.write_buffer) {
+    catalog_->table(cell.tuple.table).GetOrCreate(cell.tuple.key)
+        [cell.column] = value;
+  }
+  for (const auto& [cell, value] : ctx.inserts) {
+    catalog_->table(cell.tuple.table).GetOrCreate(cell.tuple.key)
+        [cell.column] = value;
+  }
+  for (const TupleId& tuple : ctx.write_set) ++occ_versions_[tuple];
+
+  co_await sim::Delay(sim_, t.commit_local);
+  timers->commit += t.commit_local;
+  lock_managers_[node]->ReleaseAll(txn_id);
+  co_return true;
+}
+
+}  // namespace p4db::core

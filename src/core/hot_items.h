@@ -1,0 +1,34 @@
+#ifndef P4DB_CORE_HOT_ITEMS_H_
+#define P4DB_CORE_HOT_ITEMS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace p4db::core {
+
+/// The unit of switch offloading: one column of one tuple (Section 7.5
+/// offloads "contended columns", not whole rows). Each hot item maps to one
+/// 64-bit register slot on the switch.
+struct HotItem {
+  TupleId tuple;
+  uint16_t column = 0;
+
+  friend bool operator==(const HotItem&, const HotItem&) = default;
+  friend auto operator<=>(const HotItem&, const HotItem&) = default;
+};
+
+struct HotItemHash {
+  size_t operator()(const HotItem& h) const {
+    size_t x = TupleIdHash()(h.tuple);
+    return x ^ (static_cast<size_t>(h.column) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace p4db::core
+
+template <>
+struct std::hash<p4db::core::HotItem> : p4db::core::HotItemHash {};
+
+#endif  // P4DB_CORE_HOT_ITEMS_H_

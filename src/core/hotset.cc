@@ -1,0 +1,65 @@
+#include "core/hotset.h"
+
+#include <algorithm>
+
+namespace p4db::core {
+
+void HotSetDetector::Observe(const db::Transaction& txn) {
+  for (const db::Op& op : txn.ops) {
+    if (op.type == db::OpType::kInsert) continue;  // fresh keys, never hot
+    const HotItem item{op.tuple, op.column};
+    ++counts_[item];
+    if (db::IsWrite(op.type)) ++write_counts_[item];
+    ++total_;
+  }
+}
+
+uint64_t HotSetDetector::WriteCount(const HotItem& item) const {
+  auto it = write_counts_.find(item);
+  return it == write_counts_.end() ? 0 : it->second;
+}
+
+std::vector<HotItem> HotSetDetector::TopK(size_t max_items,
+                                          uint64_t min_accesses,
+                                          bool written_only) const {
+  std::vector<std::pair<HotItem, uint64_t>> ranked;
+  ranked.reserve(counts_.size());
+  for (const auto& [item, count] : counts_) {
+    if (count < min_accesses) continue;
+    if (written_only && WriteCount(item) == 0) continue;
+    ranked.emplace_back(item, count);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (ranked.size() > max_items) ranked.resize(max_items);
+  std::vector<HotItem> out;
+  out.reserve(ranked.size());
+  for (const auto& [item, count] : ranked) {
+    (void)count;
+    out.push_back(item);
+  }
+  return out;
+}
+
+AccessGraph HotSetDetector::BuildGraph(
+    const std::vector<HotItem>& hot_items,
+    const std::vector<db::Transaction>& sample) {
+  AccessGraph graph;
+  std::unordered_map<HotItem, uint32_t, HotItemHash> ids;
+  for (const HotItem& item : hot_items) {
+    ids.emplace(item, graph.InternItem(item));
+  }
+  for (const db::Transaction& txn : sample) {
+    graph.AddTransaction(txn, ids);
+  }
+  return graph;
+}
+
+uint64_t HotSetDetector::AccessCount(const HotItem& item) const {
+  auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace p4db::core

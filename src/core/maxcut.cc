@@ -1,0 +1,116 @@
+#include "core/maxcut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace p4db::core {
+
+namespace {
+
+struct Adjacency {
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> neighbors;
+
+  explicit Adjacency(const AccessGraph& g) : neighbors(g.num_vertices()) {
+    // One pass over the edge list (Neighbors() per vertex would be O(V*E)).
+    for (const AccessGraph::Edge& e : g.Edges()) {
+      const uint64_t w = e.w.total();
+      neighbors[e.u].emplace_back(e.v, w);
+      neighbors[e.v].emplace_back(e.u, w);
+    }
+  }
+};
+
+uint64_t CutWeightAdj(const Adjacency& adj,
+                      const std::vector<uint32_t>& assignment) {
+  uint64_t cut = 0;
+  for (uint32_t u = 0; u < adj.neighbors.size(); ++u) {
+    for (const auto& [v, w] : adj.neighbors[u]) {
+      if (u < v && assignment[u] != assignment[v]) cut += w;
+    }
+  }
+  return cut;
+}
+
+}  // namespace
+
+uint64_t CutWeight(const AccessGraph& graph,
+                   const std::vector<uint32_t>& assignment) {
+  return CutWeightAdj(Adjacency(graph), assignment);
+}
+
+MaxCutResult SolveMaxCut(const AccessGraph& graph,
+                         const MaxCutConfig& config) {
+  const uint32_t n = static_cast<uint32_t>(graph.num_vertices());
+  const uint32_t k = config.num_parts;
+  assert(k >= 1);
+  assert(static_cast<uint64_t>(k) * config.max_part_size >= n &&
+         "parts cannot hold all vertices");
+
+  MaxCutResult best;
+  best.total_weight = graph.TotalWeight();
+  if (n == 0) return best;
+
+  const Adjacency adj(graph);
+  Rng rng(config.seed);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int restart = 0; restart < std::max(1, config.num_restarts);
+       ++restart) {
+    // Balanced random initial assignment: shuffle, deal round-robin.
+    for (uint32_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextRange(i)]);
+    }
+    std::vector<uint32_t> part(n);
+    std::vector<uint32_t> part_size(k, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t p = i % k;
+      part[order[i]] = p;
+      ++part_size[p];
+    }
+
+    // Local search: move a vertex to the part minimizing its internal
+    // (uncut) weight, subject to capacity.
+    std::vector<uint64_t> weight_to_part(k);
+    bool improved = true;
+    for (int sweep = 0; sweep < config.max_sweeps && improved; ++sweep) {
+      improved = false;
+      for (uint32_t i = n; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextRange(i)]);
+      }
+      for (uint32_t idx = 0; idx < n; ++idx) {
+        const uint32_t u = order[idx];
+        std::fill(weight_to_part.begin(), weight_to_part.end(), 0);
+        for (const auto& [v, w] : adj.neighbors[u]) {
+          weight_to_part[part[v]] += w;
+        }
+        const uint32_t cur = part[u];
+        uint32_t target = cur;
+        uint64_t target_internal = weight_to_part[cur];
+        for (uint32_t p = 0; p < k; ++p) {
+          if (p == cur || part_size[p] >= config.max_part_size) continue;
+          if (weight_to_part[p] < target_internal) {
+            target = p;
+            target_internal = weight_to_part[p];
+          }
+        }
+        if (target != cur) {
+          part[u] = target;
+          --part_size[cur];
+          ++part_size[target];
+          improved = true;
+        }
+      }
+    }
+
+    const uint64_t cut = CutWeightAdj(adj, part);
+    if (best.assignment.empty() || cut > best.cut_weight) {
+      best.assignment = part;
+      best.cut_weight = cut;
+    }
+  }
+  return best;
+}
+
+}  // namespace p4db::core

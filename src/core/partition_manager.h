@@ -1,0 +1,90 @@
+#ifndef P4DB_CORE_PARTITION_MANAGER_H_
+#define P4DB_CORE_PARTITION_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/hot_items.h"
+#include "db/table.h"
+#include "db/txn.h"
+#include "switchsim/packet.h"
+#include "switchsim/register_file.h"
+
+namespace p4db::core {
+
+/// The per-node partition manager (Sections 3.1, 5.4, 6.1): a replicated,
+/// cache-resident index of the hot set that
+///  * classifies transactions into hot / cold / warm,
+///  * maps hot items to their physical switch registers, and
+///  * compiles the hot part of a transaction into a switch packet,
+///    deciding single- vs multi-pass and the lock header fields.
+///
+/// The index is identical on every node ("kept in an index structure
+/// redundantly per database node"), so one shared instance models all
+/// replicas; per-node CPU cost of consulting it is charged by the engine.
+class PartitionManager {
+ public:
+  PartitionManager(const db::Catalog* catalog,
+                   const sw::PipelineConfig* pipeline_config)
+      : catalog_(catalog), pipeline_config_(pipeline_config) {}
+
+  PartitionManager(const PartitionManager&) = delete;
+  PartitionManager& operator=(const PartitionManager&) = delete;
+
+  /// Registers an offloaded item with its switch address and the value it
+  /// had at offload time (the recovery baseline, Section 6.1).
+  void RegisterHotItem(const HotItem& item, const sw::RegisterAddress& addr,
+                       Value64 initial_value);
+
+
+  bool IsHot(const HotItem& item) const { return index_.contains(item); }
+  const sw::RegisterAddress* AddressOf(const HotItem& item) const;
+  size_t num_hot_items() const { return index_.size(); }
+
+  struct HotEntry {
+    HotItem item;
+    sw::RegisterAddress addr;
+    Value64 initial_value;
+  };
+  const std::vector<HotEntry>& entries() const { return entries_; }
+
+  /// Sets txn->cls (hot / cold / warm) and txn->distributed (does any op
+  /// touch a tuple whose partition is not `home`). kInsert ops are host
+  /// work and therefore cold; a transaction mixing hot ops with inserts is
+  /// warm.
+  void Classify(db::Transaction* txn, NodeId home) const;
+
+  struct Compiled {
+    sw::SwitchTxn txn;
+    /// For each instruction, the index of the source op in the original
+    /// transaction (lets callers map results back).
+    std::vector<uint16_t> op_index;
+    uint32_t predicted_passes = 1;
+  };
+
+  /// Lowers the hot ops of `txn` to a switch transaction. For warm
+  /// transactions, `resolved` must hold the already-computed results of the
+  /// cold ops so that cross-substrate operand dependencies (cold result
+  /// feeding a hot op) become immediates. Fails if a hot op depends on an
+  /// unresolved cold op.
+  StatusOr<Compiled> Compile(const db::Transaction& txn,
+                             const std::vector<std::optional<Value64>>&
+                                 resolved,
+                             uint16_t origin_node, uint32_t client_seq) const;
+
+
+ private:
+  const db::Catalog* catalog_;
+  const sw::PipelineConfig* pipeline_config_;
+  std::unordered_map<HotItem, sw::RegisterAddress, HotItemHash> index_;
+  std::unordered_map<HotItem, Value64, HotItemHash> initial_values_;
+  std::vector<HotEntry> entries_;
+};
+
+}  // namespace p4db::core
+
+#endif  // P4DB_CORE_PARTITION_MANAGER_H_

@@ -1,0 +1,152 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace p4db::core {
+
+std::vector<Value64> ReplayInstructions(
+    const std::vector<sw::Instruction>& instrs,
+    std::unordered_map<uint64_t, Value64>* state) {
+  std::vector<Value64> values;
+  values.reserve(instrs.size());
+  for (const sw::Instruction& in : instrs) {
+    Value64 operand = in.operand;
+    if (in.has_src()) {
+      assert(in.operand_src < values.size());
+      const Value64 carried = values[in.operand_src];
+      operand += in.negate_src ? -carried : carried;
+    }
+    if (in.has_src2()) {
+      assert(in.operand_src2 < values.size());
+      const Value64 carried = values[in.operand_src2];
+      operand += in.negate_src2 ? -carried : carried;
+    }
+    Value64& cell = (*state)[PackAddr(in.addr)];
+    switch (in.op) {
+      case sw::OpCode::kRead:
+        values.push_back(cell);
+        break;
+      case sw::OpCode::kWrite:
+        cell = operand;
+        values.push_back(cell);
+        break;
+      case sw::OpCode::kAdd:
+        cell += operand;
+        values.push_back(cell);
+        break;
+      case sw::OpCode::kCondAddGeZero:
+        if (cell + operand >= 0) cell += operand;
+        values.push_back(cell);
+        break;
+      case sw::OpCode::kMax:
+        cell = std::max(cell, operand);
+        values.push_back(cell);
+        break;
+      case sw::OpCode::kSwap: {
+        const Value64 old = cell;
+        cell = operand;
+        values.push_back(old);
+        break;
+      }
+    }
+  }
+  return values;
+}
+
+namespace {
+
+/// Replays `order` from the initial state and counts the records whose
+/// recorded results are NOT reproduced (0 == fully consistent).
+size_t CountViolations(const std::vector<const db::LogRecord*>& order,
+                       const std::unordered_map<uint64_t, Value64>& initial) {
+  std::unordered_map<uint64_t, Value64> state = initial;
+  size_t violations = 0;
+  for (const db::LogRecord* rec : order) {
+    const std::vector<Value64> values = ReplayInstructions(rec->instrs,
+                                                           &state);
+    if (rec->has_result && values != rec->results) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+Status RecoverSwitchState(const PartitionManager& pm,
+                          const std::vector<const db::Wal*>& logs,
+                          sw::ControlPlane* control_plane) {
+  // Step 1: reinstall the layout. The control-plane allocator is
+  // deterministic, so allocating in the original registration order yields
+  // the original addresses.
+  std::unordered_map<uint64_t, Value64> initial;
+  for (const PartitionManager::HotEntry& e : pm.entries()) {
+    auto addr = control_plane->AllocateSlot(e.addr.stage, e.addr.reg);
+    if (!addr.ok()) return addr.status();
+    if (!(*addr == e.addr)) {
+      return Status::Internal("layout reinstall diverged from original");
+    }
+    initial[PackAddr(e.addr)] = e.initial_value;
+  }
+
+  // Step 2: gather intents; split committed (gid known) from in-flight.
+  std::vector<const db::LogRecord*> committed;
+  std::vector<const db::LogRecord*> inflight;
+  for (const db::Wal* wal : logs) {
+    for (const db::LogRecord* rec : wal->SwitchIntents()) {
+      if (rec->has_result) {
+        committed.push_back(rec);
+      } else {
+        inflight.push_back(rec);
+      }
+    }
+  }
+  std::sort(committed.begin(), committed.end(),
+            [](const db::LogRecord* a, const db::LogRecord* b) {
+              return a->gid < b->gid;
+            });
+
+  // Step 3: place each in-flight transaction at the position that best
+  // reproduces the recorded results (dependency inference). A single
+  // placement may not yet repair every violated record when several
+  // in-flight transactions cooperate (e.g. two increments both read by one
+  // committed reader), so placements greedily minimize the violation count
+  // — earliest position on ties — and full consistency is demanded only at
+  // the end.
+  std::vector<const db::LogRecord*> order = committed;
+  for (const db::LogRecord* rec : inflight) {
+    size_t best_pos = 0;
+    size_t best_violations = SIZE_MAX;
+    for (size_t pos = 0; pos <= order.size(); ++pos) {
+      std::vector<const db::LogRecord*> candidate = order;
+      candidate.insert(candidate.begin() + static_cast<ptrdiff_t>(pos), rec);
+      const size_t violations = CountViolations(candidate, initial);
+      if (violations < best_violations) {
+        best_violations = violations;
+        best_pos = pos;
+        if (violations == 0) break;
+      }
+    }
+    order.insert(order.begin() + static_cast<ptrdiff_t>(best_pos), rec);
+  }
+  if (CountViolations(order, initial) != 0) {
+    return Status::Internal(
+        "no insertion order reproduces the logged results");
+  }
+
+  // Step 4: materialize the final state into the data plane.
+  std::unordered_map<uint64_t, Value64> state = initial;
+  Gid max_gid = 0;
+  for (const db::LogRecord* rec : order) {
+    ReplayInstructions(rec->instrs, &state);
+    max_gid = std::max(max_gid, rec->gid);
+  }
+  for (const PartitionManager::HotEntry& e : pm.entries()) {
+    Status st = control_plane->InstallValue(e.addr, state[PackAddr(e.addr)]);
+    if (!st.ok()) return st;
+  }
+  control_plane->pipeline()->set_next_gid(max_gid + inflight.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace p4db::core

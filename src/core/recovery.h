@@ -1,0 +1,49 @@
+#ifndef P4DB_CORE_RECOVERY_H_
+#define P4DB_CORE_RECOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/partition_manager.h"
+#include "db/wal.h"
+#include "switchsim/control_plane.h"
+
+namespace p4db::core {
+
+/// Rebuilds the switch register state after a switch power cycle from the
+/// nodes' write-ahead logs (Section 6.1, Appendix A.3):
+///
+///  1. The layout is reinstalled (the slot allocator is deterministic, so
+///     every hot item returns to its original register) with the values the
+///     items had at offload time.
+///  2. All switch-intent records that carry a GID are replayed in GID order
+///     — the GID is the switch's serial execution order.
+///  3. In-flight records (intent logged, response never received because
+///     the issuing node crashed too) are placed by dependency inference:
+///     each is inserted at the position that minimizes the number of
+///     committed records whose recorded read/write results the replay
+///     fails to reproduce (earliest position on ties), and the final order
+///     must reproduce ALL of them (Scenario 1). If no recorded result
+///     distinguishes the orders, any position is serializable and the
+///     earliest is used.
+///
+/// Also restarts the GID counter above everything recovered.
+Status RecoverSwitchState(const PartitionManager& pm,
+                          const std::vector<const db::Wal*>& logs,
+                          sw::ControlPlane* control_plane);
+
+/// Pure replay of switch instructions against an address->value map with
+/// the data plane's exact semantics (exposed for tests).
+std::vector<Value64> ReplayInstructions(
+    const std::vector<sw::Instruction>& instrs,
+    std::unordered_map<uint64_t, Value64>* state);
+
+/// Packs a register address into the map key used by ReplayInstructions.
+inline uint64_t PackAddr(const sw::RegisterAddress& a) {
+  return (static_cast<uint64_t>(a.stage) << 40) |
+         (static_cast<uint64_t>(a.reg) << 32) | a.index;
+}
+
+}  // namespace p4db::core
+
+#endif  // P4DB_CORE_RECOVERY_H_

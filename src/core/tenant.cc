@@ -1,0 +1,107 @@
+#include "core/tenant.h"
+
+#include <cassert>
+
+namespace p4db::core {
+
+StatusOr<TenantManager::TenantId> TenantManager::CreateTenant(
+    std::string name, uint32_t quota_items) {
+  const sw::PipelineConfig& cfg = control_plane_->pipeline()->config();
+  Tenant tenant;
+  tenant.name = std::move(name);
+  tenant.quota = quota_items;
+
+  if (policy_ == Policy::kIsolatedArrays) {
+    // Reserve enough whole arrays to satisfy the quota, spread over stages
+    // (consecutive arrays land in different stages for pass-friendliness).
+    const uint32_t slots = cfg.SlotsPerRegister();
+    const uint32_t arrays_needed = (quota_items + slots - 1) / slots;
+    const uint32_t total_arrays =
+        static_cast<uint32_t>(cfg.num_stages) * cfg.regs_per_stage;
+    if (next_isolated_array_ + arrays_needed > total_arrays) {
+      return Status::CapacityExceeded("not enough register arrays left for "
+                                      "an isolated tenant");
+    }
+    for (uint32_t k = 0; k < arrays_needed; ++k) {
+      const uint32_t a = next_isolated_array_++;
+      // Stage-major striping: array k of a tenant goes to stage (a %
+      // stages) so a tenant with several arrays spans several stages.
+      tenant.arrays.emplace_back(
+          static_cast<uint8_t>(a % cfg.num_stages),
+          static_cast<uint8_t>(a / cfg.num_stages));
+    }
+  } else {
+    if (quota_items > control_plane_->FreeSlots()) {
+      return Status::CapacityExceeded("quota exceeds remaining switch "
+                                      "capacity");
+    }
+  }
+
+  tenants_.push_back(std::move(tenant));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+StatusOr<sw::RegisterAddress> TenantManager::AllocateFor(TenantId id) {
+  if (id >= tenants_.size()) return Status::InvalidArgument("no such tenant");
+  Tenant& tenant = tenants_[id];
+  if (tenant.allocated >= tenant.quota) {
+    return Status::CapacityExceeded("tenant quota exhausted");
+  }
+
+  const sw::PipelineConfig& cfg = control_plane_->pipeline()->config();
+  StatusOr<sw::RegisterAddress> addr =
+      Status::Internal("allocation did not run");
+  if (policy_ == Policy::kIsolatedArrays) {
+    // Round-robin over the tenant's reserved arrays so its own co-accessed
+    // items spread as widely as the reservation allows.
+    for (size_t tries = 0; tries < tenant.arrays.size(); ++tries) {
+      const auto [stage, reg] =
+          tenant.arrays[tenant.next_array % tenant.arrays.size()];
+      ++tenant.next_array;
+      addr = control_plane_->AllocateSlot(stage, reg);
+      if (addr.ok()) break;
+    }
+  } else {
+    // Spread policy: every tenant interleaves across ALL arrays.
+    const uint32_t total_arrays =
+        static_cast<uint32_t>(cfg.num_stages) * cfg.regs_per_stage;
+    for (uint32_t tries = 0; tries < total_arrays; ++tries) {
+      const uint32_t a = spread_rr_++ % total_arrays;
+      addr = control_plane_->AllocateSlot(
+          static_cast<uint8_t>(a % cfg.num_stages),
+          static_cast<uint8_t>(a / cfg.num_stages));
+      if (addr.ok()) break;
+    }
+  }
+  if (!addr.ok()) return addr.status();
+  ++tenant.allocated;
+  tenant.owned_slots.emplace(Pack(*addr), true);
+  return addr;
+}
+
+bool TenantManager::Owns(TenantId id,
+                         const sw::RegisterAddress& addr) const {
+  if (id >= tenants_.size()) return false;
+  return tenants_[id].owned_slots.contains(Pack(addr));
+}
+
+Status TenantManager::ValidateAccess(
+    TenantId id, const std::vector<sw::Instruction>& instrs) const {
+  for (const sw::Instruction& in : instrs) {
+    if (!Owns(id, in.addr)) {
+      return Status::InvalidArgument("tenant isolation violation: " +
+                                     sw::ToString(in));
+    }
+  }
+  return Status::Ok();
+}
+
+uint32_t TenantManager::allocated(TenantId id) const {
+  return id < tenants_.size() ? tenants_[id].allocated : 0;
+}
+
+uint32_t TenantManager::quota(TenantId id) const {
+  return id < tenants_.size() ? tenants_[id].quota : 0;
+}
+
+}  // namespace p4db::core

@@ -1,0 +1,91 @@
+#ifndef P4DB_CORE_TENANT_H_
+#define P4DB_CORE_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hot_items.h"
+#include "switchsim/control_plane.h"
+
+namespace p4db::core {
+
+/// Multi-tenant switch partitioning (Appendix A.5): one P4DB switch serves
+/// several tenants, each with a hot-set quota; tenants must not be able to
+/// access or modify each other's registers.
+///
+/// The manager implements the appendix's two sharing policies:
+///  * kIsolatedArrays — each tenant gets dedicated register arrays
+///    (simple, but a tenant's co-accessed tuples share fewer arrays, so
+///    more multi-pass transactions);
+///  * kSpreadAcrossArrays — tenants interleave within all arrays ("a data
+///    layout which spreads the data of each tenant across as many register
+///    arrays as possible is beneficial, because the amount of access
+///    conflicts is reduced").
+///
+/// Enforcement is at compile/validation time: every register address a
+/// tenant's transaction touches must belong to a slot allocated to that
+/// tenant (the switch analogue of memory protection).
+class TenantManager {
+ public:
+  enum class Policy : uint8_t { kIsolatedArrays, kSpreadAcrossArrays };
+
+  using TenantId = uint16_t;
+
+  TenantManager(sw::ControlPlane* control_plane, Policy policy)
+      : control_plane_(control_plane), policy_(policy) {}
+
+  TenantManager(const TenantManager&) = delete;
+  TenantManager& operator=(const TenantManager&) = delete;
+
+  /// Registers a tenant with a hot-item quota. With kIsolatedArrays, whole
+  /// register arrays are reserved for the tenant (round-robin over stages).
+  StatusOr<TenantId> CreateTenant(std::string name, uint32_t quota_items);
+
+  /// Allocates one hot-item slot for the tenant, honoring its quota and
+  /// the sharing policy. Returns the register address.
+  StatusOr<sw::RegisterAddress> AllocateFor(TenantId tenant);
+
+  /// True iff `addr` belongs to `tenant` — the data plane's isolation
+  /// check ("making it impossible to access or modify data from other
+  /// tenants").
+  bool Owns(TenantId tenant, const sw::RegisterAddress& addr) const;
+
+  /// Validates that every instruction of a transaction stays inside the
+  /// tenant's slots; kInvalidArgument with the offending address otherwise.
+  Status ValidateAccess(TenantId tenant,
+                        const std::vector<sw::Instruction>& instrs) const;
+
+  uint32_t allocated(TenantId tenant) const;
+  uint32_t quota(TenantId tenant) const;
+  size_t num_tenants() const { return tenants_.size(); }
+  Policy policy() const { return policy_; }
+
+ private:
+  struct Tenant {
+    std::string name;
+    uint32_t quota = 0;
+    uint32_t allocated = 0;
+    /// kIsolatedArrays: the arrays reserved for this tenant.
+    std::vector<std::pair<uint8_t, uint8_t>> arrays;
+    size_t next_array = 0;  // round-robin cursor
+    std::unordered_map<uint64_t, bool> owned_slots;  // packed addr -> true
+  };
+
+  static uint64_t Pack(const sw::RegisterAddress& a) {
+    return (static_cast<uint64_t>(a.stage) << 40) |
+           (static_cast<uint64_t>(a.reg) << 32) | a.index;
+  }
+
+  sw::ControlPlane* control_plane_;
+  Policy policy_;
+  std::vector<Tenant> tenants_;
+  uint32_t next_isolated_array_ = 0;  // kIsolatedArrays reservation cursor
+  uint32_t spread_rr_ = 0;            // kSpreadAcrossArrays cursor
+};
+
+}  // namespace p4db::core
+
+#endif  // P4DB_CORE_TENANT_H_

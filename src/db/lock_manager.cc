@@ -1,0 +1,189 @@
+#include "db/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p4db::db {
+
+namespace {
+
+sim::Future<Status> Ready(sim::Simulator* sim, Status s) {
+  sim::Promise<Status> p(sim);
+  auto f = p.future();
+  p.Set(std::move(s));
+  return f;
+}
+
+}  // namespace
+
+bool LockManager::Compatible(const Entry& entry, uint64_t txn_id,
+                             LockMode mode) {
+  for (const Holder& h : entry.holders) {
+    if (h.txn_id == txn_id) continue;
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
+                                         TupleId tuple, LockMode mode) {
+  ++stats_.acquisitions;
+  Entry& entry = table_[tuple];
+
+  // Re-acquisition / upgrade detection.
+  Holder* mine = nullptr;
+  for (Holder& h : entry.holders) {
+    if (h.txn_id == txn_id) {
+      mine = &h;
+      break;
+    }
+  }
+  if (mine != nullptr) {
+    if (mode == LockMode::kShared || mine->mode == LockMode::kExclusive) {
+      ++stats_.immediate_grants;
+      return Ready(sim_, Status::Ok());  // already sufficient
+    }
+    // Shared -> exclusive upgrade: judged against the OTHER holders only.
+    if (Compatible(entry, txn_id, LockMode::kExclusive)) {
+      mine->mode = LockMode::kExclusive;
+      ++stats_.upgrades;
+      ++stats_.immediate_grants;
+      return Ready(sim_, Status::Ok());
+    }
+    if (scheme_ == CcScheme::kNoWait) {
+      ++stats_.no_wait_aborts;
+      return Ready(sim_, Status::Aborted("upgrade denied (NO_WAIT)"));
+    }
+    // WAIT_DIE: wait only if older than every other holder.
+    for (const Holder& h : entry.holders) {
+      if (h.txn_id != txn_id && h.ts <= ts) {
+        ++stats_.wait_die_aborts;
+        return Ready(sim_, Status::Aborted("upgrade died (WAIT_DIE)"));
+      }
+    }
+    ++stats_.waits;
+    Waiter w{txn_id, ts, LockMode::kExclusive, /*upgrade=*/true,
+             sim::Promise<Status>(sim_)};
+    auto f = w.promise.future();
+    entry.waiters.push_front(std::move(w));  // upgraders jump the queue
+    return f;
+  }
+
+  // Fresh request: conflicts consider holders and any queued waiter (FIFO
+  // fairness: nobody overtakes a queued incompatible waiter, so writers
+  // cannot starve behind a stream of readers).
+  const bool conflict =
+      !Compatible(entry, txn_id, mode) || !entry.waiters.empty();
+  if (!conflict) {
+    entry.holders.push_back(Holder{txn_id, ts, mode});
+    held_[txn_id].push_back(tuple);
+    ++stats_.immediate_grants;
+    return Ready(sim_, Status::Ok());
+  }
+
+  if (scheme_ == CcScheme::kNoWait) {
+    ++stats_.no_wait_aborts;
+    return Ready(sim_, Status::Aborted("lock denied (NO_WAIT)"));
+  }
+
+  // WAIT_DIE: may wait only if strictly older than every conflicting
+  // transaction (holders and queued waiters).
+  for (const Holder& h : entry.holders) {
+    if (h.txn_id != txn_id && h.ts <= ts) {
+      ++stats_.wait_die_aborts;
+      return Ready(sim_, Status::Aborted("died on holder (WAIT_DIE)"));
+    }
+  }
+  for (const Waiter& w : entry.waiters) {
+    const bool incompatible =
+        mode == LockMode::kExclusive || w.mode == LockMode::kExclusive;
+    if (incompatible && w.txn_id != txn_id && w.ts <= ts) {
+      ++stats_.wait_die_aborts;
+      return Ready(sim_, Status::Aborted("died on waiter (WAIT_DIE)"));
+    }
+  }
+  ++stats_.waits;
+  Waiter w{txn_id, ts, mode, /*upgrade=*/false, sim::Promise<Status>(sim_)};
+  auto f = w.promise.future();
+  entry.waiters.push_back(std::move(w));
+  return f;
+}
+
+void LockManager::GrantWaiters(TupleId tuple, Entry& entry) {
+  while (!entry.waiters.empty()) {
+    Waiter& w = entry.waiters.front();
+    if (w.upgrade) {
+      // Grantable once the upgrader is the sole holder.
+      Holder* mine = nullptr;
+      bool others = false;
+      for (Holder& h : entry.holders) {
+        if (h.txn_id == w.txn_id) {
+          mine = &h;
+        } else {
+          others = true;
+        }
+      }
+      if (others) return;
+      assert(mine != nullptr && "upgrader lost its shared lock");
+      mine->mode = LockMode::kExclusive;
+      ++stats_.upgrades;
+    } else {
+      if (!Compatible(entry, w.txn_id, w.mode)) return;
+      entry.holders.push_back(Holder{w.txn_id, w.ts, w.mode});
+      held_[w.txn_id].push_back(tuple);
+    }
+    w.promise.Set(Status::Ok());
+    entry.waiters.pop_front();
+    if (entry.holders.back().mode == LockMode::kExclusive) return;
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  auto it = held_.find(txn_id);
+  if (it == held_.end()) return;
+  std::vector<TupleId> tuples = std::move(it->second);
+  held_.erase(it);
+  for (const TupleId& tuple : tuples) {
+    auto eit = table_.find(tuple);
+    if (eit == table_.end()) continue;
+    Entry& entry = eit->second;
+    std::erase_if(entry.holders,
+                  [txn_id](const Holder& h) { return h.txn_id == txn_id; });
+    GrantWaiters(tuple, entry);
+    if (entry.holders.empty() && entry.waiters.empty()) {
+      table_.erase(eit);
+    }
+  }
+}
+
+void LockManager::ReleaseOne(uint64_t txn_id, TupleId tuple) {
+  auto it = held_.find(txn_id);
+  if (it == held_.end()) return;
+  auto& tuples = it->second;
+  auto tit = std::find(tuples.begin(), tuples.end(), tuple);
+  if (tit == tuples.end()) return;
+  tuples.erase(tit);
+  if (tuples.empty()) held_.erase(it);
+
+  auto eit = table_.find(tuple);
+  if (eit == table_.end()) return;
+  Entry& entry = eit->second;
+  std::erase_if(entry.holders,
+                [txn_id](const Holder& h) { return h.txn_id == txn_id; });
+  GrantWaiters(tuple, entry);
+  if (entry.holders.empty() && entry.waiters.empty()) table_.erase(eit);
+}
+
+size_t LockManager::HeldBy(uint64_t txn_id) const {
+  auto it = held_.find(txn_id);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+bool LockManager::IsLocked(TupleId tuple) const {
+  auto it = table_.find(tuple);
+  return it != table_.end() && !it->second.holders.empty();
+}
+
+}  // namespace p4db::db

@@ -1,0 +1,49 @@
+#include "db/table.h"
+
+#include <cassert>
+#include <utility>
+
+namespace p4db::db {
+
+Table::Table(TableId id, std::string name, uint16_t num_columns,
+             PartitionSpec partition, Row default_row)
+    : id_(id),
+      name_(std::move(name)),
+      num_columns_(num_columns),
+      partition_(partition),
+      default_row_(std::move(default_row)) {
+  if (default_row_.empty()) default_row_.assign(num_columns_, 0);
+  assert(default_row_.size() == num_columns_);
+}
+
+Row& Table::GetOrCreate(Key key) {
+  auto [it, inserted] = rows_.try_emplace(key, default_row_);
+  return it->second;
+}
+
+const Row* Table::Find(Key key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Status Table::Insert(Key key, Row row) {
+  assert(row.size() == num_columns_);
+  auto [it, inserted] = rows_.try_emplace(key, std::move(row));
+  if (!inserted) return Status::InvalidArgument("duplicate primary key");
+  return Status::Ok();
+}
+
+TableId Catalog::CreateTable(std::string name, uint16_t num_columns,
+                             PartitionSpec partition, Row default_row) {
+  const TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(
+      id, std::move(name), num_columns, partition, std::move(default_row)));
+  return id;
+}
+
+SecondaryIndex& Catalog::CreateSecondaryIndex(std::string /*name*/) {
+  indexes_.push_back(std::make_unique<SecondaryIndex>());
+  return *indexes_.back();
+}
+
+}  // namespace p4db::db

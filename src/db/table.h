@@ -1,0 +1,136 @@
+#ifndef P4DB_DB_TABLE_H_
+#define P4DB_DB_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace p4db::db {
+
+/// Fixed-width numeric row. String columns are dictionary-encoded to
+/// integers by the workloads (the same trick the switch needs, Table 1), so
+/// one representation serves both substrates.
+using Row = std::vector<Value64>;
+
+/// How a table's keys are spread over database nodes (shared-nothing
+/// partitioning, Section 7.1).
+struct PartitionSpec {
+  enum class Kind : uint8_t {
+    kRoundRobin,  // owner = key % num_nodes   (YCSB, Section 7.2)
+    kRange,       // owner = (key / block) % num_nodes (SmallBank accounts)
+    kByHighBits,  // owner = (key >> shift) % num_nodes (TPC-C by warehouse)
+    kReplicated,  // read-only reference data; every node owns a copy
+  };
+  Kind kind = Kind::kRoundRobin;
+  uint64_t block = 1;   // kRange block size
+  uint32_t shift = 0;   // kByHighBits shift
+
+  NodeId OwnerOf(Key key, uint16_t num_nodes) const {
+    switch (kind) {
+      case Kind::kRoundRobin:
+        return static_cast<NodeId>(key % num_nodes);
+      case Kind::kRange:
+        return static_cast<NodeId>((key / block) % num_nodes);
+      case Kind::kByHighBits:
+        return static_cast<NodeId>((key >> shift) % num_nodes);
+      case Kind::kReplicated:
+        return 0;  // any node can serve it locally; 0 is the canonical copy
+    }
+    return 0;
+  }
+};
+
+/// In-memory hash table storing one relation. Rows materialize lazily with
+/// schema defaults: benchmark tables are logically huge (YCSB: 10^9 keys)
+/// but only touched keys occupy memory.
+class Table {
+ public:
+  Table(TableId id, std::string name, uint16_t num_columns,
+        PartitionSpec partition, Row default_row = {});
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  uint16_t num_columns() const { return num_columns_; }
+  const PartitionSpec& partition() const { return partition_; }
+
+  /// Row accessor; creates the row with defaults on first touch.
+  Row& GetOrCreate(Key key);
+  /// Read-only lookup; kNotFound if the row was never materialized.
+  const Row* Find(Key key) const;
+  bool Contains(Key key) const { return rows_.contains(key); }
+  /// Explicit insert (kInsert op); fails if the key already exists.
+  Status Insert(Key key, Row row);
+
+  size_t materialized_rows() const { return rows_.size(); }
+
+ private:
+  TableId id_;
+  std::string name_;
+  uint16_t num_columns_;
+  PartitionSpec partition_;
+  Row default_row_;
+  std::unordered_map<Key, Row> rows_;
+};
+
+/// Secondary index mapping an alternate key to a primary key. Kept on the
+/// database nodes even for hot tuples (Section 6.1: "secondary indexes are
+/// supported by keeping them on the database nodes").
+class SecondaryIndex {
+ public:
+  void Put(Key secondary, Key primary) { map_[secondary] = primary; }
+  StatusOr<Key> Lookup(Key secondary) const {
+    auto it = map_.find(secondary);
+    if (it == map_.end()) return Status::NotFound("secondary key");
+    return it->second;
+  }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Key, Key> map_;
+};
+
+/// The cluster's schema and storage. In the simulator all node partitions
+/// live in one address space; ownership (which node pays local vs. remote
+/// access cost and whose lock table guards a tuple) is defined by each
+/// table's PartitionSpec.
+class Catalog {
+ public:
+  explicit Catalog(uint16_t num_nodes) : num_nodes_(num_nodes) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  TableId CreateTable(std::string name, uint16_t num_columns,
+                      PartitionSpec partition, Row default_row = {});
+  Table& table(TableId id) { return *tables_[id]; }
+  const Table& table(TableId id) const { return *tables_[id]; }
+  size_t num_tables() const { return tables_.size(); }
+
+  SecondaryIndex& CreateSecondaryIndex(std::string name);
+
+  NodeId OwnerOf(const TupleId& t) const {
+    return tables_[t.table]->partition().OwnerOf(t.key, num_nodes_);
+  }
+  /// Replicated (read-only reference) tables are served locally on every
+  /// node: no locks, no remote access, never distributed.
+  bool IsReplicated(TableId id) const {
+    return tables_[id]->partition().kind ==
+           PartitionSpec::Kind::kReplicated;
+  }
+  uint16_t num_nodes() const { return num_nodes_; }
+
+ private:
+  uint16_t num_nodes_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+};
+
+}  // namespace p4db::db
+
+#endif  // P4DB_DB_TABLE_H_

@@ -1,0 +1,17 @@
+#include "db/txn.h"
+
+namespace p4db::db {
+
+const char* TxnClassName(TxnClass c) {
+  switch (c) {
+    case TxnClass::kHot:
+      return "hot";
+    case TxnClass::kCold:
+      return "cold";
+    case TxnClass::kWarm:
+      return "warm";
+  }
+  return "?";
+}
+
+}  // namespace p4db::db

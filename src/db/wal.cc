@@ -1,0 +1,46 @@
+#include "db/wal.h"
+
+#include <cassert>
+#include <utility>
+
+namespace p4db::db {
+
+Lsn Wal::AppendHostCommit(std::vector<HostLogOp> writes) {
+  LogRecord rec;
+  rec.lsn = records_.size();
+  rec.kind = LogKind::kHostCommit;
+  rec.host_writes = std::move(writes);
+  records_.push_back(std::move(rec));
+  return records_.back().lsn;
+}
+
+Lsn Wal::AppendSwitchIntent(uint32_t client_seq,
+                            std::vector<sw::Instruction> instrs) {
+  LogRecord rec;
+  rec.lsn = records_.size();
+  rec.kind = LogKind::kSwitchIntent;
+  rec.client_seq = client_seq;
+  rec.instrs = std::move(instrs);
+  records_.push_back(std::move(rec));
+  return records_.back().lsn;
+}
+
+void Wal::FillSwitchResult(Lsn lsn, Gid gid, std::vector<Value64> results) {
+  assert(lsn < records_.size());
+  LogRecord& rec = records_[lsn];
+  assert(rec.kind == LogKind::kSwitchIntent);
+  assert(!rec.has_result);
+  rec.gid = gid;
+  rec.results = std::move(results);
+  rec.has_result = true;
+}
+
+std::vector<const LogRecord*> Wal::SwitchIntents() const {
+  std::vector<const LogRecord*> out;
+  for (const LogRecord& rec : records_) {
+    if (rec.kind == LogKind::kSwitchIntent) out.push_back(&rec);
+  }
+  return out;
+}
+
+}  // namespace p4db::db

@@ -1,0 +1,81 @@
+#ifndef P4DB_DB_WAL_H_
+#define P4DB_DB_WAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "switchsim/instruction.h"
+
+namespace p4db::db {
+
+using Lsn = uint64_t;
+
+/// One logged host-side write (cold tuples).
+struct HostLogOp {
+  TupleId tuple;
+  uint16_t column = 0;
+  Value64 new_value = 0;
+};
+
+/// Kinds of log records (Section 6.1 "Durability and Recovery").
+enum class LogKind : uint8_t {
+  /// Commit of the cold part of a transaction.
+  kHostCommit,
+  /// Intent record for a switch (sub-)transaction. Written BEFORE the
+  /// packet is sent: "a switch transaction and its intended read-/write-
+  /// operations are appended to the log before the switch transaction is
+  /// sent" — switch transactions count as committed at send time because
+  /// they can no longer abort.
+  kSwitchIntent,
+};
+
+struct LogRecord {
+  Lsn lsn = 0;
+  LogKind kind = LogKind::kHostCommit;
+
+  // kHostCommit payload.
+  std::vector<HostLogOp> host_writes;
+
+  // kSwitchIntent payload: the exact instructions sent to the switch.
+  uint32_t client_seq = 0;
+  std::vector<sw::Instruction> instrs;
+  /// Filled in when the switch response arrives. A record with
+  /// gid == kInvalidGid after a crash is an in-flight switch transaction:
+  /// executed-but-unacknowledged (or never admitted) — recovery must place
+  /// it using read/write-set dependencies (Appendix A.3, Scenario 1).
+  Gid gid = kInvalidGid;
+  /// Result values of the read/write operations, recorded with the gid.
+  std::vector<Value64> results;
+  bool has_result = false;
+};
+
+/// Per-node write-ahead log. In-memory but modeled as durable: a simulated
+/// node crash loses no appended record, only the chance to ever fill in
+/// gids of in-flight switch transactions.
+class Wal {
+ public:
+  Wal() = default;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  Lsn AppendHostCommit(std::vector<HostLogOp> writes);
+  Lsn AppendSwitchIntent(uint32_t client_seq,
+                         std::vector<sw::Instruction> instrs);
+  /// Records the switch response (gid + read/write results) for the intent
+  /// at `lsn`.
+  void FillSwitchResult(Lsn lsn, Gid gid, std::vector<Value64> results);
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// All switch-intent records, in append order (recovery input).
+  std::vector<const LogRecord*> SwitchIntents() const;
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace p4db::db
+
+#endif  // P4DB_DB_WAL_H_

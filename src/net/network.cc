@@ -1,0 +1,64 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p4db::net {
+
+Network::Network(sim::Simulator* sim, const NetworkConfig& config)
+    : sim_(sim),
+      config_(config),
+      link_busy_until_(static_cast<size_t>(config.num_nodes) * 3, 0) {}
+
+SimTime Network::PropagationDelay(Endpoint from, Endpoint to) const {
+  if (from == to) return 0;
+  const int hops = (from.is_switch() || to.is_switch()) ? 1 : 2;
+  return hops * config_.node_to_switch_one_way;
+}
+
+SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
+  if (from == to) return sim_->now();
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  const SimTime ser = static_cast<SimTime>(
+      std::llround(static_cast<double>(bytes) * config_.ns_per_byte));
+  const SimTime start = sim_->now() + config_.send_overhead;
+
+  // First hop egress link.
+  SimTime* first_link = nullptr;
+  if (!from.is_switch()) {
+    first_link = &UplinkBusy(from.index);
+  } else {
+    assert(!to.is_switch());
+    first_link = &DownlinkBusy(to.index);
+  }
+  const SimTime depart = std::max(start, *first_link) + ser;
+  *first_link = depart;
+
+  SimTime arrive = depart + config_.node_to_switch_one_way;
+  if (!from.is_switch() && !to.is_switch()) {
+    // Second hop: switch downlink to the destination node.
+    SimTime& down = DownlinkBusy(to.index);
+    const SimTime depart2 = std::max(arrive, down) + ser;
+    down = depart2;
+    arrive = depart2 + config_.node_to_switch_one_way;
+  }
+  if (!to.is_switch()) {
+    // Host receive path (serialized per node).
+    SimTime& rx = RxBusy(to.index);
+    arrive = std::max(arrive, rx) + config_.rx_service;
+    rx = arrive;
+  }
+  return arrive;
+}
+
+std::vector<SimTime> Network::MulticastFromSwitch(uint32_t bytes) {
+  std::vector<SimTime> arrivals(config_.num_nodes);
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    arrivals[n] = ArrivalTime(Endpoint::Switch(), Endpoint::Node(n), bytes);
+  }
+  return arrivals;
+}
+
+}  // namespace p4db::net

@@ -1,0 +1,96 @@
+#ifndef P4DB_NET_NETWORK_H_
+#define P4DB_NET_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace p4db::net {
+
+/// Network endpoint: one of the database nodes, or the ToR switch.
+struct Endpoint {
+  static constexpr uint16_t kSwitchIndex = 0xFFFF;
+
+  uint16_t index = 0;
+
+  static Endpoint Node(NodeId id) { return Endpoint{id}; }
+  static Endpoint Switch() { return Endpoint{kSwitchIndex}; }
+
+  bool is_switch() const { return index == kSwitchIndex; }
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+struct NetworkConfig {
+  uint16_t num_nodes = 8;
+  /// One-way propagation latency between a node and the ToR switch. All
+  /// node<->node traffic traverses the switch, so a node<->node one-way
+  /// trip costs 2x this — the paper's "switch reachable in half the
+  /// latency" property (Section 1) falls out structurally.
+  SimTime node_to_switch_one_way = 2500 * kNanosecond;
+  /// Link serialization rate. 10 GbE = 0.8 ns/byte.
+  double ns_per_byte = 0.8;
+  /// Fixed per-message software overhead at the sender (DPDK-style stacks:
+  /// small but nonzero).
+  SimTime send_overhead = 150 * kNanosecond;
+  /// Receive-path service time per packet at a NODE (DPDK poll + dispatch
+  /// to the worker). Serialized per node: this is what bounds how many
+  /// switch responses a host can absorb per second. The switch itself
+  /// receives at line rate.
+  SimTime rx_service = 500 * kNanosecond;
+};
+
+/// Star-topology rack network: N nodes, one ToR switch in the middle.
+///
+/// Models per-endpoint egress-link occupancy (messages serialize onto a
+/// link one after another) plus propagation latency. Deterministic; no
+/// drops (the rack network is lossless for our purposes — the paper's
+/// packet-drop concern is recirculation-port overflow, which is modeled in
+/// switchsim, not here).
+class Network {
+ public:
+  Network(sim::Simulator* sim, const NetworkConfig& config);
+
+  /// One-way latency between endpoints, excluding serialization/queueing.
+  SimTime PropagationDelay(Endpoint from, Endpoint to) const;
+
+  /// Computes the arrival time of a message sent now and reserves egress
+  /// link capacity. Pure timing: the caller delivers the payload itself
+  /// (everything is shared memory inside the simulator).
+  SimTime ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes);
+
+  /// Awaitable convenience: suspends the calling coroutine until the
+  /// message would arrive at `to`.
+  sim::DelayAwaiter Send(Endpoint from, Endpoint to, uint32_t bytes) {
+    return sim::DelayAwaiter(sim_, ArrivalTime(from, to, bytes) - sim_->now());
+  }
+
+  /// Arrival times of a switch multicast to every node (Figure 10: the
+  /// switch broadcasts the commit decision). Egress occupancy is per
+  /// node-facing switch port, so the sends proceed in parallel.
+  std::vector<SimTime> MulticastFromSwitch(uint32_t bytes);
+
+  const NetworkConfig& config() const { return config_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  // Index into link_busy_until_: per node, [0] = node uplink (node->switch),
+  // [1] = switch downlink (switch->node), [2] = host receive path.
+  SimTime& UplinkBusy(uint16_t node) { return link_busy_until_[node * 3]; }
+  SimTime& DownlinkBusy(uint16_t node) {
+    return link_busy_until_[node * 3 + 1];
+  }
+  SimTime& RxBusy(uint16_t node) { return link_busy_until_[node * 3 + 2]; }
+
+  sim::Simulator* sim_;
+  NetworkConfig config_;
+  std::vector<SimTime> link_busy_until_;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace p4db::net
+
+#endif  // P4DB_NET_NETWORK_H_

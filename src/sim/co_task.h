@@ -1,0 +1,83 @@
+#ifndef P4DB_SIM_CO_TASK_H_
+#define P4DB_SIM_CO_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace p4db::sim {
+
+/// Lazy awaitable coroutine with a result, used for the engine's nested
+/// execution paths (a worker coroutine co_awaits e.g. ExecuteCold(...)).
+///
+/// Start is lazy (runs when awaited, via symmetric transfer); completion
+/// resumes the awaiting coroutine. The CoTask object owns the frame, so
+/// destroying a suspended outer coroutine transitively destroys inner ones.
+template <typename T>
+class CoTask {
+ public:
+  struct promise_type {
+    T value{};
+    std::coroutine_handle<> continuation;
+
+    CoTask get_return_object() {
+      return CoTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    auto final_suspend() noexcept {
+      struct FinalAwaiter {
+        bool await_ready() noexcept { return false; }
+        std::coroutine_handle<> await_suspend(
+            std::coroutine_handle<promise_type> h) noexcept {
+          auto cont = h.promise().continuation;
+          return cont ? cont : std::noop_coroutine();
+        }
+        void await_resume() noexcept {}
+      };
+      return FinalAwaiter{};
+    }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  CoTask() = default;
+  explicit CoTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  CoTask(CoTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  CoTask& operator=(CoTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() { Destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    assert(handle_ && !handle_.done());
+    handle_.promise().continuation = awaiter;
+    return handle_;  // symmetric transfer: start the child now
+  }
+  T await_resume() {
+    assert(handle_ && handle_.done());
+    return std::move(handle_.promise().value);
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace p4db::sim
+
+#endif  // P4DB_SIM_CO_TASK_H_

@@ -1,0 +1,102 @@
+#ifndef P4DB_SIM_FUTURE_H_
+#define P4DB_SIM_FUTURE_H_
+
+#include <cassert>
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace p4db::sim {
+
+namespace internal {
+
+template <typename T>
+struct SharedState {
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+  bool resume_scheduled = false;
+};
+
+}  // namespace internal
+
+/// One-shot future usable as an awaitable inside simulated coroutines.
+/// Fulfilled by the paired Promise; the waiter resumes via a zero-delay
+/// simulator event (never inline), which keeps resumption order
+/// deterministic and stacks shallow.
+template <typename T>
+class Future {
+ public:
+  Future(Simulator* sim, std::shared_ptr<internal::SharedState<T>> state)
+      : sim_(sim), state_(std::move(state)) {}
+
+  bool await_ready() const noexcept { return state_->value.has_value(); }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(!state_->waiter && "future already awaited");
+    state_->waiter = h;
+  }
+
+  T await_resume() {
+    assert(state_->value.has_value());
+    return std::move(*state_->value);
+  }
+
+ private:
+  Simulator* sim_;
+  std::shared_ptr<internal::SharedState<T>> state_;
+};
+
+/// Producer side. May outlive or predecease the Future; completion after the
+/// consumer's frame was destroyed is safe as long as the owner followed the
+/// Task teardown protocol (events discarded before frames are destroyed).
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Simulator* sim)
+      : sim_(sim), state_(std::make_shared<internal::SharedState<T>>()) {}
+
+  Future<T> future() { return Future<T>(sim_, state_); }
+
+  bool fulfilled() const { return state_->value.has_value(); }
+
+  /// Stores the value and schedules the waiter (if any) at now().
+  void Set(T value) {
+    assert(!state_->value.has_value() && "promise set twice");
+    state_->value = std::move(value);
+    MaybeScheduleResume();
+  }
+
+  /// Stores the value and schedules the waiter after `delay`.
+  void SetAfter(SimTime delay, T value) {
+    auto state = state_;
+    auto* sim = sim_;
+    sim_->Schedule(delay, [state, sim, v = std::move(value)]() mutable {
+      assert(!state->value.has_value());
+      state->value = std::move(v);
+      if (state->waiter && !state->resume_scheduled) {
+        state->resume_scheduled = true;
+        auto h = state->waiter;
+        sim->Schedule(0, [h] { h.resume(); });
+      }
+    });
+  }
+
+ private:
+  void MaybeScheduleResume() {
+    if (state_->waiter && !state_->resume_scheduled) {
+      state_->resume_scheduled = true;
+      auto h = state_->waiter;
+      sim_->Schedule(0, [h] { h.resume(); });
+    }
+  }
+
+  Simulator* sim_;
+  std::shared_ptr<internal::SharedState<T>> state_;
+};
+
+}  // namespace p4db::sim
+
+#endif  // P4DB_SIM_FUTURE_H_

@@ -1,0 +1,127 @@
+#ifndef P4DB_SIM_SIMULATOR_H_
+#define P4DB_SIM_SIMULATOR_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace p4db::sim {
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// All "distributed" entities in this repository (database nodes, worker
+/// threads, the programmable switch, the network) are simulated processes
+/// driven by one event queue. Events with equal timestamps fire in FIFO
+/// order (by insertion sequence number), which makes every run
+/// bit-reproducible for a given seed.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay (delay >= 0).
+  void Schedule(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time t (t >= now()).
+  void ScheduleAt(SimTime t, std::function<void()> fn) {
+    assert(t >= now_);
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs until the event queue drains (or Stop() is called).
+  void Run() {
+    while (!stopped_ && !queue_.empty()) {
+      Step();
+    }
+  }
+
+  /// Processes all events with timestamp <= t, then sets now() = t.
+  /// Later events remain queued (they are simply never run if the harness
+  /// tears the world down afterwards).
+  void RunUntil(SimTime t) {
+    while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+      Step();
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  /// Stops the event loop; no further events execute.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  /// Re-enables event processing after Stop() (safe once every coroutine
+  /// frame that queued events has been destroyed and pending events were
+  /// discarded).
+  void Resume() { stopped_ = false; }
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+  /// Drops every queued event without running it. Call before destroying
+  /// coroutine frames that queued events may reference.
+  void DiscardPending() {
+    while (!queue_.empty()) queue_.pop();
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Step() {
+    // Move the event out before popping: fn may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+/// Awaitable that resumes the coroutine after a simulated delay.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulator* sim, SimTime delay) : sim_(sim), delay_(delay) {}
+
+  bool await_ready() const noexcept { return delay_ <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_->Schedule(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator* sim_;
+  SimTime delay_;
+};
+
+inline DelayAwaiter Delay(Simulator& sim, SimTime delay) {
+  return DelayAwaiter(&sim, delay);
+}
+
+}  // namespace p4db::sim
+
+#endif  // P4DB_SIM_SIMULATOR_H_

@@ -1,0 +1,60 @@
+#ifndef P4DB_SIM_TASK_H_
+#define P4DB_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace p4db::sim {
+
+/// Eager, owner-destroyed coroutine task for simulated processes.
+///
+/// A `Task` starts running at creation (initial_suspend = never) and
+/// suspends at its co_awaits. The Task object owns the coroutine frame: when
+/// a benchmark horizon is reached, the owner simply destroys its Tasks,
+/// which destroys frames suspended mid-transaction. The required teardown
+/// order is: (1) stop the Simulator, (2) Simulator::DiscardPending(), then
+/// (3) destroy Tasks — so no queued event can resume a destroyed frame.
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace p4db::sim
+
+#endif  // P4DB_SIM_TASK_H_

@@ -1,0 +1,127 @@
+#include "switchsim/packet.h"
+
+#include <cstring>
+#include <string>
+
+namespace p4db::sw {
+
+namespace {
+
+template <typename T>
+void Put(std::vector<uint8_t>& out, T value) {
+  const size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &value, sizeof(T));
+}
+
+template <typename T>
+bool Get(const std::vector<uint8_t>& in, size_t* pos, T* value) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kRead:
+      return "READ";
+    case OpCode::kWrite:
+      return "WRITE";
+    case OpCode::kAdd:
+      return "ADD";
+    case OpCode::kCondAddGeZero:
+      return "COND_ADD_GE_ZERO";
+    case OpCode::kMax:
+      return "MAX";
+    case OpCode::kSwap:
+      return "SWAP";
+  }
+  return "INVALID";
+}
+
+std::string ToString(const Instruction& instr) {
+  return std::string(OpCodeName(instr.op)) + " s" +
+         std::to_string(instr.addr.stage) + "r" +
+         std::to_string(instr.addr.reg) + "[" +
+         std::to_string(instr.addr.index) + "], " +
+         std::to_string(instr.operand);
+}
+
+std::vector<uint8_t> PacketCodec::Encode(const SwitchTxn& txn) {
+  std::vector<uint8_t> out;
+  out.reserve(EncodedSize(txn));
+  Put<uint8_t>(out, txn.is_multipass ? 1 : 0);
+  Put<uint8_t>(out, txn.lock_mask);
+  Put<uint8_t>(out, txn.touch_mask);
+  Put<uint8_t>(out, txn.nb_recircs);
+  Put<uint8_t>(out, static_cast<uint8_t>(txn.instrs.size()));
+  Put<uint16_t>(out, txn.origin_node);
+  Put<uint32_t>(out, txn.client_seq);
+  Put<uint8_t>(out, 0);  // pad
+  for (const Instruction& instr : txn.instrs) {
+    Put<uint8_t>(out, static_cast<uint8_t>(instr.op));
+    Put<uint8_t>(out, instr.addr.stage);
+    Put<uint8_t>(out, instr.addr.reg);
+    // operand_src in low 7 bits, negate flag in the top bit.
+    Put<uint8_t>(out, static_cast<uint8_t>((instr.operand_src & 0x7F) |
+                                           (instr.negate_src ? 0x80 : 0)));
+    Put<uint32_t>(out, instr.addr.index);
+    Put<int64_t>(out, instr.operand);
+    Put<uint8_t>(out, static_cast<uint8_t>((instr.operand_src2 & 0x7F) |
+                                           (instr.negate_src2 ? 0x80 : 0)));
+    Put<uint8_t>(out, 0);
+    Put<uint8_t>(out, 0);
+    Put<uint8_t>(out, 0);
+  }
+  return out;
+}
+
+StatusOr<SwitchTxn> PacketCodec::Decode(const std::vector<uint8_t>& bytes) {
+  SwitchTxn txn;
+  size_t pos = 0;
+  uint8_t flags = 0, count = 0, pad = 0, op = 0, hdr_pad = 0;
+  if (!Get(bytes, &pos, &flags) || !Get(bytes, &pos, &txn.lock_mask) ||
+      !Get(bytes, &pos, &txn.touch_mask) ||
+      !Get(bytes, &pos, &txn.nb_recircs) || !Get(bytes, &pos, &count) ||
+      !Get(bytes, &pos, &txn.origin_node) ||
+      !Get(bytes, &pos, &txn.client_seq) || !Get(bytes, &pos, &hdr_pad)) {
+    return Status::InvalidArgument("truncated switch-txn header");
+  }
+  txn.is_multipass = (flags & 1) != 0;
+  txn.instrs.reserve(count);
+  for (uint8_t i = 0; i < count; ++i) {
+    Instruction instr;
+    uint8_t src2 = 0, pad1 = 0, pad2 = 0, pad3 = 0;
+    if (!Get(bytes, &pos, &op) || !Get(bytes, &pos, &instr.addr.stage) ||
+        !Get(bytes, &pos, &instr.addr.reg) || !Get(bytes, &pos, &pad) ||
+        !Get(bytes, &pos, &instr.addr.index) ||
+        !Get(bytes, &pos, &instr.operand) || !Get(bytes, &pos, &src2) ||
+        !Get(bytes, &pos, &pad1) || !Get(bytes, &pos, &pad2) ||
+        !Get(bytes, &pos, &pad3)) {
+      return Status::InvalidArgument("truncated instruction");
+    }
+    if (op > static_cast<uint8_t>(OpCode::kSwap)) {
+      return Status::InvalidArgument("unknown opcode");
+    }
+    instr.op = static_cast<OpCode>(op);
+    instr.operand_src = pad & 0x7F;
+    instr.negate_src = (pad & 0x80) != 0;
+    instr.operand_src2 = src2 & 0x7F;
+    instr.negate_src2 = (src2 & 0x80) != 0;
+    if ((instr.has_src() && instr.operand_src >= i) ||
+        (instr.has_src2() && instr.operand_src2 >= i)) {
+      return Status::InvalidArgument("operand_src must reference an earlier "
+                                     "instruction");
+    }
+    txn.instrs.push_back(instr);
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after instructions");
+  }
+  return txn;
+}
+
+}  // namespace p4db::sw

@@ -1,0 +1,97 @@
+#ifndef P4DB_SWITCHSIM_PACKET_H_
+#define P4DB_SWITCHSIM_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "switchsim/instruction.h"
+
+namespace p4db::sw {
+
+/// In-memory form of one switch transaction == one network packet
+/// (Section 4.1: "each network packet in a switch pipeline represents a
+/// separate transaction"). Field layout follows Figure 6.
+struct SwitchTxn {
+  /// Header (grey fields in Figure 6).
+  bool is_multipass = false;
+  /// For multi-pass transactions: the pipeline-locks to acquire on the
+  /// first pass and free on the last — the regions holding registers that
+  /// remain PENDING after the first pass (their cross-pass time gap is what
+  /// needs protecting). Zero for single-pass transactions (Section 5.4).
+  uint8_t lock_mask = 0;
+  /// Regions touched by ANY instruction: admission requires these to be
+  /// free of other transactions' locks (a holder may have intermediate
+  /// state there).
+  uint8_t touch_mask = 0;
+  /// Recirculation counter, incremented on every recirculation; used by the
+  /// switch flow control to prioritize long-waiting transactions.
+  uint8_t nb_recircs = 0;
+  /// Issuing database node (for the response route).
+  uint16_t origin_node = 0;
+  /// Issuer-local sequence number (echoed back; lets the node match
+  /// responses and its WAL entries).
+  uint32_t client_seq = 0;
+
+  std::vector<Instruction> instrs;
+};
+
+/// Result of an executed switch transaction. Switch transactions never
+/// abort (Section 5.1); constrained writes report per-instruction flags.
+struct SwitchResult {
+  Gid gid = kInvalidGid;
+  uint16_t origin_node = 0;
+  uint32_t client_seq = 0;
+  uint32_t passes = 0;
+  uint32_t recirculations = 0;
+  /// Per-instruction result value (read value / post-write value).
+  std::vector<Value64> values;
+  /// Per-instruction constraint flag; false iff a constrained write's
+  /// predicate failed (the write was skipped).
+  std::vector<bool> constraint_ok;
+};
+
+/// Wire codec for switch transactions, used for packet-size accounting on
+/// the simulated network and round-trip tested as the parser/deparser would
+/// be. Layout (little-endian):
+///   [0]     flags        (bit0 = is_multipass)
+///   [1]     lock_mask
+///   [2]     touch_mask
+///   [3]     nb_recircs
+///   [4]     instr_count
+///   [5:7]   origin_node
+///   [7:11]  client_seq
+///   [11]    pad
+///   then per instruction 20 bytes:
+///   [0] opcode  [1] stage  [2] reg  [3] src1  [4:8] index
+///   [8:16] operand  [16] src2  [17:20] pad
+///   (srcN bytes: low 7 bits = source instruction index, 0x7F = immediate;
+///   top bit = negate the carried value)
+class PacketCodec {
+ public:
+  static constexpr size_t kHeaderBytes = 12;
+  static constexpr size_t kInstrBytes = 20;
+  /// Ethernet + IP + UDP framing the real system pays per packet.
+  static constexpr size_t kFrameOverheadBytes = 42;
+  static constexpr size_t kMaxInstructions = 255;
+
+  static size_t EncodedSize(const SwitchTxn& txn) {
+    return kHeaderBytes + txn.instrs.size() * kInstrBytes;
+  }
+  /// Total on-wire bytes including L2-L4 framing (for network timing).
+  static size_t WireSize(const SwitchTxn& txn) {
+    return EncodedSize(txn) + kFrameOverheadBytes;
+  }
+  /// Response wire size: gid + counters + 8B per instruction result.
+  static size_t ResponseWireSize(size_t num_instrs) {
+    return 24 + num_instrs * 9 + kFrameOverheadBytes;
+  }
+
+  static std::vector<uint8_t> Encode(const SwitchTxn& txn);
+  static StatusOr<SwitchTxn> Decode(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace p4db::sw
+
+#endif  // P4DB_SWITCHSIM_PACKET_H_

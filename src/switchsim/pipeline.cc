@@ -1,0 +1,342 @@
+#include "switchsim/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p4db::sw {
+
+namespace {
+
+/// True if instruction `i` can execute in pass `cur_pass` at its stage,
+/// given where each earlier instruction ran. A PHV operand must have been
+/// produced in a previous pass, or in this pass at a strictly earlier stage.
+bool DepsSatisfied(const std::vector<Instruction>& instrs, size_t i,
+                   const std::vector<uint32_t>& exec_pass,
+                   uint32_t cur_pass) {
+  const Instruction& in = instrs[i];
+  const auto ok = [&](uint8_t src) {
+    if (exec_pass[src] == 0) return false;
+    if (exec_pass[src] == cur_pass &&
+        instrs[src].addr.stage >= in.addr.stage) {
+      return false;
+    }
+    return true;
+  };
+  if (in.has_src() && !ok(in.operand_src)) return false;
+  if (in.has_src2() && !ok(in.operand_src2)) return false;
+  return true;
+}
+
+/// One pipeline pass: the packet flows through the stages in order; each
+/// register array executes the FIRST not-yet-executed instruction that
+/// targets it (one RegisterAction per array per pass), if its dependencies
+/// allow. Returns the instruction indices executed this pass, in stage
+/// order. Deterministic and shared verbatim between the live data plane
+/// and the node-side pass planner.
+std::vector<size_t> SweepOnePass(const std::vector<Instruction>& instrs,
+                                 const std::vector<uint32_t>& exec_pass,
+                                 uint32_t cur_pass) {
+  // Arrays with remaining work, in pipeline order.
+  std::vector<std::pair<uint8_t, uint8_t>> arrays;  // (stage, reg)
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    if (exec_pass[i] != 0) continue;
+    arrays.emplace_back(instrs[i].addr.stage, instrs[i].addr.reg);
+  }
+  std::sort(arrays.begin(), arrays.end());
+  arrays.erase(std::unique(arrays.begin(), arrays.end()), arrays.end());
+
+  std::vector<uint32_t> pass_view = exec_pass;  // updated as we execute
+  std::vector<size_t> executed;
+  for (const auto& [stage, reg] : arrays) {
+    for (size_t i = 0; i < instrs.size(); ++i) {
+      if (pass_view[i] != 0) continue;
+      if (instrs[i].addr.stage != stage || instrs[i].addr.reg != reg) {
+        continue;
+      }
+      // Only the first pending instruction of the array is considered (the
+      // stage's match-action entry consumes one instruction per packet).
+      if (DepsSatisfied(instrs, i, pass_view, cur_pass)) {
+        pass_view[i] = cur_pass;
+        executed.push_back(i);
+      }
+      break;
+    }
+  }
+  return executed;
+}
+
+uint8_t RegionOf(const PipelineConfig& config, uint8_t stage) {
+  if (!config.fine_grained_locks) return kLockLeft;
+  return stage < config.RightRegionFirstStage() ? kLockLeft : kLockRight;
+}
+
+}  // namespace
+
+uint32_t Pipeline::PlanPasses(const std::vector<Instruction>& instrs,
+                              std::vector<uint32_t>* exec_pass) {
+  exec_pass->assign(instrs.size(), 0);
+  if (instrs.empty()) return 1;
+  size_t remaining = instrs.size();
+  uint32_t pass = 0;
+  while (remaining > 0) {
+    ++pass;
+    const std::vector<size_t> done = SweepOnePass(instrs, *exec_pass, pass);
+    assert(!done.empty() && "pass made no progress");
+    for (size_t i : done) (*exec_pass)[i] = pass;
+    remaining -= done.size();
+  }
+  return pass;
+}
+
+uint32_t Pipeline::CountPasses(const std::vector<Instruction>& instrs) {
+  std::vector<uint32_t> exec_pass;
+  return PlanPasses(instrs, &exec_pass);
+}
+
+uint8_t LockDemandFor(const PipelineConfig& config,
+                      const std::vector<Instruction>& instrs) {
+  std::vector<uint32_t> exec_pass;
+  Pipeline::PlanPasses(instrs, &exec_pass);
+  uint8_t mask = 0;
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    if (exec_pass[i] > 1) mask |= RegionOf(config, instrs[i].addr.stage);
+  }
+  return mask;
+}
+
+uint8_t TouchMaskFor(const PipelineConfig& config,
+                     const std::vector<Instruction>& instrs) {
+  uint8_t mask = 0;
+  for (const Instruction& in : instrs) {
+    mask |= RegionOf(config, in.addr.stage);
+  }
+  return mask;
+}
+
+uint8_t Pipeline::LockDemand(const std::vector<Instruction>& instrs) const {
+  return LockDemandFor(config_, instrs);
+}
+
+Pipeline::Pipeline(sim::Simulator* sim, const PipelineConfig& config)
+    : sim_(sim),
+      config_(config),
+      registers_(config),
+      waiting_port_busy_(config.num_waiting_ports, 0) {}
+
+Status Pipeline::Validate(const SwitchTxn& txn) const {
+  if (txn.instrs.empty()) {
+    return Status::InvalidArgument("switch txn has no instructions");
+  }
+  if (txn.instrs.size() > PacketCodec::kMaxInstructions) {
+    return Status::CapacityExceeded("too many instructions for one packet");
+  }
+  for (size_t i = 0; i < txn.instrs.size(); ++i) {
+    const Instruction& in = txn.instrs[i];
+    if (!registers_.ValidAddress(in.addr)) {
+      return Status::InvalidArgument("instruction targets invalid register: " +
+                                     ToString(in));
+    }
+    if ((in.has_src() && in.operand_src >= i) ||
+        (in.has_src2() && in.operand_src2 >= i)) {
+      return Status::InvalidArgument(
+          "operand_src must reference an earlier instruction");
+    }
+  }
+  const uint32_t passes = CountPasses(txn.instrs);
+  if (txn.is_multipass != (passes > 1)) {
+    return Status::InvalidArgument("is_multipass flag does not match access "
+                                   "pattern (passes=" +
+                                   std::to_string(passes) + ")");
+  }
+  const uint8_t demand = LockDemandFor(config_, txn.instrs);
+  if ((txn.lock_mask & demand) != demand) {
+    return Status::InvalidArgument("lock_mask does not cover pending stages");
+  }
+  const uint8_t touch = TouchMaskFor(config_, txn.instrs);
+  if ((txn.touch_mask & touch) != touch) {
+    return Status::InvalidArgument("touch_mask does not cover touched "
+                                   "stages");
+  }
+  return Status::Ok();
+}
+
+sim::Future<SwitchResult> Pipeline::Submit(SwitchTxn txn) {
+  sim::Promise<SwitchResult> reply(sim_);
+  auto future = reply.future();
+  auto fl = std::make_shared<Inflight>(std::move(txn), std::move(reply));
+  fl->result.origin_node = fl->txn.origin_node;
+  fl->result.client_seq = fl->txn.client_seq;
+  fl->result.values.assign(fl->txn.instrs.size(), 0);
+  fl->result.constraint_ok.assign(fl->txn.instrs.size(), true);
+  sim_->Schedule(0, [this, fl] { Arrive(fl); });
+  return future;
+}
+
+void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
+  if (next_admission_ > sim_->now()) {
+    // Another packet occupies this ingress slot; retry at the next one.
+    sim_->ScheduleAt(next_admission_, [this, fl] { Arrive(std::move(fl)); });
+    return;
+  }
+  next_admission_ = sim_->now() + config_.admission_gap;
+
+  if (!fl->holds_locks) {
+    // Admission check in stage 0 (Listing 1 semantics: test the touched
+    // regions and, for multi-pass packets, set the pending regions — one
+    // stateful register operation).
+    if ((lock_register_ & fl->txn.touch_mask) != 0) {
+      ++stats_.lock_blocked_recircs;
+      RecirculateBlocked(std::move(fl));
+      return;
+    }
+    if (fl->txn.is_multipass) {
+      lock_register_ |= fl->txn.lock_mask;
+      fl->holds_locks = true;
+      ++stats_.lock_acquisitions;
+    }
+  }
+
+  if (fl->result.passes == 0) {
+    // Serial position == first admission: pass-1 effects in non-pending
+    // regions are immediately visible to later transactions, so the GID
+    // (the serial execution order, Section 6.1) is assigned here.
+    fl->result.gid = next_gid_++;
+  }
+  ++fl->result.passes;
+  const bool done = ExecutePass(*fl);
+  if (!done) {
+    if (fl->holds_locks) {
+      RecirculateHolder(std::move(fl));
+    } else {
+      // A packet labeled single-pass that cannot finish in one pass: the
+      // data plane keeps recirculating it without any lock — this is the
+      // isolation-unsafe case the paper warns about (Section 5.2). The
+      // node-side compiler never produces such packets; Validate() rejects
+      // them in tests.
+      RecirculateBlocked(std::move(fl));
+    }
+    return;
+  }
+
+  if (fl->holds_locks) {
+    lock_register_ &= static_cast<uint8_t>(~fl->txn.lock_mask);
+    fl->holds_locks = false;
+  }
+
+  // Final pass: emit the response at egress.
+  fl->result.recirculations = fl->txn.nb_recircs;
+  ++stats_.txns_completed;
+  stats_.total_passes += fl->result.passes;
+  if (fl->txn.is_multipass) {
+    ++stats_.multi_pass_txns;
+  } else {
+    ++stats_.single_pass_txns;
+  }
+  stats_.recircs_per_txn.Record(fl->txn.nb_recircs);
+  fl->reply.SetAfter(config_.PassLatency(), std::move(fl->result));
+}
+
+bool Pipeline::ExecutePass(Inflight& fl) {
+  const uint32_t cur_pass = fl.result.passes;
+  const std::vector<size_t> executable =
+      SweepOnePass(fl.txn.instrs, fl.exec_pass, cur_pass);
+  for (size_t i : executable) {
+    bool constraint_ok = true;
+    fl.result.values[i] =
+        ApplyInstruction(fl, fl.txn.instrs[i], &constraint_ok);
+    fl.result.constraint_ok[i] = constraint_ok;
+    fl.exec_pass[i] = cur_pass;
+    if (!constraint_ok) ++stats_.constrained_write_failures;
+  }
+  fl.remaining -= executable.size();
+  return fl.remaining == 0;
+}
+
+Value64 Pipeline::ApplyInstruction(const Inflight& fl, const Instruction& in,
+                                   bool* constraint_ok) {
+  assert(registers_.ValidAddress(in.addr));
+  *constraint_ok = true;
+  // Effective operand: immediate plus (optionally negated) PHV-carried
+  // results of earlier instructions.
+  Value64 operand = in.operand;
+  if (in.has_src()) {
+    const Value64 carried = fl.result.values[in.operand_src];
+    operand += in.negate_src ? -carried : carried;
+  }
+  if (in.has_src2()) {
+    const Value64 carried = fl.result.values[in.operand_src2];
+    operand += in.negate_src2 ? -carried : carried;
+  }
+  switch (in.op) {
+    case OpCode::kRead:
+      return registers_.Read(in.addr);
+    case OpCode::kWrite:
+      registers_.Write(in.addr, operand);
+      return operand;
+    case OpCode::kAdd: {
+      const Value64 v = registers_.Read(in.addr) + operand;
+      registers_.Write(in.addr, v);
+      return v;
+    }
+    case OpCode::kCondAddGeZero: {
+      const Value64 old = registers_.Read(in.addr);
+      const Value64 v = old + operand;
+      if (v >= 0) {
+        registers_.Write(in.addr, v);
+        return v;
+      }
+      *constraint_ok = false;
+      return old;
+    }
+    case OpCode::kMax: {
+      const Value64 v = std::max(registers_.Read(in.addr), operand);
+      registers_.Write(in.addr, v);
+      return v;
+    }
+    case OpCode::kSwap: {
+      const Value64 old = registers_.Read(in.addr);
+      registers_.Write(in.addr, operand);
+      return old;
+    }
+  }
+  assert(false && "unreachable opcode");
+  return 0;
+}
+
+SimTime Pipeline::ReserveRecircPort(SimTime* busy_until, size_t bytes) {
+  // The packet exits the pipeline (one no-op/partial traversal) and enters
+  // the loopback port queue; ports serialize packets one after another.
+  const SimTime at_port = sim_->now() + config_.PassLatency();
+  const SimTime ser = static_cast<SimTime>(
+      std::llround(static_cast<double>(bytes) * config_.recirc_ns_per_byte));
+  const SimTime depart = std::max(at_port, *busy_until) + ser;
+  *busy_until = depart;
+  return depart + config_.recirc_loop_latency;
+}
+
+void Pipeline::RecirculateBlocked(std::shared_ptr<Inflight> fl) {
+  if (fl->txn.nb_recircs < 255) ++fl->txn.nb_recircs;
+  const size_t bytes = PacketCodec::WireSize(fl->txn);
+  SimTime* port = &waiting_port_busy_[waiting_port_rr_];
+  waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
+  const SimTime back_at = ReserveRecircPort(port, bytes);
+  sim_->ScheduleAt(back_at, [this, fl] { Arrive(std::move(fl)); });
+}
+
+void Pipeline::RecirculateHolder(std::shared_ptr<Inflight> fl) {
+  ++stats_.holder_recircs;
+  if (fl->txn.nb_recircs < 255) ++fl->txn.nb_recircs;
+  const size_t bytes = PacketCodec::WireSize(fl->txn);
+  SimTime* port = &fast_port_busy_;
+  if (!config_.fast_recirc_enabled) {
+    // Without the optimization, holders share the waiting ports and queue
+    // behind blocked packets — the lock is held for longer (Section 5.3).
+    port = &waiting_port_busy_[waiting_port_rr_];
+    waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
+  }
+  const SimTime back_at = ReserveRecircPort(port, bytes);
+  sim_->ScheduleAt(back_at, [this, fl] { Arrive(std::move(fl)); });
+}
+
+}  // namespace p4db::sw

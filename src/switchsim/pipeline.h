@@ -1,0 +1,158 @@
+#ifndef P4DB_SWITCHSIM_PIPELINE_H_
+#define P4DB_SWITCHSIM_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/future.h"
+#include "sim/simulator.h"
+#include "switchsim/instruction.h"
+#include "switchsim/packet.h"
+#include "switchsim/register_file.h"
+
+namespace p4db::sw {
+
+/// Regions (kLockLeft/kLockRight) containing registers that stay PENDING
+/// after the first pipeline pass — the locks a multi-pass transaction must
+/// acquire. Zero for single-pass sequences. (Free functions so the
+/// node-side compiler can compute headers without a Pipeline instance.)
+uint8_t LockDemandFor(const PipelineConfig& config,
+                      const std::vector<Instruction>& instrs);
+
+/// Regions touched by ANY instruction of the sequence: these must be free
+/// of other transactions' locks at admission.
+uint8_t TouchMaskFor(const PipelineConfig& config,
+                     const std::vector<Instruction>& instrs);
+
+/// Runtime counters exposed by the pipeline.
+struct PipelineStats {
+  uint64_t txns_completed = 0;
+  uint64_t single_pass_txns = 0;
+  uint64_t multi_pass_txns = 0;
+  uint64_t total_passes = 0;
+  uint64_t lock_blocked_recircs = 0;   // admission denied by pipeline-lock
+  uint64_t holder_recircs = 0;         // lock holder cycling between passes
+  uint64_t lock_acquisitions = 0;
+  uint64_t constrained_write_failures = 0;
+  Histogram recircs_per_txn;
+};
+
+/// Event-driven model of one Tofino pipeline running the P4DB transaction
+/// engine (Sections 4 and 5).
+///
+/// Faithfulness notes:
+///  * One packet == one transaction; admission order == serial order. All
+///    register effects of a pass apply atomically at the pass's admission
+///    event, and events are totally ordered, so the execution is exactly the
+///    serializable schedule the paper's pipeline produces (Section 5.1).
+///  * Per pass, each MAU stage executes at most ONE instruction per
+///    register array (one RegisterAction per stateful ALU per packet) as
+///    the packet flows through: the first not-yet-executed instruction
+///    targeting the array, provided its PHV operands were produced in a
+///    strictly earlier stage (or a previous pass). Whatever remains
+///    recirculates — multi-pass transactions arise from same-array
+///    co-location and from access-order (dependency) violations, the two
+///    phenomena the declustered layout minimizes (Sections 2.3, 4.1).
+///  * The pipeline lock lives in stage 0 and follows Listing 1: a 2-bit
+///    lock tested and acquired with one stateful operation. In coarse mode
+///    a single bit covers the whole pipeline. Acquired bits cover the
+///    regions with registers pending across passes; admission requires the
+///    whole touched region set to be free.
+///  * Blocked packets recirculate through waiting loopback ports (filled
+///    round-robin); lock holders use a dedicated fast port when the
+///    fast-recirculate optimization is on (Section 5.3).
+class Pipeline {
+ public:
+  Pipeline(sim::Simulator* sim, const PipelineConfig& config);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Submits a transaction that just arrived at the switch ingress. The
+  /// future resolves when the transaction's last pass leaves the pipeline
+  /// (egress timestamp). Network travel to/from the switch is the caller's
+  /// business.
+  sim::Future<SwitchResult> Submit(SwitchTxn txn);
+
+  /// Validates that a transaction only touches installed resources and
+  /// marked multipass iff it cannot run in a single pass. Used by tests and
+  /// by the control plane when a program is deployed.
+  Status Validate(const SwitchTxn& txn) const;
+
+  /// Computes the number of pipeline passes this instruction sequence needs
+  /// under the PISA access rules (the same per-stage sweep the data plane
+  /// performs). Exposed so the node-side compiler provably agrees with the
+  /// switch.
+  static uint32_t CountPasses(const std::vector<Instruction>& instrs);
+
+  /// Full pass plan: fills exec_pass[i] with the 1-based pass in which
+  /// instruction i executes; returns the number of passes.
+  static uint32_t PlanPasses(const std::vector<Instruction>& instrs,
+                             std::vector<uint32_t>* exec_pass);
+
+  /// Pending-region lock mask required by the given instructions under this
+  /// pipeline's locking mode (see LockDemandFor).
+  uint8_t LockDemand(const std::vector<Instruction>& instrs) const;
+
+  RegisterFile& registers() { return registers_; }
+  const RegisterFile& registers() const { return registers_; }
+  const PipelineConfig& config() const { return config_; }
+  const PipelineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PipelineStats(); }
+
+  /// Next GID that would be assigned (monotonically increasing from 1).
+  Gid next_gid() const { return next_gid_; }
+  /// Control-plane override after recovery (Section 6.1): restart the GID
+  /// counter above everything recovered from the logs.
+  void set_next_gid(Gid gid) { next_gid_ = gid; }
+  uint8_t held_locks() const { return lock_register_; }
+
+ private:
+  struct Inflight {
+    SwitchTxn txn;
+    SwitchResult result;
+    size_t remaining;                 // unexecuted instructions
+    std::vector<uint32_t> exec_pass;  // pass in which each instr ran (0=not)
+    bool holds_locks = false;
+    sim::Promise<SwitchResult> reply;
+
+    Inflight(SwitchTxn t, sim::Promise<SwitchResult> p)
+        : txn(std::move(t)),
+          remaining(txn.instrs.size()),
+          exec_pass(txn.instrs.size(), 0),
+          reply(std::move(p)) {}
+  };
+
+  /// Handles one arrival at the pipeline ingress (fresh or recirculated).
+  void Arrive(std::shared_ptr<Inflight> fl);
+  /// Executes one pass worth of instructions; returns true if finished.
+  bool ExecutePass(Inflight& fl);
+  Value64 ApplyInstruction(const Inflight& fl, const Instruction& instr,
+                           bool* constraint_ok);
+  /// Schedules a recirculation through a waiting port (blocked packet).
+  void RecirculateBlocked(std::shared_ptr<Inflight> fl);
+  /// Schedules a recirculation for a lock holder between passes.
+  void RecirculateHolder(std::shared_ptr<Inflight> fl);
+  SimTime ReserveRecircPort(SimTime* busy_until, size_t bytes);
+
+  sim::Simulator* sim_;
+  PipelineConfig config_;
+  RegisterFile registers_;
+  PipelineStats stats_;
+
+  uint8_t lock_register_ = 0;  // Listing 1 state: bit0 left, bit1 right
+  Gid next_gid_ = 1;
+  SimTime next_admission_ = 0;
+
+  SimTime fast_port_busy_ = 0;
+  std::vector<SimTime> waiting_port_busy_;
+  size_t waiting_port_rr_ = 0;
+};
+
+}  // namespace p4db::sw
+
+#endif  // P4DB_SWITCHSIM_PIPELINE_H_

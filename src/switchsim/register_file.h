@@ -1,0 +1,105 @@
+#ifndef P4DB_SWITCHSIM_REGISTER_FILE_H_
+#define P4DB_SWITCHSIM_REGISTER_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "switchsim/instruction.h"
+
+namespace p4db::sw {
+
+/// Static description of the switch data plane resources.
+struct PipelineConfig {
+  /// Number of MAU stages in the pipeline.
+  uint16_t num_stages = 20;
+  /// Register arrays usable for tuple storage per stage (Tofino-class
+  /// ASICs provide 4 stateful ALUs per stage; each drives one array).
+  uint16_t regs_per_stage = 4;
+  /// SRAM budget per stage usable for register arrays (bytes). With the
+  /// defaults: 20 stages * 256 KiB / 8 B = 655,360 8-byte rows — the same
+  /// order as the paper's "approximately 820K 8Byte hot tuples per pipeline"
+  /// (Section 2.3) and the 650K-row top configuration of Figure 17.
+  uint32_t sram_bytes_per_stage = 256 * 1024;
+  /// Width of one stored tuple value (Figure 17 varies this: 8..64 bytes).
+  /// Values are still operated on as 64-bit registers; width only scales
+  /// how many rows fit.
+  uint32_t tuple_bytes = 8;
+
+  /// Latency of one MAU stage; full pass = num_stages * stage_latency.
+  SimTime stage_latency = 40 * kNanosecond;
+  /// Extra parse/deparse overhead per pipeline pass.
+  SimTime parser_latency = 100 * kNanosecond;
+  /// Loopback-port wire latency for one recirculation.
+  SimTime recirc_loop_latency = 500 * kNanosecond;
+  /// Minimum spacing between admitted packets (line rate ~ 1 pkt/ns/pipe).
+  SimTime admission_gap = 1 * kNanosecond;
+  /// Serialization rate of recirculation ports (10G front-panel ports in
+  /// loopback mode — the configuration Section 5.3 describes). Slow enough
+  /// that a storm of blocked packets queues up, which is exactly what the
+  /// fast-recirculate optimization sidesteps for lock holders.
+  double recirc_ns_per_byte = 0.8;
+  /// Number of loopback ports used for *waiting* (blocked) transactions;
+  /// they are filled round-robin (Section 5.3 "we actually split waiting
+  /// transactions round-robin over multiple ports").
+  uint16_t num_waiting_ports = 2;
+
+  /// Optimization toggles (Figure 15c ablation).
+  bool fast_recirc_enabled = true;   // dedicated port for lock holders
+  bool fine_grained_locks = true;    // 2-bit lock (Listing 1) vs 1 big lock
+
+  /// Rows (tuple slots) per register array.
+  uint32_t SlotsPerRegister() const {
+    return sram_bytes_per_stage / regs_per_stage / tuple_bytes;
+  }
+  /// Total tuple capacity of the pipeline.
+  uint64_t CapacityRows() const {
+    return static_cast<uint64_t>(SlotsPerRegister()) * regs_per_stage *
+           num_stages;
+  }
+  /// One full pipeline traversal.
+  SimTime PassLatency() const {
+    return parser_latency + static_cast<SimTime>(num_stages) * stage_latency;
+  }
+  /// First stage of the right lock region (fine-grained locking splits the
+  /// pipeline in two halves; Section 5.3 / Listing 1).
+  uint16_t RightRegionFirstStage() const { return num_stages / 2; }
+};
+
+/// The per-stage register arrays: plain SRAM, 64-bit slots. Bounds-checked
+/// accessors; the Pipeline enforces the PISA access rules on top.
+class RegisterFile {
+ public:
+  explicit RegisterFile(const PipelineConfig& config)
+      : config_(config),
+        slots_(config.SlotsPerRegister()),
+        data_(static_cast<size_t>(config.num_stages) *
+                  config.regs_per_stage * slots_,
+              0) {}
+
+  bool ValidAddress(const RegisterAddress& a) const {
+    return a.stage < config_.num_stages && a.reg < config_.regs_per_stage &&
+           a.index < slots_;
+  }
+
+  Value64 Read(const RegisterAddress& a) const { return data_[Flat(a)]; }
+  void Write(const RegisterAddress& a, Value64 v) { data_[Flat(a)] = v; }
+
+  uint32_t slots_per_register() const { return slots_; }
+
+ private:
+  size_t Flat(const RegisterAddress& a) const {
+    return (static_cast<size_t>(a.stage) * config_.regs_per_stage + a.reg) *
+               slots_ +
+           a.index;
+  }
+
+  PipelineConfig config_;
+  uint32_t slots_;
+  std::vector<Value64> data_;
+};
+
+}  // namespace p4db::sw
+
+#endif  // P4DB_SWITCHSIM_REGISTER_FILE_H_

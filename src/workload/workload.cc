@@ -1,0 +1,16 @@
+#include "workload/workload.h"
+
+namespace p4db::wl {
+
+std::vector<db::Transaction> Workload::Sample(size_t n, uint64_t seed,
+                                              uint16_t num_nodes) {
+  std::vector<db::Transaction> out;
+  out.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Next(rng, static_cast<NodeId>(i % num_nodes)));
+  }
+  return out;
+}
+
+}  // namespace p4db::wl

@@ -1,0 +1,43 @@
+#ifndef P4DB_WORKLOAD_WORKLOAD_H_
+#define P4DB_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "db/table.h"
+#include "db/txn.h"
+
+namespace p4db::wl {
+
+/// A benchmark workload: owns schema creation/population and generates the
+/// transaction stream. Implementations: YCSB, SmallBank, TPC-C
+/// (Section 7.2).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates tables and populates initial data.
+  virtual void Setup(db::Catalog* catalog) = 0;
+
+  /// Generates the next transaction for a worker homed on `home`.
+  virtual db::Transaction Next(Rng& rng, NodeId home) = 0;
+
+  /// If true, hot-set detection only considers WRITTEN items (TPC-C: the
+  /// paper offloads "contended columns ... with write-accesses"); read-hot
+  /// items such as the replicated item table stay on the nodes.
+  virtual bool OffloadWrittenOnly() const { return false; }
+
+  /// Representative sample for offline hot-set detection and access-graph
+  /// construction (Section 3.1). Default: draw `n` transactions round-robin
+  /// across nodes with a private RNG.
+  virtual std::vector<db::Transaction> Sample(size_t n, uint64_t seed,
+                                              uint16_t num_nodes);
+};
+
+}  // namespace p4db::wl
+
+#endif  // P4DB_WORKLOAD_WORKLOAD_H_

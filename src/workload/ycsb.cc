@@ -1,0 +1,61 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+
+namespace p4db::wl {
+
+void Ycsb::Setup(db::Catalog* catalog) {
+  num_nodes_ = catalog->num_nodes();
+  db::PartitionSpec part;
+  part.kind = db::PartitionSpec::Kind::kRoundRobin;
+  table_ = catalog->CreateTable("usertable", /*num_columns=*/1, part);
+}
+
+Key Ycsb::ColdKey(Rng& rng, NodeId owner) const {
+  // Uniform key owned by `owner`, outside the hot region. Hot keys are the
+  // first hot_keys_per_node round-robin keys of each node.
+  const uint64_t keys_per_node = config_.table_size / num_nodes_;
+  const uint64_t j =
+      config_.hot_keys_per_node +
+      rng.NextRange(keys_per_node - config_.hot_keys_per_node);
+  return static_cast<Key>(owner) + j * num_nodes_;
+}
+
+db::Transaction Ycsb::Next(Rng& rng, NodeId home) {
+  db::Transaction txn;
+  txn.type_tag = 0;
+  const bool hot = rng.NextBool(config_.hot_txn_fraction);
+  const bool distributed = rng.NextBool(config_.distributed_fraction);
+  const double write_fraction = config_.WriteFraction();
+
+  txn.ops.reserve(config_.ops_per_txn);
+  for (uint32_t i = 0; i < config_.ops_per_txn; ++i) {
+    const NodeId node =
+        distributed ? static_cast<NodeId>(rng.NextRange(num_nodes_)) : home;
+    Key key;
+    for (;;) {
+      key = hot ? HotKey(node, static_cast<uint32_t>(rng.NextRange(
+                                   config_.hot_keys_per_node)))
+                : ColdKey(rng, node);
+      // Distinct keys per transaction (one register access each on the
+      // switch; Section 7.3: all YCSB hot txns are single-pass).
+      const bool dup = std::any_of(
+          txn.ops.begin(), txn.ops.end(),
+          [&](const db::Op& op) { return op.tuple.key == key; });
+      if (!dup) break;
+    }
+    db::Op op;
+    op.tuple = TupleId{table_, key};
+    op.column = 0;
+    if (rng.NextBool(write_fraction)) {
+      op.type = db::OpType::kPut;
+      op.operand = static_cast<Value64>(rng.Next() >> 16);
+    } else {
+      op.type = db::OpType::kGet;
+    }
+    txn.ops.push_back(op);
+  }
+  return txn;
+}
+
+}  // namespace p4db::wl

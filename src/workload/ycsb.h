@@ -1,0 +1,67 @@
+#ifndef P4DB_WORKLOAD_YCSB_H_
+#define P4DB_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "workload/workload.h"
+
+namespace p4db::wl {
+
+/// YCSB as configured in Section 7.2/7.3: one table of 10^9 8B-key/8B-value
+/// rows, round-robin partitioned; a transaction is a group of 8 read/write
+/// operations; per-node hot-sets of 50 keys receive 75% of all accesses
+/// (modeled as 75% of transactions touching only hot keys).
+struct YcsbConfig {
+  char variant = 'A';  // A: 50/50 update, B: 95/5 read-heavy, C: read-only
+  uint64_t table_size = 1000000000ULL;
+  uint32_t ops_per_txn = 8;
+  uint32_t hot_keys_per_node = 50;
+  /// Fraction of transactions whose keys all come from the hot set
+  /// (Figure 15 sweeps this).
+  double hot_txn_fraction = 0.75;
+  /// Probability that a transaction draws keys cluster-wide instead of only
+  /// from its home partition.
+  double distributed_fraction = 0.2;
+
+  double WriteFraction() const {
+    switch (variant) {
+      case 'A':
+        return 0.5;
+      case 'B':
+        return 0.05;
+      default:
+        return 0.0;
+    }
+  }
+};
+
+class Ycsb : public Workload {
+ public:
+  explicit Ycsb(const YcsbConfig& config) : config_(config) {}
+
+  std::string name() const override {
+    return std::string("YCSB-") + config_.variant;
+  }
+  void Setup(db::Catalog* catalog) override;
+  db::Transaction Next(Rng& rng, NodeId home) override;
+
+  /// Hot key j (0-based) of node n: keys are laid out so that
+  /// key % num_nodes == n (round-robin partitioning).
+  Key HotKey(NodeId node, uint32_t j) const {
+    return static_cast<Key>(node) + static_cast<Key>(j) * num_nodes_;
+  }
+  TableId table_id() const { return table_; }
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  Key ColdKey(Rng& rng, NodeId owner) const;
+
+  YcsbConfig config_;
+  TableId table_ = 0;
+  uint16_t num_nodes_ = 1;
+};
+
+}  // namespace p4db::wl
+
+#endif  // P4DB_WORKLOAD_YCSB_H_

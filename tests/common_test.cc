@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/zipf.h"
+
+namespace p4db {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Aborted("lock denied");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kAborted);
+  EXPECT_EQ(s.message(), "lock denied");
+  EXPECT_EQ(s.ToString(), "ABORTED: lock denied");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Aborted());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (Code c : {Code::kOk, Code::kAborted, Code::kNotFound,
+                 Code::kInvalidArgument, Code::kCapacityExceeded,
+                 Code::kConstraintViolation, Code::kUnsupported,
+                 Code::kInternal}) {
+    EXPECT_STRNE(CodeName(c), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(0), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("x");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Code::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextRangeStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextRange(17), 17u);
+  }
+}
+
+TEST(RngTest, NextRangeCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextRange(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextRangeIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextRange(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(19);
+  int yes = 0;
+  for (int i = 0; i < 100000; ++i) yes += rng.NextBool(0.25);
+  EXPECT_NEAR(yes / 100000.0, 0.25, 0.01);
+}
+
+// ------------------------------------------------------------------ Zipf --
+
+TEST(ZipfTest, Theta0IsUniformish) {
+  ZipfGenerator zipf(100, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(rng)];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*mn, 600);
+  EXPECT_LT(*mx, 1500);
+}
+
+TEST(ZipfTest, HighThetaIsSkewed) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(5);
+  int top10 = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 10) ++top10;
+  }
+  // With theta=0.99, the top-10 of 1000 items draw a large share.
+  EXPECT_GT(top10, kSamples / 3);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(50, 0.9);
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(rng), 50u);
+}
+
+TEST(HotSetDistributionTest, HotFractionRespected) {
+  HotSetDistribution dist(100000, 50, 0.75);
+  Rng rng(29);
+  int hot = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hot += dist.IsHot(dist.Next(rng));
+  EXPECT_NEAR(hot / static_cast<double>(kSamples), 0.75, 0.01);
+}
+
+TEST(HotSetDistributionTest, ColdNeverInHotRange) {
+  HotSetDistribution dist(1000, 10, 0.0);
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(dist.Next(rng), 10u);
+}
+
+// ----------------------------------------------------------------- Fixed --
+
+TEST(FixedTest, UnitsAndCents) {
+  EXPECT_EQ(Fixed::FromUnits(3).raw(), 300);
+  EXPECT_EQ(Fixed::FromCents(123).whole_units(), 1);
+}
+
+TEST(FixedTest, Arithmetic) {
+  Fixed a = Fixed::FromCents(150), b = Fixed::FromCents(75);
+  EXPECT_EQ((a + b).raw(), 225);
+  EXPECT_EQ((a - b).raw(), 75);
+  EXPECT_EQ((-a).raw(), -150);
+  a += b;
+  EXPECT_EQ(a.raw(), 225);
+}
+
+TEST(FixedTest, Comparisons) {
+  EXPECT_LT(Fixed::FromCents(1), Fixed::FromCents(2));
+  EXPECT_EQ(Fixed::FromCents(100), Fixed::FromUnits(1));
+}
+
+TEST(FixedTest, ScaleByPercentIsIntegerExact) {
+  // 8% tax on 12.50 = 1.00 exactly in integer math.
+  EXPECT_EQ(Fixed::ScaleByPercent(Fixed::FromCents(1250), 8).raw(), 100);
+  // Truncation (never rounds up): 8% of 1.01 = 0.0808 -> 8 cents.
+  EXPECT_EQ(Fixed::ScaleByPercent(Fixed::FromCents(101), 8).raw(), 8);
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.Mean(), 1000.0);
+  EXPECT_EQ(h.Quantile(0.5), 1000);
+}
+
+TEST(HistogramTest, QuantilesApproximateWithinBucketError) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i);
+  // Log-bucketed: ~5% relative error budget, give 10% slack.
+  EXPECT_NEAR(h.Quantile(0.5), 5000, 500);
+  EXPECT_NEAR(h.Quantile(0.99), 9900, 990);
+  EXPECT_EQ(h.Quantile(1.0), 10000);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, HandlesNonPositiveValues) {
+  Histogram h;
+  h.Record(0);
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), -5);
+}
+
+// ----------------------------------------------------------------- Types --
+
+TEST(TupleIdTest, HashAndEquality) {
+  TupleId a{1, 42}, b{1, 42}, c{2, 42}, d{1, 43};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  TupleIdHash h;
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));  // not guaranteed in general, but holds here
+}
+
+}  // namespace
+}  // namespace p4db

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/hotset.h"
+
+namespace p4db::core {
+namespace {
+
+db::Op Op(db::OpType type, Key key, uint16_t column = 0) {
+  db::Op op;
+  op.type = type;
+  op.tuple = TupleId{0, key};
+  op.column = column;
+  return op;
+}
+
+db::Transaction Txn(std::vector<db::Op> ops) {
+  db::Transaction t;
+  t.ops = std::move(ops);
+  return t;
+}
+
+TEST(HotSetDetectorTest, CountsAccesses) {
+  HotSetDetector d;
+  d.Observe(Txn({Op(db::OpType::kGet, 1), Op(db::OpType::kAdd, 2)}));
+  d.Observe(Txn({Op(db::OpType::kGet, 1)}));
+  EXPECT_EQ(d.AccessCount(HotItem{TupleId{0, 1}, 0}), 2u);
+  EXPECT_EQ(d.AccessCount(HotItem{TupleId{0, 2}, 0}), 1u);
+  EXPECT_EQ(d.total_accesses(), 3u);
+  EXPECT_EQ(d.distinct_items(), 2u);
+}
+
+TEST(HotSetDetectorTest, TopKOrdersByFrequency) {
+  HotSetDetector d;
+  for (int i = 0; i < 5; ++i) d.Observe(Txn({Op(db::OpType::kGet, 7)}));
+  for (int i = 0; i < 3; ++i) d.Observe(Txn({Op(db::OpType::kGet, 8)}));
+  for (int i = 0; i < 9; ++i) d.Observe(Txn({Op(db::OpType::kGet, 9)}));
+  const auto top = d.TopK(2, 1);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].tuple.key, 9u);
+  EXPECT_EQ(top[1].tuple.key, 7u);
+}
+
+TEST(HotSetDetectorTest, MinAccessThresholdFiltersColdTail) {
+  HotSetDetector d;
+  d.Observe(Txn({Op(db::OpType::kGet, 1)}));  // touched once
+  for (int i = 0; i < 3; ++i) d.Observe(Txn({Op(db::OpType::kGet, 2)}));
+  const auto top = d.TopK(10, 2);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].tuple.key, 2u);
+}
+
+TEST(HotSetDetectorTest, InsertsNeverBecomeHot) {
+  HotSetDetector d;
+  for (int i = 0; i < 10; ++i) d.Observe(Txn({Op(db::OpType::kInsert, 5)}));
+  EXPECT_EQ(d.TopK(10, 1).size(), 0u);
+}
+
+TEST(HotSetDetectorTest, WrittenOnlyFiltersReadOnlyItems) {
+  HotSetDetector d;
+  for (int i = 0; i < 10; ++i) {
+    d.Observe(Txn({Op(db::OpType::kGet, 1), Op(db::OpType::kAdd, 2)}));
+  }
+  const auto all = d.TopK(10, 1, /*written_only=*/false);
+  const auto written = d.TopK(10, 1, /*written_only=*/true);
+  EXPECT_EQ(all.size(), 2u);
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0].tuple.key, 2u);
+  EXPECT_EQ(d.WriteCount(HotItem{TupleId{0, 2}, 0}), 10u);
+  EXPECT_EQ(d.WriteCount(HotItem{TupleId{0, 1}, 0}), 0u);
+}
+
+TEST(HotSetDetectorTest, ColumnsTrackedSeparately) {
+  HotSetDetector d;
+  for (int i = 0; i < 4; ++i) d.Observe(Txn({Op(db::OpType::kAdd, 1, 0)}));
+  for (int i = 0; i < 2; ++i) d.Observe(Txn({Op(db::OpType::kAdd, 1, 1)}));
+  const auto top = d.TopK(1, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].column, 0);
+}
+
+TEST(HotSetDetectorTest, DeterministicTieBreak) {
+  HotSetDetector a, b;
+  for (Key k : {3u, 1u, 2u}) {
+    a.Observe(Txn({Op(db::OpType::kGet, k), Op(db::OpType::kGet, k)}));
+  }
+  for (Key k : {2u, 3u, 1u}) {
+    b.Observe(Txn({Op(db::OpType::kGet, k), Op(db::OpType::kGet, k)}));
+  }
+  EXPECT_EQ(a.TopK(3), b.TopK(3));
+}
+
+TEST(HotSetDetectorTest, BuildGraphUsesOnlyHotItems) {
+  std::vector<HotItem> hot = {HotItem{TupleId{0, 1}, 0},
+                              HotItem{TupleId{0, 2}, 0}};
+  db::Transaction txn =
+      Txn({Op(db::OpType::kGet, 1), Op(db::OpType::kGet, 2),
+           Op(db::OpType::kGet, 3)});
+  AccessGraph g = HotSetDetector::BuildGraph(hot, {txn});
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.TotalWeight(), 1u);
+}
+
+}  // namespace
+}  // namespace p4db::core

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace p4db::net {
+namespace {
+
+NetworkConfig TestConfig() {
+  NetworkConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.node_to_switch_one_way = 1000;
+  cfg.ns_per_byte = 1.0;
+  cfg.send_overhead = 100;
+  cfg.rx_service = 50;
+  return cfg;
+}
+
+TEST(NetworkTest, SwitchIsHalfTheNodeDistance) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  const SimTime to_switch =
+      net.PropagationDelay(Endpoint::Node(0), Endpoint::Switch());
+  const SimTime to_node =
+      net.PropagationDelay(Endpoint::Node(0), Endpoint::Node(1));
+  EXPECT_EQ(to_node, 2 * to_switch);  // the paper's 1/2-latency property
+}
+
+TEST(NetworkTest, SelfDeliveryIsFree) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  EXPECT_EQ(net.PropagationDelay(Endpoint::Node(2), Endpoint::Node(2)), 0);
+  EXPECT_EQ(net.ArrivalTime(Endpoint::Node(2), Endpoint::Node(2), 100),
+            sim.now());
+}
+
+TEST(NetworkTest, ArrivalIncludesOverheadSerializationAndRx) {
+  sim::Simulator sim;
+  {
+    Network net(&sim, TestConfig());
+    // overhead 100 + ser 10 + prop 1000 (to switch, no rx at switch).
+    EXPECT_EQ(net.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 10),
+              100 + 10 + 1000);
+  }
+  {
+    // Fresh network (idle links):
+    // node->node = overhead + ser + prop + ser(downlink) + prop + rx.
+    Network net(&sim, TestConfig());
+    EXPECT_EQ(net.ArrivalTime(Endpoint::Node(0), Endpoint::Node(1), 10),
+              100 + 10 + 1000 + 10 + 1000 + 50);
+  }
+}
+
+TEST(NetworkTest, UplinkSerializesBackToBackSends) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  const SimTime a =
+      net.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 1000);
+  const SimTime b =
+      net.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 1000);
+  EXPECT_EQ(b - a, 1000);  // second packet queues behind the first
+}
+
+TEST(NetworkTest, DistinctUplinksDoNotInterfere) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  const SimTime a =
+      net.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 1000);
+  const SimTime b =
+      net.ArrivalTime(Endpoint::Node(1), Endpoint::Switch(), 1000);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NetworkTest, RxPathSerializesFanIn) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  // Two different senders to the same destination node: second delivery
+  // waits for the receive path.
+  const SimTime a = net.ArrivalTime(Endpoint::Node(0), Endpoint::Node(3), 1);
+  const SimTime b = net.ArrivalTime(Endpoint::Node(1), Endpoint::Node(3), 1);
+  EXPECT_GT(b, a);
+}
+
+TEST(NetworkTest, MulticastReachesEveryNode) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  const auto arrivals = net.MulticastFromSwitch(100);
+  ASSERT_EQ(arrivals.size(), 4u);
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 1000);  // at least one propagation hop
+  }
+}
+
+TEST(NetworkTest, MulticastUsesParallelDownlinks) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  const auto arrivals = net.MulticastFromSwitch(100);
+  // Different downlinks: all deliveries land at the same time.
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i], arrivals[0]);
+  }
+}
+
+TEST(NetworkTest, CountsTraffic) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  net.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 100);
+  net.ArrivalTime(Endpoint::Node(0), Endpoint::Node(1), 50);
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 150u);
+}
+
+
+TEST(NetworkTest, SwitchIngressHasNoRxCost) {
+  sim::Simulator sim;
+  Network a(&sim, TestConfig());
+  Network b(&sim, TestConfig());
+  // Two sends from different nodes to the switch arrive simultaneously
+  // (line-rate ingress); to a node, the second is delayed by rx_service.
+  const SimTime s1 = a.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 1);
+  const SimTime s2 = a.ArrivalTime(Endpoint::Node(1), Endpoint::Switch(), 1);
+  EXPECT_EQ(s1, s2);
+  const SimTime n1 = b.ArrivalTime(Endpoint::Node(0), Endpoint::Node(3), 1);
+  const SimTime n2 = b.ArrivalTime(Endpoint::Node(1), Endpoint::Node(3), 1);
+  EXPECT_EQ(n2 - n1, TestConfig().rx_service);
+}
+
+TEST(NetworkTest, LargeMessagesSerializeProportionally) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  const SimTime small =
+      net.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 100);
+  Network net2(&sim, TestConfig());
+  const SimTime large =
+      net2.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 1100);
+  EXPECT_EQ(large - small, 1000);  // 1 ns per byte in the test config
+}
+
+TEST(NetworkTest, SustainedLoadBacklogsTheLink) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  SimTime last = 0;
+  for (int i = 0; i < 100; ++i) {
+    last = net.ArrivalTime(Endpoint::Node(0), Endpoint::Switch(), 500);
+  }
+  // 100 x 500B at 1 ns/B: the last arrival reflects the full backlog.
+  EXPECT_GE(last, 100 * 500);
+}
+
+TEST(NetworkTest, SendAwaitableDeliversAtArrivalTime) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig());
+  SimTime done = -1;
+  auto body = [](sim::Simulator& s, Network& n, SimTime* out) -> sim::Task {
+    co_await n.Send(Endpoint::Node(0), Endpoint::Switch(), 10);
+    *out = s.now();
+  };
+  sim::Task t = body(sim, net, &done);
+  sim.Run();
+  EXPECT_EQ(done, 100 + 10 + 1000);
+}
+
+}  // namespace
+}  // namespace p4db::net

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "switchsim/packet.h"
+
+namespace p4db::sw {
+namespace {
+
+SwitchTxn SampleTxn() {
+  SwitchTxn txn;
+  txn.is_multipass = true;
+  txn.lock_mask = kLockLeft | kLockRight;
+  txn.nb_recircs = 3;
+  txn.origin_node = 5;
+  txn.client_seq = 123456;
+  txn.instrs.push_back(
+      Instruction{OpCode::kRead, RegisterAddress{0, 1, 77}, 0});
+  Instruction dep{OpCode::kAdd, RegisterAddress{4, 0, 12}, 50};
+  dep.operand_src = 0;
+  dep.negate_src = true;
+  txn.instrs.push_back(dep);
+  return txn;
+}
+
+TEST(PacketCodecTest, RoundTripPreservesEverything) {
+  const SwitchTxn txn = SampleTxn();
+  const auto bytes = PacketCodec::Encode(txn);
+  const auto decoded = PacketCodec::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->is_multipass, txn.is_multipass);
+  EXPECT_EQ(decoded->lock_mask, txn.lock_mask);
+  EXPECT_EQ(decoded->nb_recircs, txn.nb_recircs);
+  EXPECT_EQ(decoded->origin_node, txn.origin_node);
+  EXPECT_EQ(decoded->client_seq, txn.client_seq);
+  EXPECT_EQ(decoded->instrs, txn.instrs);
+}
+
+TEST(PacketCodecTest, EncodedSizeMatchesFormula) {
+  const SwitchTxn txn = SampleTxn();
+  EXPECT_EQ(PacketCodec::Encode(txn).size(),
+            PacketCodec::kHeaderBytes +
+                txn.instrs.size() * PacketCodec::kInstrBytes);
+}
+
+TEST(PacketCodecTest, EmptyInstructionListRoundTrips) {
+  SwitchTxn txn;
+  txn.origin_node = 1;
+  const auto decoded = PacketCodec::Decode(PacketCodec::Encode(txn));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->instrs.empty());
+}
+
+TEST(PacketCodecTest, TruncatedHeaderRejected) {
+  auto bytes = PacketCodec::Encode(SampleTxn());
+  bytes.resize(PacketCodec::kHeaderBytes - 1);
+  EXPECT_FALSE(PacketCodec::Decode(bytes).ok());
+}
+
+TEST(PacketCodecTest, TruncatedInstructionRejected) {
+  auto bytes = PacketCodec::Encode(SampleTxn());
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(PacketCodec::Decode(bytes).ok());
+}
+
+TEST(PacketCodecTest, TrailingBytesRejected) {
+  auto bytes = PacketCodec::Encode(SampleTxn());
+  bytes.push_back(0);
+  EXPECT_FALSE(PacketCodec::Decode(bytes).ok());
+}
+
+TEST(PacketCodecTest, UnknownOpcodeRejected) {
+  auto bytes = PacketCodec::Encode(SampleTxn());
+  bytes[PacketCodec::kHeaderBytes] = 200;  // first instruction's opcode
+  EXPECT_FALSE(PacketCodec::Decode(bytes).ok());
+}
+
+TEST(PacketCodecTest, ForwardOperandSrcRejected) {
+  SwitchTxn txn;
+  Instruction in{OpCode::kAdd, RegisterAddress{0, 0, 0}, 1};
+  in.operand_src = 0;  // references itself: invalid
+  txn.instrs.push_back(in);
+  const auto bytes = PacketCodec::Encode(txn);
+  EXPECT_FALSE(PacketCodec::Decode(bytes).ok());
+}
+
+TEST(PacketCodecTest, WireSizeIncludesFraming) {
+  const SwitchTxn txn = SampleTxn();
+  EXPECT_EQ(PacketCodec::WireSize(txn),
+            PacketCodec::EncodedSize(txn) + PacketCodec::kFrameOverheadBytes);
+  EXPECT_GT(PacketCodec::ResponseWireSize(8), PacketCodec::ResponseWireSize(1));
+}
+
+TEST(InstructionTest, OpCodeNames) {
+  EXPECT_STREQ(OpCodeName(OpCode::kRead), "READ");
+  EXPECT_STREQ(OpCodeName(OpCode::kSwap), "SWAP");
+  EXPECT_STREQ(OpCodeName(OpCode::kCondAddGeZero), "COND_ADD_GE_ZERO");
+}
+
+TEST(InstructionTest, ToStringIsHumanReadable) {
+  Instruction in{OpCode::kAdd, RegisterAddress{3, 1, 9}, -5};
+  EXPECT_EQ(ToString(in), "ADD s3r1[9], -5");
+}
+
+// Property sweep: random packets of every size round-trip bit-exactly.
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomPacketsRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    SwitchTxn txn;
+    txn.is_multipass = rng.NextBool(0.5);
+    txn.lock_mask = static_cast<uint8_t>(rng.NextRange(4));
+    txn.nb_recircs = static_cast<uint8_t>(rng.NextRange(256));
+    txn.origin_node = static_cast<uint16_t>(rng.NextRange(65536));
+    txn.client_seq = static_cast<uint32_t>(rng.Next());
+    const size_t n = rng.NextRange(40);
+    for (size_t i = 0; i < n; ++i) {
+      Instruction in;
+      in.op = static_cast<OpCode>(rng.NextRange(6));
+      in.addr.stage = static_cast<uint8_t>(rng.NextRange(20));
+      in.addr.reg = static_cast<uint8_t>(rng.NextRange(2));
+      in.addr.index = static_cast<uint32_t>(rng.Next());
+      in.operand = static_cast<Value64>(rng.Next());
+      if (i > 0 && rng.NextBool(0.3)) {
+        in.operand_src = static_cast<uint8_t>(rng.NextRange(i));
+        in.negate_src = rng.NextBool(0.5);
+      }
+      if (i > 0 && rng.NextBool(0.2)) {
+        in.operand_src2 = static_cast<uint8_t>(rng.NextRange(i));
+        in.negate_src2 = rng.NextBool(0.5);
+      }
+      txn.instrs.push_back(in);
+    }
+    const auto decoded = PacketCodec::Decode(PacketCodec::Encode(txn));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->instrs, txn.instrs);
+    EXPECT_EQ(decoded->lock_mask, txn.lock_mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace p4db::sw

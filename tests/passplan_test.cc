@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "switchsim/pipeline.h"
+
+namespace p4db::sw {
+namespace {
+
+// Property suite for the pass planner: the per-stage sweep that decides in
+// which pipeline pass each instruction executes (and therefore what is
+// single- vs multi-pass) must obey the PISA memory model for ANY
+// instruction sequence, and the live data plane must execute exactly the
+// planned schedule.
+
+PipelineConfig SmallConfig() {
+  PipelineConfig cfg;
+  cfg.num_stages = 6;
+  cfg.regs_per_stage = 2;
+  cfg.sram_bytes_per_stage = 1024;
+  return cfg;
+}
+
+std::vector<Instruction> RandomInstrs(Rng& rng, const PipelineConfig& cfg,
+                                      size_t max_n) {
+  std::vector<Instruction> instrs;
+  const size_t n = 1 + rng.NextRange(max_n);
+  for (size_t i = 0; i < n; ++i) {
+    Instruction in;
+    in.op = static_cast<OpCode>(rng.NextRange(6));
+    in.addr.stage = static_cast<uint8_t>(rng.NextRange(cfg.num_stages));
+    in.addr.reg = static_cast<uint8_t>(rng.NextRange(cfg.regs_per_stage));
+    in.addr.index = static_cast<uint32_t>(rng.NextRange(3));
+    in.operand = rng.NextInt(-9, 9);
+    if (i > 0 && rng.NextBool(0.35)) {
+      in.operand_src = static_cast<uint8_t>(rng.NextRange(i));
+      in.negate_src = rng.NextBool(0.5);
+    }
+    if (i > 1 && rng.NextBool(0.15)) {
+      in.operand_src2 = static_cast<uint8_t>(rng.NextRange(i));
+    }
+    instrs.push_back(in);
+  }
+  return instrs;
+}
+
+class PassPlanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PassPlanPropertyTest, PlansObeyTheMemoryModel) {
+  Rng rng(GetParam());
+  const PipelineConfig cfg = SmallConfig();
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto instrs = RandomInstrs(rng, cfg, 12);
+    std::vector<uint32_t> exec_pass;
+    const uint32_t passes = Pipeline::PlanPasses(instrs, &exec_pass);
+
+    // (a) Every instruction lands in exactly one pass in [1, passes].
+    ASSERT_EQ(exec_pass.size(), instrs.size());
+    std::set<uint32_t> used_passes;
+    for (uint32_t p : exec_pass) {
+      ASSERT_GE(p, 1u);
+      ASSERT_LE(p, passes);
+      used_passes.insert(p);
+    }
+    // (b) No pass is empty (progress every recirculation).
+    EXPECT_EQ(used_passes.size(), passes);
+
+    // (c) One instruction per register array per pass.
+    std::map<std::tuple<uint32_t, int, int>, int> per_array;
+    for (size_t i = 0; i < instrs.size(); ++i) {
+      ++per_array[{exec_pass[i], instrs[i].addr.stage, instrs[i].addr.reg}];
+    }
+    for (const auto& [key, count] : per_array) {
+      EXPECT_EQ(count, 1) << "array used twice in one pass";
+    }
+
+    // (d) Dependencies: producer in an earlier pass, or the same pass at a
+    // strictly earlier stage.
+    for (size_t i = 0; i < instrs.size(); ++i) {
+      for (uint8_t src : {instrs[i].operand_src, instrs[i].operand_src2}) {
+        if (src == kNoOperandSrc) continue;
+        EXPECT_TRUE(exec_pass[src] < exec_pass[i] ||
+                    (exec_pass[src] == exec_pass[i] &&
+                     instrs[src].addr.stage < instrs[i].addr.stage))
+            << "dependency order violated";
+      }
+    }
+
+    // (e) Same-array program order: for two instructions on one array, the
+    // earlier one executes in the earlier pass.
+    for (size_t i = 0; i < instrs.size(); ++i) {
+      for (size_t j = i + 1; j < instrs.size(); ++j) {
+        if (instrs[i].addr.stage == instrs[j].addr.stage &&
+            instrs[i].addr.reg == instrs[j].addr.reg) {
+          EXPECT_LT(exec_pass[i], exec_pass[j]) << "array order violated";
+        }
+      }
+    }
+  }
+}
+
+struct ResultBox {
+  std::optional<SwitchResult> result;
+};
+
+sim::Task Collect(Pipeline& pipe, SwitchTxn txn, ResultBox* box) {
+  box->result = co_await pipe.Submit(std::move(txn));
+}
+
+TEST_P(PassPlanPropertyTest, LiveExecutionMatchesThePlan) {
+  Rng rng(GetParam() * 31);
+  const PipelineConfig cfg = SmallConfig();
+  for (int iter = 0; iter < 40; ++iter) {
+    sim::Simulator sim;
+    Pipeline pipe(&sim, cfg);
+    SwitchTxn txn;
+    txn.instrs = RandomInstrs(rng, cfg, 10);
+    const uint32_t planned = Pipeline::CountPasses(txn.instrs);
+    txn.is_multipass = planned > 1;
+    txn.lock_mask = LockDemandFor(cfg, txn.instrs);
+    txn.touch_mask = TouchMaskFor(cfg, txn.instrs);
+    ASSERT_TRUE(pipe.Validate(txn).ok());
+    ResultBox box;
+    sim::Task t = Collect(pipe, std::move(txn), &box);
+    sim.Run();
+    ASSERT_TRUE(box.result.has_value());
+    EXPECT_EQ(box.result->passes, planned);
+    EXPECT_EQ(pipe.held_locks(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassPlanPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace p4db::sw

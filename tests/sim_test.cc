@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/co_task.h"
+#include "sim/future.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace p4db::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(42, [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(5, [&] {
+    sim.Schedule(5, [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, DiscardPendingDropsEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.DiscardPending();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+// ------------------------------------------------------------------ Task --
+
+Task WaitTwice(Simulator& sim, std::vector<SimTime>* log) {
+  log->push_back(sim.now());
+  co_await Delay(sim, 10);
+  log->push_back(sim.now());
+  co_await Delay(sim, 5);
+  log->push_back(sim.now());
+}
+
+TEST(TaskTest, DelaysAdvanceSimTime) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  Task t = WaitTwice(sim, &log);
+  EXPECT_EQ(log.size(), 1u);  // eager start, ran until first co_await
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<SimTime>{0, 10, 15}));
+  EXPECT_TRUE(t.done());
+}
+
+TEST(TaskTest, ZeroDelayDoesNotSuspend) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  auto body = [](Simulator& s, std::vector<SimTime>* l) -> Task {
+    co_await Delay(s, 0);
+    l->push_back(s.now());
+  };
+  Task t = body(sim, &log);
+  EXPECT_EQ(log.size(), 1u);  // ready awaiter: never suspended
+  EXPECT_TRUE(t.done());
+}
+
+TEST(TaskTest, DestroyingSuspendedTaskIsSafe) {
+  Simulator sim;
+  int after = 0;
+  {
+    auto body = [](Simulator& s, int* x) -> Task {
+      co_await Delay(s, 100);
+      *x = 1;  // must never run
+    };
+    Task t = body(sim, &after);
+    sim.DiscardPending();  // teardown protocol: drop events first
+  }                        // then destroy the frame
+  sim.Run();
+  EXPECT_EQ(after, 0);
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  Simulator sim;
+  auto body = [](Simulator& s) -> Task { co_await Delay(s, 1); };
+  Task a = body(sim);
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  sim.Run();
+  EXPECT_TRUE(b.done());
+}
+
+// -------------------------------------------------------- Future/Promise --
+
+Task AwaitValue(Simulator& sim, Future<int> f, std::vector<int>* out) {
+  const int v = co_await f;
+  out->push_back(v);
+  out->push_back(static_cast<int>(sim.now()));
+}
+
+TEST(FutureTest, SetBeforeAwaitIsImmediate) {
+  Simulator sim;
+  Promise<int> p(&sim);
+  p.Set(7);
+  std::vector<int> out;
+  Task t = AwaitValue(sim, p.future(), &out);
+  EXPECT_EQ(out, (std::vector<int>{7, 0}));
+}
+
+TEST(FutureTest, SetAfterAwaitResumesViaEvent) {
+  Simulator sim;
+  Promise<int> p(&sim);
+  std::vector<int> out;
+  Task t = AwaitValue(sim, p.future(), &out);
+  EXPECT_TRUE(out.empty());
+  sim.Schedule(25, [&] { p.Set(9); });
+  sim.Run();
+  EXPECT_EQ(out, (std::vector<int>{9, 25}));
+}
+
+TEST(FutureTest, SetAfterDelayFulfillsLater) {
+  Simulator sim;
+  Promise<int> p(&sim);
+  std::vector<int> out;
+  Task t = AwaitValue(sim, p.future(), &out);
+  p.SetAfter(40, 11);
+  sim.Run();
+  EXPECT_EQ(out, (std::vector<int>{11, 40}));
+}
+
+TEST(FutureTest, UnfulfilledPromiseLeavesWaiterSuspended) {
+  Simulator sim;
+  Promise<int> p(&sim);
+  std::vector<int> out;
+  {
+    Task t = AwaitValue(sim, p.future(), &out);
+    sim.Run();
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(t.done());
+    sim.DiscardPending();
+  }
+  EXPECT_TRUE(out.empty());
+}
+
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.ScheduleAt(50, [&] { log.push_back(sim.now()); });
+  sim.Schedule(10, [&] { log.push_back(sim.now()); });
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<SimTime>{10, 50}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(123);
+  EXPECT_EQ(sim.now(), 123);
+}
+
+TEST(SimulatorTest, DiscardedEventsAreNotCounted) {
+  Simulator sim;
+  sim.Schedule(1, [] {});
+  sim.Schedule(2, [] {});
+  sim.DiscardPending();
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(FutureTest, FulfilledFlagTracksState) {
+  Simulator sim;
+  Promise<int> p(&sim);
+  EXPECT_FALSE(p.fulfilled());
+  p.Set(1);
+  EXPECT_TRUE(p.fulfilled());
+}
+
+// ---------------------------------------------------------------- CoTask --
+
+CoTask<int> Inner(Simulator& sim) {
+  co_await Delay(sim, 10);
+  co_return 21;
+}
+
+CoTask<int> Middle(Simulator& sim) {
+  const int v = co_await Inner(sim);
+  co_return v * 2;
+}
+
+Task Outer(Simulator& sim, int* out) {
+  *out = co_await Middle(sim);
+}
+
+TEST(CoTaskTest, NestedCoroutinesComposeAndReturnValues) {
+  Simulator sim;
+  int out = 0;
+  Task t = Outer(sim, &out);
+  sim.Run();
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(CoTaskTest, DestroyingOuterDestroysInnerSafely) {
+  Simulator sim;
+  int out = 0;
+  {
+    Task t = Outer(sim, &out);
+    sim.DiscardPending();
+  }
+  EXPECT_EQ(out, 0);
+}
+
+TEST(CoTaskTest, SequentialAwaitsAccumulateTime) {
+  Simulator sim;
+  auto body = [](Simulator& s, SimTime* end) -> Task {
+    (void)co_await Inner(s);
+    (void)co_await Inner(s);
+    *end = s.now();
+  };
+  SimTime end = 0;
+  Task t = body(sim, &end);
+  sim.Run();
+  EXPECT_EQ(end, 20);
+}
+
+}  // namespace
+}  // namespace p4db::sim

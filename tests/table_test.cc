@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "db/table.h"
+
+namespace p4db::db {
+namespace {
+
+TEST(PartitionSpecTest, RoundRobin) {
+  PartitionSpec p;
+  p.kind = PartitionSpec::Kind::kRoundRobin;
+  EXPECT_EQ(p.OwnerOf(0, 4), 0);
+  EXPECT_EQ(p.OwnerOf(5, 4), 1);
+  EXPECT_EQ(p.OwnerOf(7, 4), 3);
+}
+
+TEST(PartitionSpecTest, Range) {
+  PartitionSpec p;
+  p.kind = PartitionSpec::Kind::kRange;
+  p.block = 100;
+  EXPECT_EQ(p.OwnerOf(0, 4), 0);
+  EXPECT_EQ(p.OwnerOf(99, 4), 0);
+  EXPECT_EQ(p.OwnerOf(100, 4), 1);
+  EXPECT_EQ(p.OwnerOf(450, 4), 0);  // wraps
+}
+
+TEST(PartitionSpecTest, ByHighBits) {
+  PartitionSpec p;
+  p.kind = PartitionSpec::Kind::kByHighBits;
+  p.shift = 8;
+  EXPECT_EQ(p.OwnerOf(0x0300, 4), 3);
+  EXPECT_EQ(p.OwnerOf(0x04FF, 4), 0);
+}
+
+TEST(TableTest, LazyRowsUseDefaults) {
+  Table t(0, "t", 2, PartitionSpec{}, {7, 8});
+  EXPECT_EQ(t.materialized_rows(), 0u);
+  Row& r = t.GetOrCreate(42);
+  EXPECT_EQ(r, (Row{7, 8}));
+  EXPECT_EQ(t.materialized_rows(), 1u);
+}
+
+TEST(TableTest, DefaultRowIsZerosWhenUnspecified) {
+  Table t(0, "t", 3, PartitionSpec{});
+  EXPECT_EQ(t.GetOrCreate(1), (Row{0, 0, 0}));
+}
+
+TEST(TableTest, FindDoesNotMaterialize) {
+  Table t(0, "t", 1, PartitionSpec{});
+  EXPECT_EQ(t.Find(5), nullptr);
+  EXPECT_EQ(t.materialized_rows(), 0u);
+  t.GetOrCreate(5)[0] = 9;
+  ASSERT_NE(t.Find(5), nullptr);
+  EXPECT_EQ((*t.Find(5))[0], 9);
+}
+
+TEST(TableTest, InsertRejectsDuplicates) {
+  Table t(0, "t", 1, PartitionSpec{});
+  EXPECT_TRUE(t.Insert(1, {10}).ok());
+  EXPECT_FALSE(t.Insert(1, {11}).ok());
+  EXPECT_EQ((*t.Find(1))[0], 10);
+}
+
+TEST(TableTest, MutationsPersist) {
+  Table t(0, "t", 1, PartitionSpec{});
+  t.GetOrCreate(3)[0] = 5;
+  t.GetOrCreate(3)[0] += 2;
+  EXPECT_EQ(t.GetOrCreate(3)[0], 7);
+  EXPECT_EQ(t.materialized_rows(), 1u);
+}
+
+TEST(SecondaryIndexTest, LookupRoundTrip) {
+  SecondaryIndex idx;
+  idx.Put(1001, 42);
+  auto r = idx.Lookup(1001);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42u);
+  EXPECT_FALSE(idx.Lookup(9999).ok());
+}
+
+TEST(SecondaryIndexTest, PutOverwrites) {
+  SecondaryIndex idx;
+  idx.Put(1, 10);
+  idx.Put(1, 20);
+  EXPECT_EQ(*idx.Lookup(1), 20u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(CatalogTest, CreateAndAccessTables) {
+  Catalog cat(4);
+  const TableId a = cat.CreateTable("a", 1, PartitionSpec{});
+  const TableId b = cat.CreateTable("b", 2, PartitionSpec{});
+  EXPECT_EQ(cat.num_tables(), 2u);
+  EXPECT_EQ(cat.table(a).name(), "a");
+  EXPECT_EQ(cat.table(b).num_columns(), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(CatalogTest, OwnerOfUsesTableSpec) {
+  Catalog cat(4);
+  PartitionSpec range;
+  range.kind = PartitionSpec::Kind::kRange;
+  range.block = 10;
+  const TableId a = cat.CreateTable("a", 1, PartitionSpec{});  // round robin
+  const TableId b = cat.CreateTable("b", 1, range);
+  EXPECT_EQ(cat.OwnerOf(TupleId{a, 5}), 1);
+  EXPECT_EQ(cat.OwnerOf(TupleId{b, 5}), 0);
+  EXPECT_EQ(cat.OwnerOf(TupleId{b, 25}), 2);
+}
+
+TEST(CatalogTest, ReplicatedTablesAreFlagged) {
+  Catalog cat(4);
+  PartitionSpec repl;
+  repl.kind = PartitionSpec::Kind::kReplicated;
+  const TableId a = cat.CreateTable("item", 1, repl);
+  const TableId b = cat.CreateTable("x", 1, PartitionSpec{});
+  EXPECT_TRUE(cat.IsReplicated(a));
+  EXPECT_FALSE(cat.IsReplicated(b));
+}
+
+}  // namespace
+}  // namespace p4db::db

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/tenant.h"
+#include "sim/simulator.h"
+
+namespace p4db::core {
+namespace {
+
+sw::PipelineConfig SmallPipe() {
+  sw::PipelineConfig cfg;
+  cfg.num_stages = 4;
+  cfg.regs_per_stage = 2;
+  cfg.sram_bytes_per_stage = 16 * 8 * 2;  // 16 slots per array, 128 total
+  return cfg;
+}
+
+class TenantTest : public ::testing::TestWithParam<TenantManager::Policy> {
+ protected:
+  TenantTest() : pipe_(&sim_, SmallPipe()), cp_(&pipe_) {}
+  sim::Simulator sim_;
+  sw::Pipeline pipe_;
+  sw::ControlPlane cp_;
+};
+
+TEST_P(TenantTest, QuotaEnforced) {
+  TenantManager tm(&cp_, GetParam());
+  auto t = tm.CreateTenant("alpha", 3);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(tm.AllocateFor(*t).ok()) << i;
+  }
+  EXPECT_EQ(tm.AllocateFor(*t).status().code(), Code::kCapacityExceeded);
+  EXPECT_EQ(tm.allocated(*t), 3u);
+  EXPECT_EQ(tm.quota(*t), 3u);
+}
+
+TEST_P(TenantTest, TenantsNeverShareSlots) {
+  TenantManager tm(&cp_, GetParam());
+  auto a = tm.CreateTenant("alpha", 10);
+  auto b = tm.CreateTenant("beta", 10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::set<std::tuple<int, int, uint32_t>> seen;
+  for (int i = 0; i < 10; ++i) {
+    for (auto id : {*a, *b}) {
+      auto addr = tm.AllocateFor(id);
+      ASSERT_TRUE(addr.ok());
+      EXPECT_TRUE(
+          seen.insert({addr->stage, addr->reg, addr->index}).second);
+      EXPECT_TRUE(tm.Owns(id, *addr));
+      EXPECT_FALSE(tm.Owns(id == *a ? *b : *a, *addr));
+    }
+  }
+}
+
+TEST_P(TenantTest, ValidateAccessRejectsForeignRegisters) {
+  TenantManager tm(&cp_, GetParam());
+  auto a = tm.CreateTenant("alpha", 4);
+  auto b = tm.CreateTenant("beta", 4);
+  auto addr_a = tm.AllocateFor(*a);
+  auto addr_b = tm.AllocateFor(*b);
+  ASSERT_TRUE(addr_a.ok());
+  ASSERT_TRUE(addr_b.ok());
+
+  sw::Instruction mine;
+  mine.op = sw::OpCode::kAdd;
+  mine.addr = *addr_a;
+  sw::Instruction foreign = mine;
+  foreign.addr = *addr_b;
+
+  EXPECT_TRUE(tm.ValidateAccess(*a, {mine}).ok());
+  EXPECT_FALSE(tm.ValidateAccess(*a, {mine, foreign}).ok());
+  EXPECT_TRUE(tm.ValidateAccess(*b, {foreign}).ok());
+}
+
+TEST_P(TenantTest, UnknownTenantRejected) {
+  TenantManager tm(&cp_, GetParam());
+  EXPECT_FALSE(tm.AllocateFor(7).ok());
+  EXPECT_FALSE(tm.Owns(7, sw::RegisterAddress{0, 0, 0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, TenantTest,
+    ::testing::Values(TenantManager::Policy::kIsolatedArrays,
+                      TenantManager::Policy::kSpreadAcrossArrays));
+
+TEST(TenantIsolatedTest, ArraysAreDedicated) {
+  sim::Simulator sim;
+  sw::Pipeline pipe(&sim, SmallPipe());
+  sw::ControlPlane cp(&pipe);
+  TenantManager tm(&cp, TenantManager::Policy::kIsolatedArrays);
+  auto a = tm.CreateTenant("alpha", 16);  // one full array
+  auto b = tm.CreateTenant("beta", 16);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::set<std::pair<int, int>> arrays_a, arrays_b;
+  for (int i = 0; i < 16; ++i) {
+    auto addr = tm.AllocateFor(*a);
+    ASSERT_TRUE(addr.ok());
+    arrays_a.insert({addr->stage, addr->reg});
+    addr = tm.AllocateFor(*b);
+    ASSERT_TRUE(addr.ok());
+    arrays_b.insert({addr->stage, addr->reg});
+  }
+  // Isolated: the tenants' array sets are disjoint.
+  for (const auto& arr : arrays_a) {
+    EXPECT_FALSE(arrays_b.contains(arr));
+  }
+}
+
+TEST(TenantSpreadTest, SpreadUsesManyArrays) {
+  // The appendix's observation: spreading each tenant across as many
+  // arrays as possible reduces same-array conflicts (multi-pass txns).
+  sim::Simulator sim;
+  sw::Pipeline pipe(&sim, SmallPipe());
+  sw::ControlPlane cp(&pipe);
+  TenantManager tm(&cp, TenantManager::Policy::kSpreadAcrossArrays);
+  auto a = tm.CreateTenant("alpha", 8);
+  ASSERT_TRUE(a.ok());
+  std::set<std::pair<int, int>> arrays;
+  for (int i = 0; i < 8; ++i) {
+    auto addr = tm.AllocateFor(*a);
+    ASSERT_TRUE(addr.ok());
+    arrays.insert({addr->stage, addr->reg});
+  }
+  EXPECT_EQ(arrays.size(), 8u);  // 8 items -> 8 distinct arrays
+}
+
+TEST(TenantIsolatedTest, ReservationExhaustionFails) {
+  sim::Simulator sim;
+  sw::Pipeline pipe(&sim, SmallPipe());
+  sw::ControlPlane cp(&pipe);
+  TenantManager tm(&cp, TenantManager::Policy::kIsolatedArrays);
+  // 8 arrays of 16 slots: a 129-item tenant cannot be isolated.
+  EXPECT_FALSE(tm.CreateTenant("huge", 129).ok());
+  // But 8 tenants of one array each fit...
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(tm.CreateTenant("t" + std::to_string(i), 16).ok());
+  }
+  // ...and the ninth does not.
+  EXPECT_FALSE(tm.CreateTenant("ninth", 1).ok());
+}
+
+TEST(TenantSpreadTest, QuotaBeyondCapacityRejected) {
+  sim::Simulator sim;
+  sw::Pipeline pipe(&sim, SmallPipe());
+  sw::ControlPlane cp(&pipe);
+  TenantManager tm(&cp, TenantManager::Policy::kSpreadAcrossArrays);
+  EXPECT_FALSE(tm.CreateTenant("huge", 1000).ok());
+  EXPECT_TRUE(tm.CreateTenant("ok", 128).ok());
+}
+
+}  // namespace
+}  // namespace p4db::core

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "db/wal.h"
+
+namespace p4db::db {
+namespace {
+
+sw::Instruction Instr(uint8_t stage, Value64 operand) {
+  sw::Instruction in;
+  in.op = sw::OpCode::kAdd;
+  in.addr = sw::RegisterAddress{stage, 0, 0};
+  in.operand = operand;
+  return in;
+}
+
+TEST(WalTest, AppendsAssignSequentialLsns) {
+  Wal wal;
+  EXPECT_EQ(wal.AppendHostCommit({}), 0u);
+  EXPECT_EQ(wal.AppendSwitchIntent(1, {Instr(0, 1)}), 1u);
+  EXPECT_EQ(wal.AppendHostCommit({}), 2u);
+  EXPECT_EQ(wal.size(), 3u);
+}
+
+TEST(WalTest, HostCommitStoresWrites) {
+  Wal wal;
+  wal.AppendHostCommit({HostLogOp{TupleId{1, 2}, 0, 99}});
+  const LogRecord& rec = wal.records()[0];
+  EXPECT_EQ(rec.kind, LogKind::kHostCommit);
+  ASSERT_EQ(rec.host_writes.size(), 1u);
+  EXPECT_EQ(rec.host_writes[0].new_value, 99);
+}
+
+TEST(WalTest, SwitchIntentStartsWithoutResult) {
+  Wal wal;
+  const Lsn lsn = wal.AppendSwitchIntent(7, {Instr(0, 5)});
+  const LogRecord& rec = wal.records()[lsn];
+  EXPECT_EQ(rec.kind, LogKind::kSwitchIntent);
+  EXPECT_EQ(rec.client_seq, 7u);
+  EXPECT_FALSE(rec.has_result);
+  EXPECT_EQ(rec.gid, kInvalidGid);
+}
+
+TEST(WalTest, FillSwitchResultRecordsGidAndValues) {
+  Wal wal;
+  const Lsn lsn = wal.AppendSwitchIntent(7, {Instr(0, 5)});
+  wal.FillSwitchResult(lsn, 42, {12});
+  const LogRecord& rec = wal.records()[lsn];
+  EXPECT_TRUE(rec.has_result);
+  EXPECT_EQ(rec.gid, 42u);
+  EXPECT_EQ(rec.results, (std::vector<Value64>{12}));
+}
+
+TEST(WalTest, SwitchIntentsFiltersHostRecords) {
+  Wal wal;
+  wal.AppendHostCommit({});
+  wal.AppendSwitchIntent(1, {Instr(0, 1)});
+  wal.AppendHostCommit({});
+  wal.AppendSwitchIntent(2, {Instr(1, 2)});
+  const auto intents = wal.SwitchIntents();
+  ASSERT_EQ(intents.size(), 2u);
+  EXPECT_EQ(intents[0]->client_seq, 1u);
+  EXPECT_EQ(intents[1]->client_seq, 2u);
+}
+
+TEST(WalTest, IntentKeepsExactInstructions) {
+  Wal wal;
+  const Lsn lsn = wal.AppendSwitchIntent(3, {Instr(2, 10), Instr(4, -3)});
+  const LogRecord& rec = wal.records()[lsn];
+  ASSERT_EQ(rec.instrs.size(), 2u);
+  EXPECT_EQ(rec.instrs[0].addr.stage, 2);
+  EXPECT_EQ(rec.instrs[1].operand, -3);
+}
+
+}  // namespace
+}  // namespace p4db::db
