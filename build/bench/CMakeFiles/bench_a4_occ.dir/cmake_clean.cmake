@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_occ.dir/bench_a4_occ.cc.o"
+  "CMakeFiles/bench_a4_occ.dir/bench_a4_occ.cc.o.d"
+  "bench_a4_occ"
+  "bench_a4_occ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_occ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_smallbank.dir/bench_fig13_smallbank.cc.o"
+  "CMakeFiles/bench_fig13_smallbank.dir/bench_fig13_smallbank.cc.o.d"
+  "bench_fig13_smallbank"
+  "bench_fig13_smallbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_smallbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_hotcold.dir/bench_fig15_hotcold.cc.o"
+  "CMakeFiles/bench_fig15_hotcold.dir/bench_fig15_hotcold.cc.o.d"
+  "bench_fig15_hotcold"
+  "bench_fig15_hotcold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_hotcold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

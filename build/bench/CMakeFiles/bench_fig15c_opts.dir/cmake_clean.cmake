@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15c_opts.dir/bench_fig15c_opts.cc.o"
+  "CMakeFiles/bench_fig15c_opts.dir/bench_fig15c_opts.cc.o.d"
+  "bench_fig15c_opts"
+  "bench_fig15c_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15c_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

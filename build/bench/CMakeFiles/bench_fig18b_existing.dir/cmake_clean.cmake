@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18b_existing.dir/bench_fig18b_existing.cc.o"
+  "CMakeFiles/bench_fig18b_existing.dir/bench_fig18b_existing.cc.o.d"
+  "bench_fig18b_existing"
+  "bench_fig18b_existing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18b_existing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp4db_bench_common.a"
+)

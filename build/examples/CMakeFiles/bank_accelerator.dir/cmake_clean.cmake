@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_accelerator.dir/bank_accelerator.cpp.o"
+  "CMakeFiles/bank_accelerator.dir/bank_accelerator.cpp.o.d"
+  "bank_accelerator"
+  "bank_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4db_common.dir/histogram.cc.o"
+  "CMakeFiles/p4db_common.dir/histogram.cc.o.d"
+  "CMakeFiles/p4db_common.dir/rng.cc.o"
+  "CMakeFiles/p4db_common.dir/rng.cc.o.d"
+  "CMakeFiles/p4db_common.dir/status.cc.o"
+  "CMakeFiles/p4db_common.dir/status.cc.o.d"
+  "CMakeFiles/p4db_common.dir/zipf.cc.o"
+  "CMakeFiles/p4db_common.dir/zipf.cc.o.d"
+  "libp4db_common.a"
+  "libp4db_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4db_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

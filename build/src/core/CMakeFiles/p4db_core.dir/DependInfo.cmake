@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_graph.cc" "src/core/CMakeFiles/p4db_core.dir/access_graph.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/access_graph.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/p4db_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/engine_occ.cc" "src/core/CMakeFiles/p4db_core.dir/engine_occ.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/engine_occ.cc.o.d"
+  "/root/repo/src/core/hotset.cc" "src/core/CMakeFiles/p4db_core.dir/hotset.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/hotset.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/p4db_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/maxcut.cc" "src/core/CMakeFiles/p4db_core.dir/maxcut.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/maxcut.cc.o.d"
+  "/root/repo/src/core/partition_manager.cc" "src/core/CMakeFiles/p4db_core.dir/partition_manager.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/partition_manager.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/p4db_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/recovery.cc.o.d"
+  "/root/repo/src/core/tenant.cc" "src/core/CMakeFiles/p4db_core.dir/tenant.cc.o" "gcc" "src/core/CMakeFiles/p4db_core.dir/tenant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p4db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p4db_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/p4db_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/p4db_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/p4db_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4db_core.dir/access_graph.cc.o"
+  "CMakeFiles/p4db_core.dir/access_graph.cc.o.d"
+  "CMakeFiles/p4db_core.dir/engine.cc.o"
+  "CMakeFiles/p4db_core.dir/engine.cc.o.d"
+  "CMakeFiles/p4db_core.dir/engine_occ.cc.o"
+  "CMakeFiles/p4db_core.dir/engine_occ.cc.o.d"
+  "CMakeFiles/p4db_core.dir/hotset.cc.o"
+  "CMakeFiles/p4db_core.dir/hotset.cc.o.d"
+  "CMakeFiles/p4db_core.dir/layout.cc.o"
+  "CMakeFiles/p4db_core.dir/layout.cc.o.d"
+  "CMakeFiles/p4db_core.dir/maxcut.cc.o"
+  "CMakeFiles/p4db_core.dir/maxcut.cc.o.d"
+  "CMakeFiles/p4db_core.dir/partition_manager.cc.o"
+  "CMakeFiles/p4db_core.dir/partition_manager.cc.o.d"
+  "CMakeFiles/p4db_core.dir/recovery.cc.o"
+  "CMakeFiles/p4db_core.dir/recovery.cc.o.d"
+  "CMakeFiles/p4db_core.dir/tenant.cc.o"
+  "CMakeFiles/p4db_core.dir/tenant.cc.o.d"
+  "libp4db_core.a"
+  "libp4db_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4db_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

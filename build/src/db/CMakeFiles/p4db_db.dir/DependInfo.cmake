@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/lock_manager.cc" "src/db/CMakeFiles/p4db_db.dir/lock_manager.cc.o" "gcc" "src/db/CMakeFiles/p4db_db.dir/lock_manager.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/p4db_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/p4db_db.dir/table.cc.o.d"
+  "/root/repo/src/db/txn.cc" "src/db/CMakeFiles/p4db_db.dir/txn.cc.o" "gcc" "src/db/CMakeFiles/p4db_db.dir/txn.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/db/CMakeFiles/p4db_db.dir/wal.cc.o" "gcc" "src/db/CMakeFiles/p4db_db.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p4db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/p4db_switchsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

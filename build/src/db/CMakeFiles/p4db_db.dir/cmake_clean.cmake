@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4db_db.dir/lock_manager.cc.o"
+  "CMakeFiles/p4db_db.dir/lock_manager.cc.o.d"
+  "CMakeFiles/p4db_db.dir/table.cc.o"
+  "CMakeFiles/p4db_db.dir/table.cc.o.d"
+  "CMakeFiles/p4db_db.dir/txn.cc.o"
+  "CMakeFiles/p4db_db.dir/txn.cc.o.d"
+  "CMakeFiles/p4db_db.dir/wal.cc.o"
+  "CMakeFiles/p4db_db.dir/wal.cc.o.d"
+  "libp4db_db.a"
+  "libp4db_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4db_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4db_net.dir/network.cc.o"
+  "CMakeFiles/p4db_net.dir/network.cc.o.d"
+  "libp4db_net.a"
+  "libp4db_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4db_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/control_plane.cc" "src/switchsim/CMakeFiles/p4db_switchsim.dir/control_plane.cc.o" "gcc" "src/switchsim/CMakeFiles/p4db_switchsim.dir/control_plane.cc.o.d"
+  "/root/repo/src/switchsim/packet.cc" "src/switchsim/CMakeFiles/p4db_switchsim.dir/packet.cc.o" "gcc" "src/switchsim/CMakeFiles/p4db_switchsim.dir/packet.cc.o.d"
+  "/root/repo/src/switchsim/pipeline.cc" "src/switchsim/CMakeFiles/p4db_switchsim.dir/pipeline.cc.o" "gcc" "src/switchsim/CMakeFiles/p4db_switchsim.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p4db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

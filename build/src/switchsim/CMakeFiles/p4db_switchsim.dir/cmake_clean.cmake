@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4db_switchsim.dir/control_plane.cc.o"
+  "CMakeFiles/p4db_switchsim.dir/control_plane.cc.o.d"
+  "CMakeFiles/p4db_switchsim.dir/packet.cc.o"
+  "CMakeFiles/p4db_switchsim.dir/packet.cc.o.d"
+  "CMakeFiles/p4db_switchsim.dir/pipeline.cc.o"
+  "CMakeFiles/p4db_switchsim.dir/pipeline.cc.o.d"
+  "libp4db_switchsim.a"
+  "libp4db_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4db_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

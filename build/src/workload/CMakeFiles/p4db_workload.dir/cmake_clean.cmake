@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4db_workload.dir/smallbank.cc.o"
+  "CMakeFiles/p4db_workload.dir/smallbank.cc.o.d"
+  "CMakeFiles/p4db_workload.dir/tpcc.cc.o"
+  "CMakeFiles/p4db_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/p4db_workload.dir/workload.cc.o"
+  "CMakeFiles/p4db_workload.dir/workload.cc.o.d"
+  "CMakeFiles/p4db_workload.dir/ycsb.cc.o"
+  "CMakeFiles/p4db_workload.dir/ycsb.cc.o.d"
+  "libp4db_workload.a"
+  "libp4db_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4db_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

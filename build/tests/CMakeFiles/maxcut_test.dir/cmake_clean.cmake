@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxcut_test.dir/maxcut_test.cc.o"
+  "CMakeFiles/maxcut_test.dir/maxcut_test.cc.o.d"
+  "maxcut_test"
+  "maxcut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxcut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_test.dir/occ_test.cc.o"
+  "CMakeFiles/occ_test.dir/occ_test.cc.o.d"
+  "occ_test"
+  "occ_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_manager_test.dir/partition_manager_test.cc.o"
+  "CMakeFiles/partition_manager_test.dir/partition_manager_test.cc.o.d"
+  "partition_manager_test"
+  "partition_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

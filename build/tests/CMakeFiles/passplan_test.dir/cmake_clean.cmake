@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passplan_test.dir/passplan_test.cc.o"
+  "CMakeFiles/passplan_test.dir/passplan_test.cc.o.d"
+  "passplan_test"
+  "passplan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passplan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenant_test.dir/tenant_test.cc.o"
+  "CMakeFiles/tenant_test.dir/tenant_test.cc.o.d"
+  "tenant_test"
+  "tenant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
