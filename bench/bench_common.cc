@@ -1,8 +1,94 @@
 #include "bench_common.h"
 
+#include <cctype>
 #include <cstdlib>
+#include <vector>
 
 namespace p4db::bench {
+
+namespace {
+
+// Machine-readable output: PrintBanner names the benchmark, every
+// RunWorkload appends one entry, and an atexit hook flushes the collected
+// runs to BENCH_<name>.json next to the binary's working directory.
+std::string g_bench_name;                // sanitized, e.g. "fig11_ycsb"
+std::vector<std::string> g_run_entries;  // one JSON object per run
+
+std::string SanitizeBenchName(const char* figure) {
+  std::string out;
+  bool last_was_sep = true;  // swallow leading separators
+  for (const char* p = figure; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (std::isalnum(c)) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+      last_was_sep = false;
+    } else if (!last_was_sep) {
+      out.push_back('_');
+      last_was_sep = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? std::string("bench") : out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void FlushBenchJson() {
+  if (g_bench_name.empty()) return;
+  const std::string path = "BENCH_" + g_bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\": \"%s\", \"runs\": [",
+               JsonEscape(g_bench_name).c_str());
+  for (size_t i = 0; i < g_run_entries.size(); ++i) {
+    std::fprintf(f, "%s\n  %s", i == 0 ? "" : ",", g_run_entries[i].c_str());
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
+               const RunOutput& out) {
+  std::string entry = "{";
+  entry += "\"mode\": \"";
+  entry += JsonEscape(core::EngineModeName(config.mode));
+  entry += "\", \"cc\": \"";
+  entry += JsonEscape(core::CcProtocolName(config.cc_protocol));
+  entry += "\", \"workload\": \"";
+  entry += JsonEscape(workload.name());
+  entry += "\", \"throughput\": ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", out.throughput);
+  entry += buf;
+  entry += ", \"committed\": ";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(out.metrics.committed));
+  entry += buf;
+  entry += ", \"abort_rate\": ";
+  std::snprintf(buf, sizeof(buf), "%.4f", out.metrics.AbortRate());
+  entry += buf;
+  entry += ", \"registry\": ";
+  entry += out.metrics_json;
+  entry += "}";
+  g_run_entries.push_back(std::move(entry));
+}
+
+}  // namespace
 
 BenchTime BenchTime::FromEnv() {
   BenchTime t;
@@ -24,6 +110,8 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
   out.metrics = engine.Run(time.warmup, time.measure);
   out.pipeline = engine.pipeline().stats();
   out.throughput = out.metrics.Throughput(time.measure);
+  out.metrics_json = engine.metrics_registry().ToJson();
+  RecordRun(config, *workload, out);
   return out;
 }
 
@@ -46,6 +134,10 @@ size_t SmallBankHotItems(const wl::SmallBankConfig& cfg, uint16_t num_nodes) {
 }
 
 void PrintBanner(const char* figure, const char* description) {
+  if (g_bench_name.empty()) {
+    g_bench_name = SanitizeBenchName(figure);
+    std::atexit(FlushBenchJson);
+  }
   std::printf("================================================================"
               "================\n");
   std::printf("%s — %s\n", figure, description);

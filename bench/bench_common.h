@@ -28,7 +28,8 @@ struct RunOutput {
   core::Metrics metrics;
   sw::PipelineStats pipeline;
   core::OffloadReport offload;
-  double throughput = 0;  // committed txn/s
+  double throughput = 0;      // committed txn/s
+  std::string metrics_json;   // engine MetricsRegistry dump for this run
 };
 
 /// Builds an Engine for `config`, offloads `max_hot_items` detected from
@@ -49,6 +50,10 @@ constexpr size_t kTpccHotItemBudget = 2000;
 
 /// Formatting helpers: all figure benches print aligned rows so the bench
 /// output is diffable run-to-run.
+///
+/// PrintBanner also names the benchmark for machine-readable output: every
+/// subsequent RunWorkload appends its MetricsRegistry dump to an in-memory
+/// list that is written to BENCH_<name>.json when the process exits.
 void PrintBanner(const char* figure, const char* description);
 void PrintSectionHeader(const std::string& text);
 

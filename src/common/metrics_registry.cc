@@ -1,0 +1,85 @@
+#include "common/metrics_registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace p4db {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+const MetricsRegistry::Counter* MetricsRegistry::FindCounter(
+    std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  char buf[160];
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), ": %" PRIu64, c->value());
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf),
+                  ": {\"count\": %" PRIu64
+                  ", \"mean\": %.1f, \"p50\": %" PRId64 ", \"p95\": %" PRId64
+                  ", \"p99\": %" PRId64 ", \"max\": %" PRId64 "}",
+                  h->count(), h->Mean(), h->Quantile(0.5), h->Quantile(0.95),
+                  h->Quantile(0.99), h->max());
+    out += buf;
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+}  // namespace p4db

@@ -1,0 +1,157 @@
+#include "core/cc/concurrency_control.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/cc/optimistic_cc.h"
+#include "core/cc/two_phase_locking.h"
+#include "switchsim/packet.h"
+
+namespace p4db::core::cc {
+
+sim::CoTask<bool> ConcurrencyControl::ExecuteAttempt(
+    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
+  if (config().mode == EngineMode::kP4db) {
+    switch (txn.cls) {
+      case db::TxnClass::kHot:
+        co_return co_await ExecuteHot(node, txn, results, timers);
+      case db::TxnClass::kWarm:
+        co_return co_await ExecuteWarm(node, txn, txn_id, ts, results,
+                                       timers);
+      case db::TxnClass::kCold:
+        break;
+    }
+  }
+  co_return co_await ExecuteCold(node, txn, txn_id, ts, results, timers);
+}
+
+sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
+    NodeId node, db::Transaction& txn,
+    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
+  const TimingConfig& t = ctx_.timing();
+  // Setup plus per-op marshalling (hot-index lookups, packet construction)
+  // and, on the way back, result unmarshalling + secondary-index
+  // maintenance (Section 6.1) — the host-side cost of a switch txn.
+  const SimTime host_cost =
+      t.txn_setup + 2 * t.op_local * static_cast<SimTime>(txn.ops.size());
+  co_await sim::Delay(*ctx_.sim, host_cost);
+  timers->local_work += host_cost;
+
+  auto compiled = ctx_.pm->Compile(txn, *results, node,
+                                   (*ctx_.next_client_seq)[node]++);
+  assert(compiled.ok() && "hot transaction must compile");
+
+  // Log the intent BEFORE sending: the switch transaction counts as
+  // committed from here on (Section 6.1).
+  co_await sim::Delay(*ctx_.sim, t.wal_append);
+  timers->local_work += t.wal_append;
+  const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
+      compiled->txn.client_seq, compiled->txn.instrs);
+
+  const net::Endpoint self = net::Endpoint::Node(node);
+  const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
+  const size_t resp = sw::PacketCodec::ResponseWireSize(
+      compiled->txn.instrs.size());
+  const std::vector<uint16_t> op_index = compiled->op_index;
+
+  const SimTime t0 = ctx_.sim->now();
+  co_await ctx_.net->Send(self, net::Endpoint::Switch(),
+                          static_cast<uint32_t>(wire));
+  sw::SwitchResult res =
+      co_await ctx_.pipeline->Submit(std::move(compiled->txn));
+  co_await ctx_.net->Send(net::Endpoint::Switch(), self,
+                          static_cast<uint32_t>(resp));
+  timers->switch_access += ctx_.sim->now() - t0;
+
+  if (!(*ctx_.node_crashed)[node]) {
+    ctx_.wal(node).FillSwitchResult(lsn, res.gid, res.values);
+  }
+  for (size_t i = 0; i < op_index.size(); ++i) {
+    (*results)[op_index[i]] = res.values[i];
+  }
+
+  co_await sim::Delay(*ctx_.sim, t.commit_local);
+  timers->commit += t.commit_local;
+  co_return true;
+}
+
+Value64 ConcurrencyControl::ApplyHostOp(
+    const db::Op& op, const std::vector<std::optional<Value64>>& results,
+    std::vector<std::tuple<TupleId, uint16_t, Value64>>* undo) {
+  const auto carried_value = [&](int16_t src, bool negate) -> Value64 {
+    const Value64 v = results[src].has_value() ? *results[src] : 0;
+    return negate ? -v : v;
+  };
+
+  db::Table& table = ctx_.catalog->table(op.tuple.table);
+  Key key = op.tuple.key;
+  Value64 operand = op.operand;
+  if (op.type == db::OpType::kInsert || op.key_from_src) {
+    // src1 offsets the KEY (switch-returned order id); src2 (if any) still
+    // feeds the operand.
+    if (op.has_src()) {
+      key += static_cast<Key>(carried_value(op.operand_src, op.negate_src));
+    }
+    if (op.has_src2()) operand += carried_value(op.operand_src2,
+                                                op.negate_src2);
+  } else {
+    if (op.has_src()) operand += carried_value(op.operand_src, op.negate_src);
+    if (op.has_src2()) operand += carried_value(op.operand_src2,
+                                                op.negate_src2);
+  }
+  db::Row& row = table.GetOrCreate(key);
+  assert(op.column < row.size());
+  Value64& cell = row[op.column];
+  switch (op.type) {
+    case db::OpType::kGet:
+      return cell;
+    case db::OpType::kPut:
+      undo->emplace_back(op.tuple, op.column, cell);
+      cell = operand;
+      return cell;
+    case db::OpType::kAdd:
+      undo->emplace_back(op.tuple, op.column, cell);
+      cell += operand;
+      return cell;
+    case db::OpType::kCondAddGeZero: {
+      // Same semantics as the switch's constrained write (Section 5.1):
+      // skip the write if the result would go negative; never abort.
+      if (cell + operand >= 0) {
+        undo->emplace_back(op.tuple, op.column, cell);
+        cell += operand;
+      }
+      return cell;
+    }
+    case db::OpType::kMax:
+      undo->emplace_back(op.tuple, op.column, cell);
+      cell = std::max(cell, operand);
+      return cell;
+    case db::OpType::kSwap: {
+      const Value64 old = cell;
+      undo->emplace_back(op.tuple, op.column, cell);
+      cell = operand;
+      return old;
+    }
+    case db::OpType::kInsert:
+      // GetOrCreate above materialized the row; set the insert payload.
+      cell = operand;
+      return operand;
+  }
+  assert(false && "unreachable op type");
+  return 0;
+}
+
+std::unique_ptr<ConcurrencyControl> MakeConcurrencyControl(
+    CcProtocol protocol, const ExecutionContext& ctx) {
+  switch (protocol) {
+    case CcProtocol::k2pl:
+      return std::make_unique<TwoPhaseLocking>(ctx);
+    case CcProtocol::kOcc:
+      return std::make_unique<OptimisticCC>(ctx);
+  }
+  assert(false && "unknown CC protocol");
+  return nullptr;
+}
+
+}  // namespace p4db::core::cc

@@ -1,0 +1,88 @@
+#ifndef P4DB_CORE_CC_CONCURRENCY_CONTROL_H_
+#define P4DB_CORE_CC_CONCURRENCY_CONTROL_H_
+
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/cc/execution_context.h"
+#include "core/metrics.h"
+#include "db/txn.h"
+#include "sim/co_task.h"
+
+namespace p4db::core::cc {
+
+/// Wire sizes of the host protocol messages (shared by every strategy).
+constexpr uint32_t kLockRequestBytes = 96;   // lock msg incl. piggybacked data
+constexpr uint32_t kDataRequestBytes = 128;  // remote read/write round trip
+constexpr uint32_t kControlBytes = 64;       // 2PC control messages
+
+/// Strategy interface for host-side transaction execution. One instance
+/// drives all workers of one cluster; the Engine constructs it via
+/// MakeConcurrencyControl and calls ExecuteAttempt per transaction attempt.
+///
+/// The class-level dispatch is shared: hot transactions (entirely on the
+/// switch, Section 6.1) bypass host concurrency control and run through the
+/// common ExecuteHot path; warm and cold transactions go to the strategy's
+/// ExecuteWarm / ExecuteCold (2PL cold/warm of Section 6.2, or the OCC
+/// variants of Appendix A.4). Outside kP4db mode everything is cold.
+class ConcurrencyControl {
+ public:
+  explicit ConcurrencyControl(const ExecutionContext& ctx) : ctx_(ctx) {}
+  virtual ~ConcurrencyControl() = default;
+
+  ConcurrencyControl(const ConcurrencyControl&) = delete;
+  ConcurrencyControl& operator=(const ConcurrencyControl&) = delete;
+
+  /// Protocol name for logs/benchmarks ("2PL", "OCC").
+  virtual const char* name() const = 0;
+
+  /// One attempt at executing `txn` from `node`. Returns false if the
+  /// attempt aborted (caller backs off and retries with a fresh txn_id;
+  /// `ts` is the retry-stable WAIT_DIE priority).
+  sim::CoTask<bool> ExecuteAttempt(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results, TxnTimers* timers);
+
+ protected:
+  /// Host execution of a cold transaction; also used for every transaction
+  /// in the No-Switch / LM-Switch / Chiller modes.
+  virtual sim::CoTask<bool> ExecuteCold(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results, TxnTimers* timers) = 0;
+  /// Mixed transaction: cold sub-transaction plus the switch sub-transaction
+  /// under the extended 2PC (Section 6.2, Figure 10) — or the OCC
+  /// integration of Appendix A.4.
+  virtual sim::CoTask<bool> ExecuteWarm(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results, TxnTimers* timers) = 0;
+
+  /// Entirely-on-switch transactions (Section 6.1). Never fails; identical
+  /// under every host CC protocol, hence shared here.
+  sim::CoTask<bool> ExecuteHot(NodeId node, db::Transaction& txn,
+                               std::vector<std::optional<Value64>>* results,
+                               TxnTimers* timers);
+
+  /// Applies one op to host storage. `undo` collects (tuple, column, old
+  /// value) for every write — used to build the WAL commit record. There is
+  /// no rollback path: aborts can only happen during lock acquisition /
+  /// validation, before any write is applied (constrained writes skip
+  /// instead of aborting, matching the switch, Section 5.1).
+  Value64 ApplyHostOp(const db::Op& op,
+                      const std::vector<std::optional<Value64>>& results,
+                      std::vector<std::tuple<TupleId, uint16_t, Value64>>*
+                          undo);
+
+  const SystemConfig& config() const { return *ctx_.config; }
+
+  ExecutionContext ctx_;
+};
+
+/// Factory keyed by SystemConfig::cc_protocol.
+std::unique_ptr<ConcurrencyControl> MakeConcurrencyControl(
+    CcProtocol protocol, const ExecutionContext& ctx);
+
+}  // namespace p4db::core::cc
+
+#endif  // P4DB_CORE_CC_CONCURRENCY_CONTROL_H_

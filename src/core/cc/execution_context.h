@@ -1,0 +1,63 @@
+#ifndef P4DB_CORE_CC_EXECUTION_CONTEXT_H_
+#define P4DB_CORE_CC_EXECUTION_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/partition_manager.h"
+#include "db/lock_manager.h"
+#include "db/table.h"
+#include "db/wal.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "switchsim/pipeline.h"
+
+namespace p4db::core::cc {
+
+/// Everything a concurrency-control strategy needs to execute transactions
+/// against one simulated cluster: the shared infrastructure owned by the
+/// Engine (simulator, rack network, switch pipeline, catalog, partition
+/// manager, per-node lock managers and WALs) plus the mutable cluster state
+/// it must observe (crashed nodes) or advance (per-node client sequence
+/// numbers for switch packets).
+///
+/// The context is a non-owning view — the Engine owns every pointee and
+/// guarantees they outlive the strategy. Copying the context copies the
+/// view, not the cluster.
+struct ExecutionContext {
+  const SystemConfig* config = nullptr;
+  sim::Simulator* sim = nullptr;
+  net::Network* net = nullptr;
+  sw::Pipeline* pipeline = nullptr;
+  db::Catalog* catalog = nullptr;
+  PartitionManager* pm = nullptr;
+  const std::vector<std::unique_ptr<db::LockManager>>* lock_managers = nullptr;
+  db::LockManager* switch_lm = nullptr;
+  const std::vector<std::unique_ptr<db::Wal>>* wals = nullptr;
+  const std::vector<bool>* node_crashed = nullptr;
+  /// Per-node sequence numbers for compiled switch transactions; strategies
+  /// increment the home node's entry when they build a switch packet.
+  std::vector<uint32_t>* next_client_seq = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  db::LockManager& lock_manager(NodeId node) const {
+    return *(*lock_managers)[node];
+  }
+  db::Wal& wal(NodeId node) const { return *(*wals)[node]; }
+  uint16_t num_nodes() const { return config->num_nodes; }
+  const TimingConfig& timing() const { return config->timing; }
+
+  /// Estimated node<->node round trip (two hops each way through the ToR
+  /// switch plus sender overheads) — the 2PC cost model.
+  SimTime NodeRttEstimate() const {
+    return 2 * (2 * config->network.node_to_switch_one_way +
+                config->network.send_overhead);
+  }
+};
+
+}  // namespace p4db::core::cc
+
+#endif  // P4DB_CORE_CC_EXECUTION_CONTEXT_H_

@@ -1,0 +1,73 @@
+#ifndef P4DB_CORE_CC_OPTIMISTIC_CC_H_
+#define P4DB_CORE_CC_OPTIMISTIC_CC_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/cc/concurrency_control.h"
+#include "core/hot_items.h"
+
+namespace p4db::core::cc {
+
+/// Backward-validation optimistic concurrency control for cold and warm
+/// transactions (Appendix A.4):
+///
+///   READ PHASE    ops execute against a private write buffer; the version
+///                 of every tuple read is recorded.
+///   VALIDATION    the write set is locked (NO_WAIT: a denied lock aborts),
+///                 then every read version is re-checked.
+///   [WARM ONLY]   the switch sub-transaction is sent HERE — after the cold
+///                 part can no longer abort, before the commit broadcast —
+///                 exactly where the appendix integrates it.
+///   WRITE PHASE   the buffer is applied, versions bump, locks release.
+class OptimisticCC : public ConcurrencyControl {
+ public:
+  using ConcurrencyControl::ConcurrencyControl;
+
+  const char* name() const override { return "OCC"; }
+
+  /// Commit counter of one tuple (0 if never committed to). Exposed for
+  /// tests of the validation logic.
+  uint64_t VersionOf(const TupleId& tuple) const;
+
+ protected:
+  sim::CoTask<bool> ExecuteCold(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results,
+      TxnTimers* timers) override;
+  sim::CoTask<bool> ExecuteWarm(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results,
+      TxnTimers* timers) override;
+
+ private:
+  /// OCC state carried through one attempt: buffered writes, versions read.
+  struct OccContext {
+    /// Buffered writes, per (tuple, column) — the HotItem key reuses the
+    /// same identity.
+    std::unordered_map<HotItem, Value64, HotItemHash> write_buffer;
+    /// First version observed per tuple (read set).
+    std::unordered_map<TupleId, uint64_t> read_versions;
+    /// Tuples with buffered writes, in first-write order (lock order).
+    std::vector<TupleId> write_set;
+    /// Remote tuples already fetched this attempt (one RTT each).
+    std::unordered_set<TupleId> fetched;
+    /// Insert rows created during the write phase: (tuple+column, value).
+    std::vector<std::pair<HotItem, Value64>> inserts;
+  };
+
+  /// Applies one op against the OCC write buffer; reads record versions.
+  Value64 OccApplyOp(const db::Op& op,
+                     const std::vector<std::optional<Value64>>& results,
+                     OccContext* ctx);
+
+  /// Per-tuple commit counters for OCC validation (Appendix A.4).
+  std::unordered_map<TupleId, uint64_t> versions_;
+};
+
+}  // namespace p4db::core::cc
+
+#endif  // P4DB_CORE_CC_OPTIMISTIC_CC_H_

@@ -1,0 +1,394 @@
+#include "core/cc/two_phase_locking.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+#include <unordered_set>
+
+#include "switchsim/packet.h"
+
+namespace p4db::core::cc {
+
+std::vector<TwoPhaseLocking::LockPlanEntry> TwoPhaseLocking::BuildLockPlan(
+    const db::Transaction& txn, bool only_cold_ops) const {
+  std::vector<LockPlanEntry> plan;
+  for (const db::Op& op : txn.ops) {
+    if (op.type == db::OpType::kInsert) continue;  // fresh keys: no lock
+    if (op.key_from_src) continue;  // snapshot access to write-once rows
+    if (ctx_.catalog->IsReplicated(op.tuple.table)) {
+      continue;  // local read-only
+    }
+    const bool hot = ctx_.pm->IsHot(HotItem{op.tuple, op.column});
+    if (only_cold_ops && hot) continue;
+    const db::LockMode mode = db::IsWrite(op.type) ? db::LockMode::kExclusive
+                                                   : db::LockMode::kShared;
+    auto it = std::find_if(plan.begin(), plan.end(),
+                           [&](const LockPlanEntry& e) {
+                             return e.tuple == op.tuple;
+                           });
+    if (it != plan.end()) {
+      if (mode == db::LockMode::kExclusive) it->mode = mode;
+      it->hot |= hot;
+      continue;
+    }
+    plan.push_back(LockPlanEntry{op.tuple, mode,
+                                 ctx_.catalog->OwnerOf(op.tuple), hot});
+  }
+  if (config().mode == EngineMode::kChiller) {
+    // Chiller's two-region execution: contended (hot) items form the inner
+    // region, locked last and released first.
+    std::stable_partition(plan.begin(), plan.end(),
+                          [](const LockPlanEntry& e) { return !e.hot; });
+  }
+  return plan;
+}
+
+sim::CoTask<bool> TwoPhaseLocking::AcquireLock(NodeId node,
+                                               const LockPlanEntry& entry,
+                                               uint64_t txn_id, uint64_t ts,
+                                               TxnTimers* timers) {
+  sim::Simulator& sim = *ctx_.sim;
+  const net::Endpoint self = net::Endpoint::Node(node);
+  if (config().mode == EngineMode::kLmSwitch && entry.hot) {
+    // NetLock-style: the lock request is decided in the switch data plane
+    // at half a round trip (Section 7.1 / Related Work).
+    const SimTime t0 = sim.now();
+    co_await ctx_.net->Send(self, net::Endpoint::Switch(), kLockRequestBytes);
+    co_await sim::Delay(sim, config().pipeline.PassLatency());
+    Status st = co_await ctx_.switch_lm->Acquire(txn_id, ts, entry.tuple,
+                                                 entry.mode);
+    co_await ctx_.net->Send(net::Endpoint::Switch(), self, kLockRequestBytes);
+    timers->lock_wait += sim.now() - t0;
+    co_return st.ok();
+  }
+
+  if (entry.owner == node) {
+    const SimTime t0 = sim.now();
+    co_await sim::Delay(sim, config().timing.lock_op);
+    Status st = co_await ctx_.lock_manager(node).Acquire(txn_id, ts,
+                                                         entry.tuple,
+                                                         entry.mode);
+    timers->lock_wait += sim.now() - t0;
+    co_return st.ok();
+  }
+
+  // Remote partition: lock request + piggybacked data access in one round
+  // trip to the owner node.
+  const net::Endpoint owner = net::Endpoint::Node(entry.owner);
+  const SimTime t0 = sim.now();
+  co_await ctx_.net->Send(self, owner, kLockRequestBytes);
+  const SimTime t1 = sim.now();
+  co_await sim::Delay(sim, config().timing.lock_op);
+  Status st = co_await ctx_.lock_manager(entry.owner).Acquire(txn_id, ts,
+                                                              entry.tuple,
+                                                              entry.mode);
+  const SimTime t2 = sim.now();
+  co_await ctx_.net->Send(owner, self, kDataRequestBytes);
+  timers->lock_wait += t2 - t1;
+  timers->remote_access += (t1 - t0) + (sim.now() - t2);
+  co_return st.ok();
+}
+
+void TwoPhaseLocking::ReleaseLocks(NodeId node, uint64_t txn_id,
+                                   const std::vector<LockPlanEntry>& plan) {
+  std::unordered_set<NodeId> owners;
+  bool any_switch_lock = false;
+  for (const LockPlanEntry& e : plan) {
+    if (config().mode == EngineMode::kLmSwitch && e.hot) {
+      any_switch_lock = true;
+    } else {
+      owners.insert(e.owner);
+    }
+  }
+  const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
+  for (NodeId owner : owners) {
+    db::LockManager* lm = &ctx_.lock_manager(owner);
+    if (owner == node) {
+      lm->ReleaseAll(txn_id);
+    } else {
+      ctx_.sim->Schedule(one_way_node,
+                         [lm, txn_id] { lm->ReleaseAll(txn_id); });
+    }
+  }
+  if (any_switch_lock) {
+    db::LockManager* lm = ctx_.switch_lm;
+    ctx_.sim->Schedule(config().network.node_to_switch_one_way,
+                       [lm, txn_id] { lm->ReleaseAll(txn_id); });
+  }
+}
+
+sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
+    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
+  sim::Simulator& sim = *ctx_.sim;
+  const TimingConfig& t = config().timing;
+  co_await sim::Delay(sim, t.txn_setup);
+  timers->local_work += t.txn_setup;
+
+  const std::vector<LockPlanEntry> plan =
+      BuildLockPlan(txn, /*only_cold_ops=*/false);
+
+  // LM-Switch: all hot-item lock requests travel in ONE packet to the
+  // switch lock manager (NetLock batches per-transaction requests); the
+  // data plane grants or queues them and replies in half a round trip.
+  if (config().mode == EngineMode::kLmSwitch) {
+    size_t num_hot = 0;
+    for (const LockPlanEntry& e : plan) num_hot += e.hot ? 1 : 0;
+    if (num_hot > 0) {
+      const net::Endpoint self = net::Endpoint::Node(node);
+      const SimTime t0 = sim.now();
+      co_await ctx_.net->Send(self, net::Endpoint::Switch(),
+                              static_cast<uint32_t>(48 + 16 * num_hot));
+      co_await sim::Delay(sim, config().pipeline.PassLatency());
+      bool all_ok = true;
+      for (const LockPlanEntry& e : plan) {
+        if (!e.hot) continue;
+        Status st =
+            co_await ctx_.switch_lm->Acquire(txn_id, ts, e.tuple, e.mode);
+        if (!st.ok()) {
+          all_ok = false;
+          break;
+        }
+      }
+      co_await ctx_.net->Send(net::Endpoint::Switch(), self, kControlBytes);
+      timers->lock_wait += sim.now() - t0;
+      if (!all_ok) {
+        ReleaseLocks(node, txn_id, plan);
+        co_await sim::Delay(sim, t.abort_cost);
+        timers->backoff += t.abort_cost;
+        co_return false;
+      }
+    }
+  }
+
+  for (const LockPlanEntry& entry : plan) {
+    if (config().mode == EngineMode::kLmSwitch && entry.hot) continue;
+    const bool ok = co_await AcquireLock(node, entry, txn_id, ts, timers);
+    if (!ok) {
+      ReleaseLocks(node, txn_id, plan);
+      co_await sim::Delay(sim, t.abort_cost);
+      timers->backoff += t.abort_cost;
+      co_return false;
+    }
+  }
+
+  // Execute. In LM-Switch mode the lock for a hot item was decided at the
+  // switch, but the data still lives on the owner node: remote hot items
+  // cost an extra data round trip here.
+  std::vector<std::tuple<TupleId, uint16_t, Value64>> undo;
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    const db::Op& op = txn.ops[i];
+    if (config().mode == EngineMode::kLmSwitch &&
+        op.type != db::OpType::kInsert &&
+        ctx_.pm->IsHot(HotItem{op.tuple, op.column}) &&
+        ctx_.catalog->OwnerOf(op.tuple) != node) {
+      const net::Endpoint self = net::Endpoint::Node(node);
+      const net::Endpoint owner = net::Endpoint::Node(
+          ctx_.catalog->OwnerOf(op.tuple));
+      const SimTime t0 = sim.now();
+      co_await ctx_.net->Send(self, owner, kDataRequestBytes);
+      co_await ctx_.net->Send(owner, self, kDataRequestBytes);
+      timers->remote_access += sim.now() - t0;
+    }
+    (*results)[i] = ApplyHostOp(op, *results, &undo);
+  }
+  const SimTime exec_cost = t.op_local * static_cast<SimTime>(txn.ops.size());
+  co_await sim::Delay(sim, exec_cost);
+  timers->local_work += exec_cost;
+
+  co_await sim::Delay(sim, t.wal_append);
+  timers->local_work += t.wal_append;
+  std::vector<db::HostLogOp> writes;
+  for (const auto& [tuple, column, old_value] : undo) {
+    (void)old_value;
+    writes.push_back(db::HostLogOp{
+        tuple, column,
+        ctx_.catalog->table(tuple.table).GetOrCreate(tuple.key)[column]});
+  }
+  ctx_.wal(node).AppendHostCommit(std::move(writes));
+
+  if (config().mode == EngineMode::kChiller) {
+    // Early release of the contended inner region (Figure 18b).
+    for (const LockPlanEntry& entry : plan) {
+      if (!entry.hot) continue;
+      db::LockManager* lm = &ctx_.lock_manager(entry.owner);
+      if (entry.owner == node) {
+        lm->ReleaseOne(txn_id, entry.tuple);
+      } else {
+        const SimTime one_way = 2 * config().network.node_to_switch_one_way;
+        const TupleId tuple = entry.tuple;
+        ctx_.sim->Schedule(
+            one_way, [lm, txn_id, tuple] { lm->ReleaseOne(txn_id, tuple); });
+      }
+    }
+  }
+
+  // Commit: 2PC across remote participants, plain local commit otherwise.
+  bool has_remote = false;
+  for (const LockPlanEntry& entry : plan) {
+    if (entry.owner != node) has_remote = true;
+  }
+  if (has_remote) {
+    const SimTime rtt = ctx_.NodeRttEstimate();
+    co_await sim::Delay(sim, rtt + t.wal_append);  // PREPARE + votes
+    co_await sim::Delay(sim, rtt);                 // COMMIT + acks
+    timers->commit += 2 * rtt + t.wal_append;
+  } else {
+    co_await sim::Delay(sim, t.commit_local);
+    timers->commit += t.commit_local;
+  }
+
+  ReleaseLocks(node, txn_id, plan);
+  co_return true;
+}
+
+sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
+    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
+  sim::Simulator& sim = *ctx_.sim;
+  const TimingConfig& t = config().timing;
+  co_await sim::Delay(sim, t.txn_setup);
+  timers->local_work += t.txn_setup;
+
+  // Phase 1: cold sub-transaction — acquire all cold locks and execute the
+  // cold ops so they can no longer abort (Figure 8).
+  const std::vector<LockPlanEntry> plan =
+      BuildLockPlan(txn, /*only_cold_ops=*/true);
+  for (const LockPlanEntry& entry : plan) {
+    const bool ok = co_await AcquireLock(node, entry, txn_id, ts, timers);
+    if (!ok) {
+      ReleaseLocks(node, txn_id, plan);
+      co_await sim::Delay(sim, t.abort_cost);
+      timers->backoff += t.abort_cost;
+      co_return false;
+    }
+  }
+
+  // Partition ops into: hot (phase 2, switch), deferred cold (phase 3:
+  // inserts and cold ops that consume hot/deferred results — they cannot
+  // abort since every lock is already held, mirroring the paper's
+  // "offload dependent cold tuples" rule), and immediate cold (now).
+  std::vector<std::tuple<TupleId, uint16_t, Value64>> undo;
+  std::vector<bool> is_hot_op(txn.ops.size(), false);
+  std::vector<bool> deferred(txn.ops.size(), false);
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    const db::Op& op = txn.ops[i];
+    if (op.type != db::OpType::kInsert && !op.key_from_src &&
+        ctx_.pm->IsHot(HotItem{op.tuple, op.column})) {
+      is_hot_op[i] = true;
+      continue;
+    }
+    const auto depends_deferred = [&](int16_t src) {
+      return src >= 0 && (is_hot_op[src] || deferred[src]);
+    };
+    deferred[i] = op.type == db::OpType::kInsert ||
+                  depends_deferred(op.operand_src) ||
+                  depends_deferred(op.operand_src2);
+    // Same-tuple program order: once an op on a tuple is deferred, every
+    // later cold op on that tuple must defer too.
+    for (size_t k = 0; !deferred[i] && k < i; ++k) {
+      deferred[i] = deferred[k] && !is_hot_op[k] &&
+                    txn.ops[k].type != db::OpType::kInsert &&
+                    txn.ops[k].tuple == op.tuple &&
+                    txn.ops[k].column == op.column;
+    }
+  }
+  size_t cold_ops = 0;
+  size_t deferred_ops = 0;
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    if (is_hot_op[i]) continue;
+    if (deferred[i]) {
+      ++deferred_ops;
+      continue;
+    }
+    (*results)[i] = ApplyHostOp(txn.ops[i], *results, &undo);
+    ++cold_ops;
+  }
+  const SimTime exec_cost = t.op_local * static_cast<SimTime>(cold_ops);
+  if (exec_cost > 0) {
+    co_await sim::Delay(sim, exec_cost);
+    timers->local_work += exec_cost;
+  }
+
+  // Compile the switch sub-transaction with cold results resolved.
+  auto compiled = ctx_.pm->Compile(txn, *results, node,
+                                   (*ctx_.next_client_seq)[node]++);
+  assert(compiled.ok() && "warm transaction's hot part must compile");
+
+  co_await sim::Delay(sim, t.wal_append);
+  timers->local_work += t.wal_append;
+  const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
+      compiled->txn.client_seq, compiled->txn.instrs);
+
+  // Voting phase of the extended 2PC (Figure 10) — only if the cold part is
+  // distributed.
+  std::unordered_set<NodeId> participants;
+  for (const LockPlanEntry& entry : plan) {
+    if (entry.owner != node) participants.insert(entry.owner);
+  }
+  if (!participants.empty()) {
+    const SimTime rtt = ctx_.NodeRttEstimate();
+    co_await sim::Delay(sim, rtt + t.wal_append);  // PREPARE + votes
+    timers->commit += rtt + t.wal_append;
+  }
+
+  // Phase 2: the switch sub-transaction. It commits on execution; the
+  // switch multicasts the decision to all nodes, which replaces the 2PC
+  // commit round (Figure 10).
+  const net::Endpoint self = net::Endpoint::Node(node);
+  const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
+  const size_t resp_bytes = sw::PacketCodec::ResponseWireSize(
+      compiled->txn.instrs.size());
+  const std::vector<uint16_t> op_index = compiled->op_index;
+
+  const SimTime t0 = sim.now();
+  co_await ctx_.net->Send(self, net::Endpoint::Switch(),
+                          static_cast<uint32_t>(wire));
+  sw::SwitchResult res =
+      co_await ctx_.pipeline->Submit(std::move(compiled->txn));
+
+  if (!participants.empty()) {
+    const std::vector<SimTime> arrivals =
+        ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
+    // Remote participants commit & release when the multicast reaches them.
+    for (NodeId p : participants) {
+      db::LockManager* lm = &ctx_.lock_manager(p);
+      ctx_.sim->ScheduleAt(arrivals[p],
+                           [lm, txn_id] { lm->ReleaseAll(txn_id); });
+    }
+    co_await sim::Delay(sim, arrivals[node] - sim.now());
+  } else {
+    co_await ctx_.net->Send(net::Endpoint::Switch(), self,
+                            static_cast<uint32_t>(resp_bytes));
+  }
+  timers->switch_access += sim.now() - t0;
+
+  if (!(*ctx_.node_crashed)[node]) {
+    ctx_.wal(node).FillSwitchResult(lsn, res.gid, res.values);
+  }
+  for (size_t i = 0; i < op_index.size(); ++i) {
+    (*results)[op_index[i]] = res.values[i];
+  }
+
+  // Phase 3: deferred cold ops (inserts and hot-result consumers). They
+  // cannot abort; locks from phase 1 still cover them.
+  if (deferred_ops > 0) {
+    for (size_t i = 0; i < txn.ops.size(); ++i) {
+      if (!deferred[i]) continue;
+      (*results)[i] = ApplyHostOp(txn.ops[i], *results, &undo);
+    }
+    const SimTime def_cost =
+        t.op_local * static_cast<SimTime>(deferred_ops);
+    co_await sim::Delay(sim, def_cost);
+    timers->local_work += def_cost;
+  }
+
+  co_await sim::Delay(sim, t.commit_local);
+  timers->commit += t.commit_local;
+  // Local (coordinator-side) locks release now; remote ones were released
+  // by the multicast above.
+  ctx_.lock_manager(node).ReleaseAll(txn_id);
+  co_return true;
+}
+
+}  // namespace p4db::core::cc

@@ -1,0 +1,57 @@
+#ifndef P4DB_CORE_CC_TWO_PHASE_LOCKING_H_
+#define P4DB_CORE_CC_TWO_PHASE_LOCKING_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/cc/concurrency_control.h"
+
+namespace p4db::core::cc {
+
+/// Pessimistic two-phase locking (the paper's host protocol, Section 6.2):
+/// cold transactions lock-execute-commit under 2PL/2PC; warm transactions
+/// run the extended 2PC of Figure 10 where the switch sub-transaction's
+/// multicast doubles as the commit broadcast. Also carries the baseline
+/// modes' quirks: LM-Switch batches hot lock requests to the switch lock
+/// manager, Chiller orders its contended inner region last and releases it
+/// early.
+class TwoPhaseLocking : public ConcurrencyControl {
+ public:
+  using ConcurrencyControl::ConcurrencyControl;
+
+  const char* name() const override { return "2PL"; }
+
+ protected:
+  sim::CoTask<bool> ExecuteCold(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results,
+      TxnTimers* timers) override;
+  sim::CoTask<bool> ExecuteWarm(
+      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
+      std::vector<std::optional<Value64>>* results,
+      TxnTimers* timers) override;
+
+ private:
+  struct LockPlanEntry {
+    TupleId tuple;
+    db::LockMode mode;
+    NodeId owner;
+    bool hot;
+  };
+
+  std::vector<LockPlanEntry> BuildLockPlan(const db::Transaction& txn,
+                                           bool only_cold_ops) const;
+  /// Acquires one lock (possibly remote / at the switch for LM-Switch hot
+  /// items), charging the right timers. Returns false on abort decision.
+  sim::CoTask<bool> AcquireLock(NodeId node, const LockPlanEntry& entry,
+                                uint64_t txn_id, uint64_t ts,
+                                TxnTimers* timers);
+  /// Releases txn_id's locks at every involved node; remote releases take
+  /// effect after the release message's one-way latency.
+  void ReleaseLocks(NodeId node, uint64_t txn_id,
+                    const std::vector<LockPlanEntry>& plan);
+};
+
+}  // namespace p4db::core::cc
+
+#endif  // P4DB_CORE_CC_TWO_PHASE_LOCKING_H_

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
+#include "core/cc/execution_context.h"
 #include "core/hotset.h"
 #include "core/recovery.h"
 
@@ -15,10 +15,6 @@ SystemConfig Normalize(SystemConfig config) {
   config.network.num_nodes = config.num_nodes;
   return config;
 }
-
-constexpr uint32_t kLockRequestBytes = 96;   // lock msg incl. piggybacked data
-constexpr uint32_t kDataRequestBytes = 128;  // remote read/write round trip
-constexpr uint32_t kControlBytes = 64;       // 2PC control messages
 
 }  // namespace
 
@@ -36,10 +32,20 @@ const char* EngineModeName(EngineMode mode) {
   return "?";
 }
 
+const char* CcProtocolName(CcProtocol protocol) {
+  switch (protocol) {
+    case CcProtocol::k2pl:
+      return "2PL";
+    case CcProtocol::kOcc:
+      return "OCC";
+  }
+  return "?";
+}
+
 Engine::Engine(const SystemConfig& config)
     : config_(Normalize(config)),
-      net_(&sim_, config_.network),
-      pipeline_(&sim_, config_.pipeline),
+      net_(&sim_, config_.network, &registry_),
+      pipeline_(&sim_, config_.pipeline, &registry_),
       control_plane_(&pipeline_),
       catalog_(std::make_unique<db::Catalog>(config_.num_nodes)),
       pm_(catalog_.get(), &config_.pipeline),
@@ -51,11 +57,29 @@ Engine::Engine(const SystemConfig& config)
                                   ? db::CcScheme::kNoWait
                                   : config_.cc_scheme;
   for (uint16_t n = 0; n < config_.num_nodes; ++n) {
-    lock_managers_.push_back(
-        std::make_unique<db::LockManager>(&sim_, scheme));
-    wals_.push_back(std::make_unique<db::Wal>());
+    lock_managers_.push_back(std::make_unique<db::LockManager>(
+        &sim_, scheme, &registry_, "lock.node"));
+    wals_.push_back(std::make_unique<db::Wal>(&registry_));
   }
-  switch_lm_ = std::make_unique<db::LockManager>(&sim_, scheme);
+  switch_lm_ = std::make_unique<db::LockManager>(&sim_, scheme, &registry_,
+                                                 "lock.switch");
+  committed_counter_ = &registry_.counter("engine.committed");
+  aborted_counter_ = &registry_.counter("engine.aborted_attempts");
+
+  cc::ExecutionContext ctx;
+  ctx.config = &config_;
+  ctx.sim = &sim_;
+  ctx.net = &net_;
+  ctx.pipeline = &pipeline_;
+  ctx.catalog = catalog_.get();
+  ctx.pm = &pm_;
+  ctx.lock_managers = &lock_managers_;
+  ctx.switch_lm = switch_lm_.get();
+  ctx.wals = &wals_;
+  ctx.node_crashed = &node_crashed_;
+  ctx.next_client_seq = &next_client_seq_;
+  ctx.metrics = &registry_;
+  cc_ = cc::MakeConcurrencyControl(config_.cc_protocol, ctx);
 }
 
 Engine::~Engine() {
@@ -120,531 +144,12 @@ OffloadReport Engine::Offload(size_t sample_size, size_t max_hot_items) {
   return report;
 }
 
-SimTime Engine::NodeRttEstimate() const {
-  // Two hops each way through the ToR switch plus sender overheads.
-  return 2 * (2 * config_.network.node_to_switch_one_way +
-              config_.network.send_overhead);
-}
-
 SimTime Engine::BackoffDelay(int attempt, Rng& rng) {
   const int shift = std::min(attempt - 1, 5);
   SimTime base = config_.timing.backoff_base << shift;
   base = std::min(base, config_.timing.backoff_max);
   const double jitter = 0.5 + rng.NextDouble();
   return static_cast<SimTime>(static_cast<double>(base) * jitter);
-}
-
-std::vector<Engine::LockPlanEntry> Engine::BuildLockPlan(
-    const db::Transaction& txn, bool only_cold_ops) const {
-  std::vector<LockPlanEntry> plan;
-  for (const db::Op& op : txn.ops) {
-    if (op.type == db::OpType::kInsert) continue;  // fresh keys: no lock
-    if (op.key_from_src) continue;  // snapshot access to write-once rows
-    if (catalog_->IsReplicated(op.tuple.table)) continue;  // local read-only
-    const bool hot = pm_.IsHot(HotItem{op.tuple, op.column});
-    if (only_cold_ops && hot) continue;
-    const db::LockMode mode = db::IsWrite(op.type) ? db::LockMode::kExclusive
-                                                   : db::LockMode::kShared;
-    auto it = std::find_if(plan.begin(), plan.end(),
-                           [&](const LockPlanEntry& e) {
-                             return e.tuple == op.tuple;
-                           });
-    if (it != plan.end()) {
-      if (mode == db::LockMode::kExclusive) it->mode = mode;
-      it->hot |= hot;
-      continue;
-    }
-    plan.push_back(LockPlanEntry{op.tuple, mode, catalog_->OwnerOf(op.tuple),
-                                 hot});
-  }
-  if (config_.mode == EngineMode::kChiller) {
-    // Chiller's two-region execution: contended (hot) items form the inner
-    // region, locked last and released first.
-    std::stable_partition(plan.begin(), plan.end(),
-                          [](const LockPlanEntry& e) { return !e.hot; });
-  }
-  return plan;
-}
-
-sim::CoTask<bool> Engine::AcquireLock(NodeId node, const LockPlanEntry& entry,
-                                      uint64_t txn_id, uint64_t ts,
-                                      TxnTimers* timers) {
-  const net::Endpoint self = net::Endpoint::Node(node);
-  if (config_.mode == EngineMode::kLmSwitch && entry.hot) {
-    // NetLock-style: the lock request is decided in the switch data plane
-    // at half a round trip (Section 7.1 / Related Work).
-    const SimTime t0 = sim_.now();
-    co_await net_.Send(self, net::Endpoint::Switch(), kLockRequestBytes);
-    co_await sim::Delay(sim_, config_.pipeline.PassLatency());
-    Status st = co_await switch_lm_->Acquire(txn_id, ts, entry.tuple,
-                                             entry.mode);
-    co_await net_.Send(net::Endpoint::Switch(), self, kLockRequestBytes);
-    timers->lock_wait += sim_.now() - t0;
-    co_return st.ok();
-  }
-
-  if (entry.owner == node) {
-    const SimTime t0 = sim_.now();
-    co_await sim::Delay(sim_, config_.timing.lock_op);
-    Status st = co_await lock_managers_[node]->Acquire(txn_id, ts,
-                                                       entry.tuple,
-                                                       entry.mode);
-    timers->lock_wait += sim_.now() - t0;
-    co_return st.ok();
-  }
-
-  // Remote partition: lock request + piggybacked data access in one round
-  // trip to the owner node.
-  const net::Endpoint owner = net::Endpoint::Node(entry.owner);
-  const SimTime t0 = sim_.now();
-  co_await net_.Send(self, owner, kLockRequestBytes);
-  const SimTime t1 = sim_.now();
-  co_await sim::Delay(sim_, config_.timing.lock_op);
-  Status st = co_await lock_managers_[entry.owner]->Acquire(txn_id, ts,
-                                                            entry.tuple,
-                                                            entry.mode);
-  const SimTime t2 = sim_.now();
-  co_await net_.Send(owner, self, kDataRequestBytes);
-  timers->lock_wait += t2 - t1;
-  timers->remote_access += (t1 - t0) + (sim_.now() - t2);
-  co_return st.ok();
-}
-
-void Engine::ReleaseLocks(NodeId node, uint64_t txn_id,
-                          const std::vector<LockPlanEntry>& plan) {
-  std::unordered_set<NodeId> owners;
-  bool any_switch_lock = false;
-  for (const LockPlanEntry& e : plan) {
-    if (config_.mode == EngineMode::kLmSwitch && e.hot) {
-      any_switch_lock = true;
-    } else {
-      owners.insert(e.owner);
-    }
-  }
-  const SimTime one_way_node = 2 * config_.network.node_to_switch_one_way;
-  for (NodeId owner : owners) {
-    db::LockManager* lm = lock_managers_[owner].get();
-    if (owner == node) {
-      lm->ReleaseAll(txn_id);
-    } else {
-      sim_.Schedule(one_way_node, [lm, txn_id] { lm->ReleaseAll(txn_id); });
-    }
-  }
-  if (any_switch_lock) {
-    db::LockManager* lm = switch_lm_.get();
-    sim_.Schedule(config_.network.node_to_switch_one_way,
-                  [lm, txn_id] { lm->ReleaseAll(txn_id); });
-  }
-}
-
-Value64 Engine::ApplyHostOp(
-    const db::Op& op, const std::vector<std::optional<Value64>>& results,
-    std::vector<std::tuple<TupleId, uint16_t, Value64>>* undo) {
-  const auto carried_value = [&](int16_t src, bool negate) -> Value64 {
-    const Value64 v = results[src].has_value() ? *results[src] : 0;
-    return negate ? -v : v;
-  };
-
-  db::Table& table = catalog_->table(op.tuple.table);
-  Key key = op.tuple.key;
-  Value64 operand = op.operand;
-  if (op.type == db::OpType::kInsert || op.key_from_src) {
-    // src1 offsets the KEY (switch-returned order id); src2 (if any) still
-    // feeds the operand.
-    if (op.has_src()) {
-      key += static_cast<Key>(carried_value(op.operand_src, op.negate_src));
-    }
-    if (op.has_src2()) operand += carried_value(op.operand_src2,
-                                                op.negate_src2);
-  } else {
-    if (op.has_src()) operand += carried_value(op.operand_src, op.negate_src);
-    if (op.has_src2()) operand += carried_value(op.operand_src2,
-                                                op.negate_src2);
-  }
-  db::Row& row = table.GetOrCreate(key);
-  assert(op.column < row.size());
-  Value64& cell = row[op.column];
-  switch (op.type) {
-    case db::OpType::kGet:
-      return cell;
-    case db::OpType::kPut:
-      undo->emplace_back(op.tuple, op.column, cell);
-      cell = operand;
-      return cell;
-    case db::OpType::kAdd:
-      undo->emplace_back(op.tuple, op.column, cell);
-      cell += operand;
-      return cell;
-    case db::OpType::kCondAddGeZero: {
-      // Same semantics as the switch's constrained write (Section 5.1):
-      // skip the write if the result would go negative; never abort.
-      if (cell + operand >= 0) {
-        undo->emplace_back(op.tuple, op.column, cell);
-        cell += operand;
-      }
-      return cell;
-    }
-    case db::OpType::kMax:
-      undo->emplace_back(op.tuple, op.column, cell);
-      cell = std::max(cell, operand);
-      return cell;
-    case db::OpType::kSwap: {
-      const Value64 old = cell;
-      undo->emplace_back(op.tuple, op.column, cell);
-      cell = operand;
-      return old;
-    }
-    case db::OpType::kInsert:
-      // GetOrCreate above materialized the row; set the insert payload.
-      cell = operand;
-      return operand;
-  }
-  assert(false && "unreachable op type");
-  return 0;
-}
-
-sim::CoTask<bool> Engine::ExecuteHot(
-    NodeId node, db::Transaction& txn,
-    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
-  const TimingConfig& t = config_.timing;
-  // Setup plus per-op marshalling (hot-index lookups, packet construction)
-  // and, on the way back, result unmarshalling + secondary-index
-  // maintenance (Section 6.1) — the host-side cost of a switch txn.
-  const SimTime host_cost =
-      t.txn_setup + 2 * t.op_local * static_cast<SimTime>(txn.ops.size());
-  co_await sim::Delay(sim_, host_cost);
-  timers->local_work += host_cost;
-
-  auto compiled = pm_.Compile(txn, *results, node,
-                              next_client_seq_[node]++);
-  assert(compiled.ok() && "hot transaction must compile");
-
-  // Log the intent BEFORE sending: the switch transaction counts as
-  // committed from here on (Section 6.1).
-  co_await sim::Delay(sim_, t.wal_append);
-  timers->local_work += t.wal_append;
-  const db::Lsn lsn = wals_[node]->AppendSwitchIntent(
-      compiled->txn.client_seq, compiled->txn.instrs);
-
-  const net::Endpoint self = net::Endpoint::Node(node);
-  const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
-  const size_t resp = sw::PacketCodec::ResponseWireSize(
-      compiled->txn.instrs.size());
-  const std::vector<uint16_t> op_index = compiled->op_index;
-
-  const SimTime t0 = sim_.now();
-  co_await net_.Send(self, net::Endpoint::Switch(),
-                     static_cast<uint32_t>(wire));
-  sw::SwitchResult res = co_await pipeline_.Submit(std::move(compiled->txn));
-  co_await net_.Send(net::Endpoint::Switch(), self,
-                     static_cast<uint32_t>(resp));
-  timers->switch_access += sim_.now() - t0;
-
-  if (!node_crashed_[node]) {
-    wals_[node]->FillSwitchResult(lsn, res.gid, res.values);
-  }
-  for (size_t i = 0; i < op_index.size(); ++i) {
-    (*results)[op_index[i]] = res.values[i];
-  }
-
-  co_await sim::Delay(sim_, t.commit_local);
-  timers->commit += t.commit_local;
-  co_return true;
-}
-
-sim::CoTask<bool> Engine::ExecuteCold(
-    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
-    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
-  const TimingConfig& t = config_.timing;
-  co_await sim::Delay(sim_, t.txn_setup);
-  timers->local_work += t.txn_setup;
-
-  const std::vector<LockPlanEntry> plan =
-      BuildLockPlan(txn, /*only_cold_ops=*/false);
-
-  // LM-Switch: all hot-item lock requests travel in ONE packet to the
-  // switch lock manager (NetLock batches per-transaction requests); the
-  // data plane grants or queues them and replies in half a round trip.
-  if (config_.mode == EngineMode::kLmSwitch) {
-    size_t num_hot = 0;
-    for (const LockPlanEntry& e : plan) num_hot += e.hot ? 1 : 0;
-    if (num_hot > 0) {
-      const net::Endpoint self = net::Endpoint::Node(node);
-      const SimTime t0 = sim_.now();
-      co_await net_.Send(self, net::Endpoint::Switch(),
-                         static_cast<uint32_t>(48 + 16 * num_hot));
-      co_await sim::Delay(sim_, config_.pipeline.PassLatency());
-      bool all_ok = true;
-      for (const LockPlanEntry& e : plan) {
-        if (!e.hot) continue;
-        Status st =
-            co_await switch_lm_->Acquire(txn_id, ts, e.tuple, e.mode);
-        if (!st.ok()) {
-          all_ok = false;
-          break;
-        }
-      }
-      co_await net_.Send(net::Endpoint::Switch(), self, kControlBytes);
-      timers->lock_wait += sim_.now() - t0;
-      if (!all_ok) {
-        ReleaseLocks(node, txn_id, plan);
-        co_await sim::Delay(sim_, t.abort_cost);
-        timers->backoff += t.abort_cost;
-        co_return false;
-      }
-    }
-  }
-
-  for (const LockPlanEntry& entry : plan) {
-    if (config_.mode == EngineMode::kLmSwitch && entry.hot) continue;
-    const bool ok = co_await AcquireLock(node, entry, txn_id, ts, timers);
-    if (!ok) {
-      ReleaseLocks(node, txn_id, plan);
-      co_await sim::Delay(sim_, t.abort_cost);
-      timers->backoff += t.abort_cost;
-      co_return false;
-    }
-  }
-
-  // Execute. In LM-Switch mode the lock for a hot item was decided at the
-  // switch, but the data still lives on the owner node: remote hot items
-  // cost an extra data round trip here.
-  std::vector<std::tuple<TupleId, uint16_t, Value64>> undo;
-  for (size_t i = 0; i < txn.ops.size(); ++i) {
-    const db::Op& op = txn.ops[i];
-    if (config_.mode == EngineMode::kLmSwitch &&
-        op.type != db::OpType::kInsert &&
-        pm_.IsHot(HotItem{op.tuple, op.column}) &&
-        catalog_->OwnerOf(op.tuple) != node) {
-      const net::Endpoint self = net::Endpoint::Node(node);
-      const net::Endpoint owner = net::Endpoint::Node(catalog_->OwnerOf(
-          op.tuple));
-      const SimTime t0 = sim_.now();
-      co_await net_.Send(self, owner, kDataRequestBytes);
-      co_await net_.Send(owner, self, kDataRequestBytes);
-      timers->remote_access += sim_.now() - t0;
-    }
-    (*results)[i] = ApplyHostOp(op, *results, &undo);
-  }
-  const SimTime exec_cost = t.op_local * static_cast<SimTime>(txn.ops.size());
-  co_await sim::Delay(sim_, exec_cost);
-  timers->local_work += exec_cost;
-
-  co_await sim::Delay(sim_, t.wal_append);
-  timers->local_work += t.wal_append;
-  std::vector<db::HostLogOp> writes;
-  for (const auto& [tuple, column, old_value] : undo) {
-    (void)old_value;
-    writes.push_back(db::HostLogOp{
-        tuple, column,
-        catalog_->table(tuple.table).GetOrCreate(tuple.key)[column]});
-  }
-  wals_[node]->AppendHostCommit(std::move(writes));
-
-  if (config_.mode == EngineMode::kChiller) {
-    // Early release of the contended inner region (Figure 18b).
-    for (const LockPlanEntry& entry : plan) {
-      if (!entry.hot) continue;
-      db::LockManager* lm = lock_managers_[entry.owner].get();
-      if (entry.owner == node) {
-        lm->ReleaseOne(txn_id, entry.tuple);
-      } else {
-        const SimTime one_way = 2 * config_.network.node_to_switch_one_way;
-        const TupleId tuple = entry.tuple;
-        sim_.Schedule(one_way,
-                      [lm, txn_id, tuple] { lm->ReleaseOne(txn_id, tuple); });
-      }
-    }
-  }
-
-  // Commit: 2PC across remote participants, plain local commit otherwise.
-  bool has_remote = false;
-  for (const LockPlanEntry& entry : plan) {
-    if (entry.owner != node) has_remote = true;
-  }
-  if (has_remote) {
-    const SimTime rtt = NodeRttEstimate();
-    co_await sim::Delay(sim_, rtt + t.wal_append);  // PREPARE + votes
-    co_await sim::Delay(sim_, rtt);                 // COMMIT + acks
-    timers->commit += 2 * rtt + t.wal_append;
-  } else {
-    co_await sim::Delay(sim_, t.commit_local);
-    timers->commit += t.commit_local;
-  }
-
-  ReleaseLocks(node, txn_id, plan);
-  co_return true;
-}
-
-sim::CoTask<bool> Engine::ExecuteWarm(
-    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
-    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
-  const TimingConfig& t = config_.timing;
-  co_await sim::Delay(sim_, t.txn_setup);
-  timers->local_work += t.txn_setup;
-
-  // Phase 1: cold sub-transaction — acquire all cold locks and execute the
-  // cold ops so they can no longer abort (Figure 8).
-  const std::vector<LockPlanEntry> plan =
-      BuildLockPlan(txn, /*only_cold_ops=*/true);
-  for (const LockPlanEntry& entry : plan) {
-    const bool ok = co_await AcquireLock(node, entry, txn_id, ts, timers);
-    if (!ok) {
-      ReleaseLocks(node, txn_id, plan);
-      co_await sim::Delay(sim_, t.abort_cost);
-      timers->backoff += t.abort_cost;
-      co_return false;
-    }
-  }
-
-  // Partition ops into: hot (phase 2, switch), deferred cold (phase 3:
-  // inserts and cold ops that consume hot/deferred results — they cannot
-  // abort since every lock is already held, mirroring the paper's
-  // "offload dependent cold tuples" rule), and immediate cold (now).
-  std::vector<std::tuple<TupleId, uint16_t, Value64>> undo;
-  std::vector<bool> is_hot_op(txn.ops.size(), false);
-  std::vector<bool> deferred(txn.ops.size(), false);
-  for (size_t i = 0; i < txn.ops.size(); ++i) {
-    const db::Op& op = txn.ops[i];
-    if (op.type != db::OpType::kInsert && !op.key_from_src &&
-        pm_.IsHot(HotItem{op.tuple, op.column})) {
-      is_hot_op[i] = true;
-      continue;
-    }
-    const auto depends_deferred = [&](int16_t src) {
-      return src >= 0 && (is_hot_op[src] || deferred[src]);
-    };
-    deferred[i] = op.type == db::OpType::kInsert ||
-                  depends_deferred(op.operand_src) ||
-                  depends_deferred(op.operand_src2);
-    // Same-tuple program order: once an op on a tuple is deferred, every
-    // later cold op on that tuple must defer too.
-    for (size_t k = 0; !deferred[i] && k < i; ++k) {
-      deferred[i] = deferred[k] && !is_hot_op[k] &&
-                    txn.ops[k].type != db::OpType::kInsert &&
-                    txn.ops[k].tuple == op.tuple &&
-                    txn.ops[k].column == op.column;
-    }
-  }
-  size_t cold_ops = 0;
-  size_t deferred_ops = 0;
-  for (size_t i = 0; i < txn.ops.size(); ++i) {
-    if (is_hot_op[i]) continue;
-    if (deferred[i]) {
-      ++deferred_ops;
-      continue;
-    }
-    (*results)[i] = ApplyHostOp(txn.ops[i], *results, &undo);
-    ++cold_ops;
-  }
-  const SimTime exec_cost = t.op_local * static_cast<SimTime>(cold_ops);
-  if (exec_cost > 0) {
-    co_await sim::Delay(sim_, exec_cost);
-    timers->local_work += exec_cost;
-  }
-
-  // Compile the switch sub-transaction with cold results resolved.
-  auto compiled = pm_.Compile(txn, *results, node, next_client_seq_[node]++);
-  assert(compiled.ok() && "warm transaction's hot part must compile");
-
-  co_await sim::Delay(sim_, t.wal_append);
-  timers->local_work += t.wal_append;
-  const db::Lsn lsn = wals_[node]->AppendSwitchIntent(
-      compiled->txn.client_seq, compiled->txn.instrs);
-
-  // Voting phase of the extended 2PC (Figure 10) — only if the cold part is
-  // distributed.
-  std::unordered_set<NodeId> participants;
-  for (const LockPlanEntry& entry : plan) {
-    if (entry.owner != node) participants.insert(entry.owner);
-  }
-  if (!participants.empty()) {
-    const SimTime rtt = NodeRttEstimate();
-    co_await sim::Delay(sim_, rtt + t.wal_append);  // PREPARE + votes
-    timers->commit += rtt + t.wal_append;
-  }
-
-  // Phase 2: the switch sub-transaction. It commits on execution; the
-  // switch multicasts the decision to all nodes, which replaces the 2PC
-  // commit round (Figure 10).
-  const net::Endpoint self = net::Endpoint::Node(node);
-  const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
-  const size_t resp_bytes = sw::PacketCodec::ResponseWireSize(
-      compiled->txn.instrs.size());
-  const std::vector<uint16_t> op_index = compiled->op_index;
-
-  const SimTime t0 = sim_.now();
-  co_await net_.Send(self, net::Endpoint::Switch(),
-                     static_cast<uint32_t>(wire));
-  sw::SwitchResult res = co_await pipeline_.Submit(std::move(compiled->txn));
-
-  if (!participants.empty()) {
-    const std::vector<SimTime> arrivals =
-        net_.MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
-    // Remote participants commit & release when the multicast reaches them.
-    for (NodeId p : participants) {
-      db::LockManager* lm = lock_managers_[p].get();
-      sim_.ScheduleAt(arrivals[p], [lm, txn_id] { lm->ReleaseAll(txn_id); });
-    }
-    co_await sim::Delay(sim_, arrivals[node] - sim_.now());
-  } else {
-    co_await net_.Send(net::Endpoint::Switch(), self,
-                       static_cast<uint32_t>(resp_bytes));
-  }
-  timers->switch_access += sim_.now() - t0;
-
-  if (!node_crashed_[node]) {
-    wals_[node]->FillSwitchResult(lsn, res.gid, res.values);
-  }
-  for (size_t i = 0; i < op_index.size(); ++i) {
-    (*results)[op_index[i]] = res.values[i];
-  }
-
-  // Phase 3: deferred cold ops (inserts and hot-result consumers). They
-  // cannot abort; locks from phase 1 still cover them.
-  if (deferred_ops > 0) {
-    for (size_t i = 0; i < txn.ops.size(); ++i) {
-      if (!deferred[i]) continue;
-      (*results)[i] = ApplyHostOp(txn.ops[i], *results, &undo);
-    }
-    const SimTime def_cost =
-        t.op_local * static_cast<SimTime>(deferred_ops);
-    co_await sim::Delay(sim_, def_cost);
-    timers->local_work += def_cost;
-  }
-
-  co_await sim::Delay(sim_, t.commit_local);
-  timers->commit += t.commit_local;
-  // Local (coordinator-side) locks release now; remote ones were released
-  // by the multicast above.
-  lock_managers_[node]->ReleaseAll(txn_id);
-  co_return true;
-}
-
-sim::CoTask<bool> Engine::ExecuteAttempt(
-    NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
-    std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
-  const bool occ = config_.cc_protocol == CcProtocol::kOcc;
-  if (config_.mode == EngineMode::kP4db) {
-    switch (txn.cls) {
-      case db::TxnClass::kHot:
-        co_return co_await ExecuteHot(node, txn, results, timers);
-      case db::TxnClass::kWarm:
-        if (occ) {
-          co_return co_await ExecuteWarmOcc(node, txn, txn_id, ts, results,
-                                            timers);
-        }
-        co_return co_await ExecuteWarm(node, txn, txn_id, ts, results,
-                                       timers);
-      case db::TxnClass::kCold:
-        break;
-    }
-  }
-  if (occ) {
-    co_return co_await ExecuteColdOcc(node, txn, txn_id, ts, results,
-                                      timers);
-  }
-  co_return co_await ExecuteCold(node, txn, txn_id, ts, results, timers);
 }
 
 sim::Task Engine::RunWorker(NodeId node, WorkerId worker) {
@@ -663,10 +168,13 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker) {
     for (;;) {
       const uint64_t txn_id = next_txn_id_++;
       results.assign(txn.ops.size(), std::nullopt);
-      const bool ok =
-          co_await ExecuteAttempt(node, txn, txn_id, ts, &results, &timers);
+      const bool ok = co_await cc_->ExecuteAttempt(node, txn, txn_id, ts,
+                                                   &results, &timers);
       if (ok) break;
-      if (measuring_) metrics_.RecordAbort(txn.cls);
+      if (measuring_) {
+        metrics_.RecordAbort(txn.cls);
+        aborted_counter_->Increment();
+      }
       ++attempt;
       const SimTime backoff = BackoffDelay(attempt, rng);
       timers.backoff += backoff;
@@ -675,6 +183,7 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker) {
     if (measuring_) {
       metrics_.RecordCommit(txn.cls, txn.distributed, sim_.now() - start,
                             timers);
+      committed_counter_->Increment();
     }
   }
 }
@@ -695,6 +204,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   pipeline_.ResetStats();
   for (auto& lm : lock_managers_) lm->ResetStats();
   switch_lm_->ResetStats();
+  registry_.Reset();
   measuring_ = true;
   sim_.RunUntil(warmup + duration);
   measuring_ = false;
@@ -720,8 +230,8 @@ sim::Task Engine::DriveOnce(db::Transaction* txn, NodeId home,
   for (;;) {
     const uint64_t txn_id = next_txn_id_++;
     results->assign(txn->ops.size(), std::nullopt);
-    const bool ok =
-        co_await ExecuteAttempt(home, *txn, txn_id, ts, results, &timers);
+    const bool ok = co_await cc_->ExecuteAttempt(home, *txn, txn_id, ts,
+                                                 results, &timers);
     if (ok) break;
     ++attempt;
     co_await sim::Delay(sim_, BackoffDelay(attempt, rng));

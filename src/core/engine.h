@@ -3,11 +3,12 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/cc/concurrency_control.h"
 #include "core/config.h"
 #include "core/layout.h"
 #include "core/metrics.h"
@@ -39,6 +40,13 @@ struct OffloadReport {
 /// ToR switch (pipeline + control plane), the rack network, per-node lock
 /// managers and WALs — wired to a workload and executed under one of the
 /// four engine modes (P4DB, No-Switch, LM-Switch, Chiller).
+///
+/// The Engine is a thin orchestrator: it owns the shared infrastructure,
+/// runs the closed-loop workers, performs the offline offload and the
+/// crash/recovery hooks — and delegates all transaction execution to a
+/// pluggable cc::ConcurrencyControl strategy (TwoPhaseLocking or
+/// OptimisticCC, selected by SystemConfig::cc_protocol) that sees the
+/// cluster through a cc::ExecutionContext.
 ///
 /// Lifecycle: construct -> SetWorkload -> Offload -> Run (once) -> inspect
 /// metrics / state. Crash-recovery experiments use SimulateSwitchCrash +
@@ -93,88 +101,26 @@ class Engine {
   db::LockManager& switch_lock_manager() { return *switch_lm_; }
   db::Wal& wal(NodeId node) { return *wals_[node]; }
   const Metrics& metrics() const { return metrics_; }
+  /// The active execution strategy (2PL or OCC).
+  cc::ConcurrencyControl& concurrency_control() { return *cc_; }
+  /// Cluster-wide named counters/histograms published by Network, Pipeline,
+  /// LockManager, Wal and the engine itself; reset at the start of the
+  /// measured window; dumped as JSON by the bench harness.
+  MetricsRegistry& metrics_registry() { return registry_; }
+  const MetricsRegistry& metrics_registry() const { return registry_; }
 
  private:
-  struct LockPlanEntry {
-    TupleId tuple;
-    db::LockMode mode;
-    NodeId owner;
-    bool hot;
-  };
-
   sim::Task RunWorker(NodeId node, WorkerId worker);
   /// Driver for ExecuteOnce: retries one transaction to completion.
   sim::Task DriveOnce(db::Transaction* txn, NodeId home,
                       std::vector<std::optional<Value64>>* results,
                       bool* done);
-  sim::CoTask<bool> ExecuteAttempt(
-      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
-      std::vector<std::optional<Value64>>* results, TxnTimers* timers);
-  /// Entirely-on-switch transactions (Section 6.1). Never fails.
-  sim::CoTask<bool> ExecuteHot(NodeId node, db::Transaction& txn,
-                               std::vector<std::optional<Value64>>* results,
-                               TxnTimers* timers);
-  /// Host execution under 2PL/2PC; used for cold transactions and for
-  /// everything in the No-Switch / LM-Switch / Chiller modes.
-  sim::CoTask<bool> ExecuteCold(NodeId node, db::Transaction& txn,
-                                uint64_t txn_id, uint64_t ts,
-                                std::vector<std::optional<Value64>>* results,
-                                TxnTimers* timers);
-  /// Mixed transactions: cold sub-txn first, then the switch sub-txn with
-  /// the extended 2PC (Section 6.2, Figure 10).
-  sim::CoTask<bool> ExecuteWarm(NodeId node, db::Transaction& txn,
-                                uint64_t txn_id, uint64_t ts,
-                                std::vector<std::optional<Value64>>* results,
-                                TxnTimers* timers);
 
-  // -- Optimistic concurrency control (Appendix A.4), engine_occ.cc --
-
-  /// OCC state carried through one attempt: buffered writes, versions read.
-  struct OccContext;
-  /// Cold transactions under OCC: read phase (buffered), validation phase
-  /// (write locks + read-version checks), write phase.
-  sim::CoTask<bool> ExecuteColdOcc(
-      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
-      std::vector<std::optional<Value64>>* results, TxnTimers* timers);
-  /// Warm transactions under OCC: the switch sub-transaction is issued
-  /// after validation succeeds (the cold part can no longer abort) and the
-  /// switch's multicast doubles as the commit broadcast.
-  sim::CoTask<bool> ExecuteWarmOcc(
-      NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
-      std::vector<std::optional<Value64>>* results, TxnTimers* timers);
-  /// Applies one op against the OCC write buffer; reads record versions.
-  Value64 OccApplyOp(const db::Op& op,
-                     const std::vector<std::optional<Value64>>& results,
-                     OccContext* ctx);
-  uint64_t OccVersionOf(const TupleId& tuple) const;
-
-  /// Acquires one lock (possibly remote / at the switch for LM-Switch hot
-  /// items), charging the right timers. Returns false on abort decision.
-  sim::CoTask<bool> AcquireLock(NodeId node, const LockPlanEntry& entry,
-                                uint64_t txn_id, uint64_t ts,
-                                TxnTimers* timers);
-
-  std::vector<LockPlanEntry> BuildLockPlan(const db::Transaction& txn,
-                                           bool only_cold_ops) const;
-  /// Applies one op to host storage. `undo` collects (tuple, column, old
-  /// value) for every write — used to build the WAL commit record. There is
-  /// no rollback path: aborts can only happen during lock acquisition /
-  /// validation, before any write is applied (constrained writes skip
-  /// instead of aborting, matching the switch, Section 5.1).
-  Value64 ApplyHostOp(const db::Op& op,
-                      const std::vector<std::optional<Value64>>& results,
-                      std::vector<std::tuple<TupleId, uint16_t, Value64>>*
-                          undo);
-  /// Releases txn_id's locks at every involved node; remote releases take
-  /// effect after the release message's one-way latency.
-  void ReleaseLocks(NodeId node, uint64_t txn_id,
-                    const std::vector<LockPlanEntry>& plan);
-
-  SimTime NodeRttEstimate() const;
   SimTime BackoffDelay(int attempt, Rng& rng);
 
   SystemConfig config_;
   sim::Simulator sim_;
+  MetricsRegistry registry_;  // before the components that register into it
   net::Network net_;
   sw::Pipeline pipeline_;
   sw::ControlPlane control_plane_;
@@ -193,8 +139,15 @@ class Engine {
 
   uint64_t next_txn_id_ = 1;
   std::vector<uint32_t> next_client_seq_;
-  /// Per-tuple commit counters for OCC validation (Appendix A.4).
-  std::unordered_map<TupleId, uint64_t> occ_versions_;
+
+  /// Engine-level registry counters (committed / aborted attempts over the
+  /// measured window).
+  MetricsRegistry::Counter* committed_counter_ = nullptr;
+  MetricsRegistry::Counter* aborted_counter_ = nullptr;
+
+  /// The pluggable execution strategy. Declared last: its ExecutionContext
+  /// points at the members above.
+  std::unique_ptr<cc::ConcurrencyControl> cc_;
 };
 
 }  // namespace p4db::core

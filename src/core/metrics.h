@@ -24,7 +24,22 @@ struct TxnTimers {
     return lock_wait + remote_access + switch_access + local_work + commit +
            backoff;
   }
+
+  TxnTimers& operator+=(const TxnTimers& other) {
+    lock_wait += other.lock_wait;
+    remote_access += other.remote_access;
+    switch_access += other.switch_access;
+    local_work += other.local_work;
+    commit += other.commit;
+    backoff += other.backoff;
+    return *this;
+  }
 };
+
+inline TxnTimers operator+(TxnTimers lhs, const TxnTimers& rhs) {
+  lhs += rhs;
+  return lhs;
+}
 
 /// Aggregated results of one simulated run.
 struct Metrics {
@@ -47,12 +62,7 @@ struct Metrics {
     if (distributed) ++committed_distributed;
     latency_all.Record(latency_ns);
     latency_by_class[static_cast<int>(cls)].Record(latency_ns);
-    breakdown.lock_wait += timers.lock_wait;
-    breakdown.remote_access += timers.remote_access;
-    breakdown.switch_access += timers.switch_access;
-    breakdown.local_work += timers.local_work;
-    breakdown.commit += timers.commit;
-    breakdown.backoff += timers.backoff;
+    breakdown += timers;
   }
 
   void RecordAbort(db::TxnClass cls) {

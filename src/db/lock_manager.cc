@@ -29,7 +29,7 @@ bool LockManager::Compatible(const Entry& entry, uint64_t txn_id,
 
 sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
                                          TupleId tuple, LockMode mode) {
-  ++stats_.acquisitions;
+  Count(&stats_.acquisitions, mirror_.acquisitions);
   Entry& entry = table_[tuple];
 
   // Re-acquisition / upgrade detection.
@@ -42,28 +42,28 @@ sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
   }
   if (mine != nullptr) {
     if (mode == LockMode::kShared || mine->mode == LockMode::kExclusive) {
-      ++stats_.immediate_grants;
+      Count(&stats_.immediate_grants, mirror_.immediate_grants);
       return Ready(sim_, Status::Ok());  // already sufficient
     }
     // Shared -> exclusive upgrade: judged against the OTHER holders only.
     if (Compatible(entry, txn_id, LockMode::kExclusive)) {
       mine->mode = LockMode::kExclusive;
-      ++stats_.upgrades;
-      ++stats_.immediate_grants;
+      Count(&stats_.upgrades, mirror_.upgrades);
+      Count(&stats_.immediate_grants, mirror_.immediate_grants);
       return Ready(sim_, Status::Ok());
     }
     if (scheme_ == CcScheme::kNoWait) {
-      ++stats_.no_wait_aborts;
+      Count(&stats_.no_wait_aborts, mirror_.no_wait_aborts);
       return Ready(sim_, Status::Aborted("upgrade denied (NO_WAIT)"));
     }
     // WAIT_DIE: wait only if older than every other holder.
     for (const Holder& h : entry.holders) {
       if (h.txn_id != txn_id && h.ts <= ts) {
-        ++stats_.wait_die_aborts;
+        Count(&stats_.wait_die_aborts, mirror_.wait_die_aborts);
         return Ready(sim_, Status::Aborted("upgrade died (WAIT_DIE)"));
       }
     }
-    ++stats_.waits;
+    Count(&stats_.waits, mirror_.waits);
     Waiter w{txn_id, ts, LockMode::kExclusive, /*upgrade=*/true,
              sim::Promise<Status>(sim_)};
     auto f = w.promise.future();
@@ -79,12 +79,12 @@ sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
   if (!conflict) {
     entry.holders.push_back(Holder{txn_id, ts, mode});
     held_[txn_id].push_back(tuple);
-    ++stats_.immediate_grants;
+    Count(&stats_.immediate_grants, mirror_.immediate_grants);
     return Ready(sim_, Status::Ok());
   }
 
   if (scheme_ == CcScheme::kNoWait) {
-    ++stats_.no_wait_aborts;
+    Count(&stats_.no_wait_aborts, mirror_.no_wait_aborts);
     return Ready(sim_, Status::Aborted("lock denied (NO_WAIT)"));
   }
 
@@ -92,7 +92,7 @@ sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
   // transaction (holders and queued waiters).
   for (const Holder& h : entry.holders) {
     if (h.txn_id != txn_id && h.ts <= ts) {
-      ++stats_.wait_die_aborts;
+      Count(&stats_.wait_die_aborts, mirror_.wait_die_aborts);
       return Ready(sim_, Status::Aborted("died on holder (WAIT_DIE)"));
     }
   }
@@ -100,11 +100,11 @@ sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
     const bool incompatible =
         mode == LockMode::kExclusive || w.mode == LockMode::kExclusive;
     if (incompatible && w.txn_id != txn_id && w.ts <= ts) {
-      ++stats_.wait_die_aborts;
+      Count(&stats_.wait_die_aborts, mirror_.wait_die_aborts);
       return Ready(sim_, Status::Aborted("died on waiter (WAIT_DIE)"));
     }
   }
-  ++stats_.waits;
+  Count(&stats_.waits, mirror_.waits);
   Waiter w{txn_id, ts, mode, /*upgrade=*/false, sim::Promise<Status>(sim_)};
   auto f = w.promise.future();
   entry.waiters.push_back(std::move(w));
@@ -128,7 +128,7 @@ void LockManager::GrantWaiters(TupleId tuple, Entry& entry) {
       if (others) return;
       assert(mine != nullptr && "upgrader lost its shared lock");
       mine->mode = LockMode::kExclusive;
-      ++stats_.upgrades;
+      Count(&stats_.upgrades, mirror_.upgrades);
     } else {
       if (!Compatible(entry, w.txn_id, w.mode)) return;
       entry.holders.push_back(Holder{w.txn_id, w.ts, w.mode});

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/future.h"
@@ -40,8 +43,24 @@ struct LockStats {
 /// because WAIT_DIE waits-for chains are strictly ordered by timestamp.
 class LockManager {
  public:
-  LockManager(sim::Simulator* sim, CcScheme scheme)
-      : sim_(sim), scheme_(scheme) {}
+  /// `metrics` (optional) is the cluster registry; stats are mirrored into
+  /// "<prefix>.*" counters there. All node lock managers of one cluster
+  /// share a prefix (the registry aggregates their counts); the switch lock
+  /// manager gets its own. The local LockStats stays per-instance.
+  LockManager(sim::Simulator* sim, CcScheme scheme,
+              MetricsRegistry* metrics = nullptr,
+              std::string_view prefix = "lock")
+      : sim_(sim), scheme_(scheme) {
+    if (metrics != nullptr) {
+      const std::string p(prefix);
+      mirror_.acquisitions = &metrics->counter(p + ".acquisitions");
+      mirror_.immediate_grants = &metrics->counter(p + ".immediate_grants");
+      mirror_.waits = &metrics->counter(p + ".waits");
+      mirror_.no_wait_aborts = &metrics->counter(p + ".no_wait_aborts");
+      mirror_.wait_die_aborts = &metrics->counter(p + ".wait_die_aborts");
+      mirror_.upgrades = &metrics->counter(p + ".upgrades");
+    }
+  }
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -92,9 +111,24 @@ class LockManager {
   void GrantWaiters(TupleId tuple, Entry& entry);
   static bool Compatible(const Entry& entry, uint64_t txn_id, LockMode mode);
 
+  struct Mirror {
+    MetricsRegistry::Counter* acquisitions = nullptr;
+    MetricsRegistry::Counter* immediate_grants = nullptr;
+    MetricsRegistry::Counter* waits = nullptr;
+    MetricsRegistry::Counter* no_wait_aborts = nullptr;
+    MetricsRegistry::Counter* wait_die_aborts = nullptr;
+    MetricsRegistry::Counter* upgrades = nullptr;
+  };
+  /// Bumps a local stat and its registry mirror together.
+  static void Count(uint64_t* local, MetricsRegistry::Counter* mirror) {
+    ++*local;
+    if (mirror != nullptr) mirror->Increment();
+  }
+
   sim::Simulator* sim_;
   CcScheme scheme_;
   LockStats stats_;
+  Mirror mirror_;
   std::unordered_map<TupleId, Entry> table_;
   std::unordered_map<uint64_t, std::vector<TupleId>> held_;
 };

@@ -10,6 +10,10 @@ Lsn Wal::AppendHostCommit(std::vector<HostLogOp> writes) {
   rec.lsn = records_.size();
   rec.kind = LogKind::kHostCommit;
   rec.host_writes = std::move(writes);
+  if (host_commits_ != nullptr) {
+    host_commits_->Increment();
+    logged_writes_->Increment(rec.host_writes.size());
+  }
   records_.push_back(std::move(rec));
   return records_.back().lsn;
 }
@@ -21,6 +25,7 @@ Lsn Wal::AppendSwitchIntent(uint32_t client_seq,
   rec.kind = LogKind::kSwitchIntent;
   rec.client_seq = client_seq;
   rec.instrs = std::move(instrs);
+  if (switch_intents_ != nullptr) switch_intents_->Increment();
   records_.push_back(std::move(rec));
   return records_.back().lsn;
 }

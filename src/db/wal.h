@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/types.h"
 #include "switchsim/instruction.h"
 
@@ -55,7 +56,16 @@ struct LogRecord {
 /// gids of in-flight switch transactions.
 class Wal {
  public:
-  Wal() = default;
+  /// `metrics` (optional) is the cluster registry; appends are published as
+  /// "wal.host_commits" / "wal.switch_intents" / "wal.logged_writes"
+  /// counters, aggregated across all node WALs of the cluster.
+  explicit Wal(MetricsRegistry* metrics = nullptr) {
+    if (metrics != nullptr) {
+      host_commits_ = &metrics->counter("wal.host_commits");
+      switch_intents_ = &metrics->counter("wal.switch_intents");
+      logged_writes_ = &metrics->counter("wal.logged_writes");
+    }
+  }
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
@@ -74,6 +84,9 @@ class Wal {
 
  private:
   std::vector<LogRecord> records_;
+  MetricsRegistry::Counter* host_commits_ = nullptr;
+  MetricsRegistry::Counter* switch_intents_ = nullptr;
+  MetricsRegistry::Counter* logged_writes_ = nullptr;
 };
 
 }  // namespace p4db::db

@@ -6,10 +6,18 @@
 
 namespace p4db::net {
 
-Network::Network(sim::Simulator* sim, const NetworkConfig& config)
+Network::Network(sim::Simulator* sim, const NetworkConfig& config,
+                 MetricsRegistry* metrics)
     : sim_(sim),
       config_(config),
-      link_busy_until_(static_cast<size_t>(config.num_nodes) * 3, 0) {}
+      link_busy_until_(static_cast<size_t>(config.num_nodes) * 3, 0) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  messages_sent_ = &metrics->counter("net.messages_sent");
+  bytes_sent_ = &metrics->counter("net.bytes_sent");
+}
 
 SimTime Network::PropagationDelay(Endpoint from, Endpoint to) const {
   if (from == to) return 0;
@@ -19,8 +27,8 @@ SimTime Network::PropagationDelay(Endpoint from, Endpoint to) const {
 
 SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
   if (from == to) return sim_->now();
-  ++messages_sent_;
-  bytes_sent_ += bytes;
+  messages_sent_->Increment();
+  bytes_sent_->Increment(bytes);
   const SimTime ser = static_cast<SimTime>(
       std::llround(static_cast<double>(bytes) * config_.ns_per_byte));
   const SimTime start = sim_->now() + config_.send_overhead;

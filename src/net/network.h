@@ -2,8 +2,10 @@
 #define P4DB_NET_NETWORK_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -50,7 +52,11 @@ struct NetworkConfig {
 /// switchsim, not here).
 class Network {
  public:
-  Network(sim::Simulator* sim, const NetworkConfig& config);
+  /// `metrics` is the cluster-wide registry the network publishes its
+  /// counters into ("net.messages_sent", "net.bytes_sent"); when null the
+  /// network owns a private registry so standalone use keeps working.
+  Network(sim::Simulator* sim, const NetworkConfig& config,
+          MetricsRegistry* metrics = nullptr);
 
   /// One-way latency between endpoints, excluding serialization/queueing.
   SimTime PropagationDelay(Endpoint from, Endpoint to) const;
@@ -72,8 +78,8 @@ class Network {
   std::vector<SimTime> MulticastFromSwitch(uint32_t bytes);
 
   const NetworkConfig& config() const { return config_; }
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return messages_sent_->value(); }
+  uint64_t bytes_sent() const { return bytes_sent_->value(); }
 
  private:
   // Index into link_busy_until_: per node, [0] = node uplink (node->switch),
@@ -87,8 +93,9 @@ class Network {
   sim::Simulator* sim_;
   NetworkConfig config_;
   std::vector<SimTime> link_busy_until_;
-  uint64_t messages_sent_ = 0;
-  uint64_t bytes_sent_ = 0;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // standalone fallback
+  MetricsRegistry::Counter* messages_sent_;
+  MetricsRegistry::Counter* bytes_sent_;
 };
 
 }  // namespace p4db::net

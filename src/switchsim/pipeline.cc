@@ -118,11 +118,26 @@ uint8_t Pipeline::LockDemand(const std::vector<Instruction>& instrs) const {
   return LockDemandFor(config_, instrs);
 }
 
-Pipeline::Pipeline(sim::Simulator* sim, const PipelineConfig& config)
+Pipeline::Pipeline(sim::Simulator* sim, const PipelineConfig& config,
+                   MetricsRegistry* metrics)
     : sim_(sim),
       config_(config),
       registers_(config),
-      waiting_port_busy_(config.num_waiting_ports, 0) {}
+      waiting_port_busy_(config.num_waiting_ports, 0) {
+  if (metrics != nullptr) {
+    mirror_.txns_completed = &metrics->counter("switch.txns_completed");
+    mirror_.single_pass_txns = &metrics->counter("switch.single_pass_txns");
+    mirror_.multi_pass_txns = &metrics->counter("switch.multi_pass_txns");
+    mirror_.total_passes = &metrics->counter("switch.total_passes");
+    mirror_.lock_blocked_recircs =
+        &metrics->counter("switch.lock_blocked_recircs");
+    mirror_.holder_recircs = &metrics->counter("switch.holder_recircs");
+    mirror_.lock_acquisitions = &metrics->counter("switch.lock_acquisitions");
+    mirror_.constrained_write_failures =
+        &metrics->counter("switch.constrained_write_failures");
+    mirror_.recircs_per_txn = &metrics->histogram("switch.recircs_per_txn");
+  }
+}
 
 Status Pipeline::Validate(const SwitchTxn& txn) const {
   if (txn.instrs.empty()) {
@@ -187,6 +202,7 @@ void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
     // stateful register operation).
     if ((lock_register_ & fl->txn.touch_mask) != 0) {
       ++stats_.lock_blocked_recircs;
+      Bump(mirror_.lock_blocked_recircs);
       RecirculateBlocked(std::move(fl));
       return;
     }
@@ -194,6 +210,7 @@ void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
       lock_register_ |= fl->txn.lock_mask;
       fl->holds_locks = true;
       ++stats_.lock_acquisitions;
+      Bump(mirror_.lock_acquisitions);
     }
   }
 
@@ -227,13 +244,20 @@ void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
   // Final pass: emit the response at egress.
   fl->result.recirculations = fl->txn.nb_recircs;
   ++stats_.txns_completed;
+  Bump(mirror_.txns_completed);
   stats_.total_passes += fl->result.passes;
+  Bump(mirror_.total_passes, fl->result.passes);
   if (fl->txn.is_multipass) {
     ++stats_.multi_pass_txns;
+    Bump(mirror_.multi_pass_txns);
   } else {
     ++stats_.single_pass_txns;
+    Bump(mirror_.single_pass_txns);
   }
   stats_.recircs_per_txn.Record(fl->txn.nb_recircs);
+  if (mirror_.recircs_per_txn != nullptr) {
+    mirror_.recircs_per_txn->Record(fl->txn.nb_recircs);
+  }
   fl->reply.SetAfter(config_.PassLatency(), std::move(fl->result));
 }
 
@@ -247,7 +271,10 @@ bool Pipeline::ExecutePass(Inflight& fl) {
         ApplyInstruction(fl, fl.txn.instrs[i], &constraint_ok);
     fl.result.constraint_ok[i] = constraint_ok;
     fl.exec_pass[i] = cur_pass;
-    if (!constraint_ok) ++stats_.constrained_write_failures;
+    if (!constraint_ok) {
+      ++stats_.constrained_write_failures;
+      Bump(mirror_.constrained_write_failures);
+    }
   }
   fl.remaining -= executable.size();
   return fl.remaining == 0;
@@ -326,6 +353,7 @@ void Pipeline::RecirculateBlocked(std::shared_ptr<Inflight> fl) {
 
 void Pipeline::RecirculateHolder(std::shared_ptr<Inflight> fl) {
   ++stats_.holder_recircs;
+  Bump(mirror_.holder_recircs);
   if (fl->txn.nb_recircs < 255) ++fl->txn.nb_recircs;
   const size_t bytes = PacketCodec::WireSize(fl->txn);
   SimTime* port = &fast_port_busy_;

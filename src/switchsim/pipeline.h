@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/future.h"
@@ -67,7 +68,11 @@ struct PipelineStats {
 ///    fast-recirculate optimization is on (Section 5.3).
 class Pipeline {
  public:
-  Pipeline(sim::Simulator* sim, const PipelineConfig& config);
+  /// `metrics` (optional) is the cluster registry; the pipeline mirrors its
+  /// stats into "switch.*" counters/histograms there so benchmark dumps see
+  /// them. The local PipelineStats snapshot stays authoritative for tests.
+  Pipeline(sim::Simulator* sim, const PipelineConfig& config,
+           MetricsRegistry* metrics = nullptr);
 
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
@@ -139,10 +144,28 @@ class Pipeline {
   void RecirculateHolder(std::shared_ptr<Inflight> fl);
   SimTime ReserveRecircPort(SimTime* busy_until, size_t bytes);
 
+  /// Registry mirrors of the PipelineStats fields (null when the pipeline
+  /// runs without a cluster registry).
+  struct Mirror {
+    MetricsRegistry::Counter* txns_completed = nullptr;
+    MetricsRegistry::Counter* single_pass_txns = nullptr;
+    MetricsRegistry::Counter* multi_pass_txns = nullptr;
+    MetricsRegistry::Counter* total_passes = nullptr;
+    MetricsRegistry::Counter* lock_blocked_recircs = nullptr;
+    MetricsRegistry::Counter* holder_recircs = nullptr;
+    MetricsRegistry::Counter* lock_acquisitions = nullptr;
+    MetricsRegistry::Counter* constrained_write_failures = nullptr;
+    Histogram* recircs_per_txn = nullptr;
+  };
+  static void Bump(MetricsRegistry::Counter* c, uint64_t delta = 1) {
+    if (c != nullptr) c->Increment(delta);
+  }
+
   sim::Simulator* sim_;
   PipelineConfig config_;
   RegisterFile registers_;
   PipelineStats stats_;
+  Mirror mirror_;
 
   uint8_t lock_register_ = 0;  // Listing 1 state: bit0 left, bit1 right
   Gid next_gid_ = 1;

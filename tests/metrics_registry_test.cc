@@ -1,0 +1,161 @@
+#include "common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "workload/ycsb.h"
+
+namespace p4db {
+namespace {
+
+TEST(MetricsRegistryTest, CounterGetOrCreateReturnsStableIdentity) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter& a = reg.counter("x.hits");
+  MetricsRegistry::Counter& b = reg.counter("x.hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.num_counters(), 1u);
+
+  a.Increment();
+  a.Increment(5);
+  EXPECT_EQ(b.value(), 6u);
+}
+
+TEST(MetricsRegistryTest, CounterAddressesSurviveFurtherRegistration) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter* first = &reg.counter("a");
+  // Force re-balancing of the underlying map with many more entries.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("bulk." + std::to_string(i)).Increment();
+  }
+  EXPECT_EQ(first, &reg.counter("a"));
+  first->Increment(7);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+}
+
+TEST(MetricsRegistryTest, SetAndReset) {
+  MetricsRegistry reg;
+  reg.counter("c").Set(42);
+  reg.histogram("h").Record(10);
+  reg.histogram("h").Record(20);
+  EXPECT_EQ(reg.counter("c").value(), 42u);
+  EXPECT_EQ(reg.histogram("h").count(), 2u);
+
+  reg.Reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+  // Reset clears values but keeps registrations (components hold pointers).
+  EXPECT_EQ(reg.num_counters(), 1u);
+  EXPECT_EQ(reg.num_histograms(), 1u);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
+  reg.counter("present");
+  EXPECT_NE(reg.FindCounter("present"), nullptr);
+  EXPECT_EQ(reg.num_counters(), 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("net.messages_sent").Set(3);
+  reg.counter("wal.host_commits").Set(1);
+  reg.histogram("switch.recircs_per_txn").Record(2);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.messages_sent\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"wal.host_commits\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"switch.recircs_per_txn\""), std::string::npos);
+
+  // Balanced braces and quotes — cheap structural sanity.
+  int depth = 0;
+  size_t quotes = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    } else if (!in_string && c == '{') {
+      ++depth;
+    } else if (!in_string && c == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0u);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesSpecialCharacters) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\here").Set(1);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("weird\\\"name\\\\here"), std::string::npos);
+}
+
+// Components register into the engine-owned registry: every subsystem named
+// by the execution-layer refactor must publish at least its headline
+// counters, and running a workload must move them.
+TEST(MetricsRegistryTest, EngineComponentsPublishCounters) {
+  core::SystemConfig cfg;
+  cfg.mode = core::EngineMode::kP4db;
+  cfg.num_nodes = 4;
+  cfg.workers_per_node = 4;
+  cfg.seed = 7;
+
+  wl::YcsbConfig wcfg;
+  wcfg.table_size = 100000;
+  wcfg.hot_keys_per_node = 10;
+  wl::Ycsb workload(wcfg);
+
+  core::Engine engine(cfg);
+  engine.SetWorkload(&workload);
+  engine.Offload(/*sample_size=*/5000,
+                 /*max_hot_items=*/10ull * cfg.num_nodes);
+
+  const MetricsRegistry& reg = engine.metrics_registry();
+  // Registration happens at construction, before any traffic.
+  EXPECT_NE(reg.FindCounter("net.messages_sent"), nullptr);
+  EXPECT_NE(reg.FindCounter("net.bytes_sent"), nullptr);
+  EXPECT_NE(reg.FindCounter("switch.txns_completed"), nullptr);
+  EXPECT_NE(reg.FindCounter("lock.node.acquisitions"), nullptr);
+  EXPECT_NE(reg.FindCounter("lock.switch.acquisitions"), nullptr);
+  EXPECT_NE(reg.FindCounter("wal.host_commits"), nullptr);
+  EXPECT_NE(reg.FindCounter("engine.committed"), nullptr);
+  EXPECT_NE(reg.FindHistogram("switch.recircs_per_txn"), nullptr);
+
+  const core::Metrics m = engine.Run(kMillisecond, 2 * kMillisecond);
+  ASSERT_GT(m.committed, 0u);
+
+  EXPECT_EQ(reg.FindCounter("engine.committed")->value(), m.committed);
+  EXPECT_GT(reg.FindCounter("net.messages_sent")->value(), 0u);
+  EXPECT_GT(reg.FindCounter("wal.host_commits")->value(), 0u);
+  // P4DB mode with an offloaded hot set must drive the switch pipeline.
+  EXPECT_GT(reg.FindCounter("switch.txns_completed")->value(), 0u);
+
+  // The engine dump is valid input for the bench JSON writer.
+  const std::string json = reg.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("engine.committed"), std::string::npos);
+}
+
+// Shared names aggregate: all per-node lock managers feed the same
+// "lock.node.*" counters, so the registry view is cluster-wide.
+TEST(MetricsRegistryTest, PerNodeLockManagersAggregateIntoSharedCounters) {
+  MetricsRegistry reg;
+  sim::Simulator sim;
+  db::LockManager lm0(&sim, db::CcScheme::kWaitDie, &reg, "lock.node");
+  db::LockManager lm1(&sim, db::CcScheme::kWaitDie, &reg, "lock.node");
+  EXPECT_EQ(reg.num_counters(), 6u);  // one shared family, not two
+}
+
+}  // namespace
+}  // namespace p4db
