@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <vector>
 
@@ -82,6 +83,12 @@ void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
   entry += ", \"abort_rate\": ";
   std::snprintf(buf, sizeof(buf), "%.4f", out.metrics.AbortRate());
   entry += buf;
+  entry += ", \"wall_seconds\": ";
+  std::snprintf(buf, sizeof(buf), "%.6f", out.wall_seconds);
+  entry += buf;
+  entry += ", \"events_per_sec\": ";
+  std::snprintf(buf, sizeof(buf), "%.0f", out.events_per_sec);
+  entry += buf;
   entry += ", \"registry\": ";
   entry += out.metrics_json;
   entry += "}";
@@ -107,9 +114,27 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
   engine.SetWorkload(workload);
   RunOutput out;
   out.offload = engine.Offload(sample_size, max_hot_items);
+  const auto wall_start = std::chrono::steady_clock::now();
   out.metrics = engine.Run(time.warmup, time.measure);
+  const auto wall_end = std::chrono::steady_clock::now();
   out.pipeline = engine.pipeline().stats();
   out.throughput = out.metrics.Throughput(time.measure);
+  out.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  out.sim_events = engine.simulator().executed_events();
+  out.events_per_sec =
+      out.wall_seconds > 0
+          ? static_cast<double>(out.sim_events) / out.wall_seconds
+          : 0;
+  // Published into the registry AFTER Run so the harness speed rides along
+  // in every BENCH_<name>.json registry dump (Run resets the registry at
+  // the start of the measured window).
+  engine.metrics_registry()
+      .counter("harness.events_per_sec")
+      .Set(static_cast<uint64_t>(out.events_per_sec));
+  engine.metrics_registry()
+      .counter("harness.wall_us")
+      .Set(static_cast<uint64_t>(out.wall_seconds * 1e6));
   out.metrics_json = engine.metrics_registry().ToJson();
   RecordRun(config, *workload, out);
   return out;

@@ -28,7 +28,10 @@ struct RunOutput {
   core::Metrics metrics;
   sw::PipelineStats pipeline;
   core::OffloadReport offload;
-  double throughput = 0;      // committed txn/s
+  double throughput = 0;      // committed txn/s (simulated time)
+  double wall_seconds = 0;    // host wall-clock spent inside Engine::Run
+  uint64_t sim_events = 0;    // simulator events executed by the run
+  double events_per_sec = 0;  // sim_events / wall_seconds (harness speed)
   std::string metrics_json;   // engine MetricsRegistry dump for this run
 };
 

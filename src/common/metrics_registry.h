@@ -45,6 +45,21 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Process-wide discard sinks. Components that mirror their stats into an
+  /// *optional* registry point at these when none was supplied, so the hot
+  /// path stays an unconditional increment through a stable pointer instead
+  /// of a null check and branch per bump. Writes land in a static dummy
+  /// nothing ever reads; both are constant-memory, so unbounded traffic is
+  /// harmless.
+  static Counter& NullCounter() {
+    static Counter sink;
+    return sink;
+  }
+  static Histogram& NullHistogram() {
+    static Histogram sink;
+    return sink;
+  }
+
   /// Lookup without creating; nullptr if absent.
   const Counter* FindCounter(std::string_view name) const;
   const Histogram* FindHistogram(std::string_view name) const;

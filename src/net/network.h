@@ -67,7 +67,9 @@ class Network {
   SimTime ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes);
 
   /// Awaitable convenience: suspends the calling coroutine until the
-  /// message would arrive at `to`.
+  /// message would arrive at `to`. Rides the simulator's ScheduleResume
+  /// fast path (via DelayAwaiter): one Send is one inline queue entry, no
+  /// callback allocation.
   sim::DelayAwaiter Send(Endpoint from, Endpoint to, uint32_t bytes) {
     return sim::DelayAwaiter(sim_, ArrivalTime(from, to, bytes) - sim_->now());
   }

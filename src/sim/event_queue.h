@@ -1,0 +1,358 @@
+#ifndef P4DB_SIM_EVENT_QUEUE_H_
+#define P4DB_SIM_EVENT_QUEUE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/inline_event.h"
+
+namespace p4db::sim {
+
+/// One scheduled simulator event, as handed back by EventQueue::PopMin.
+/// `seq` is the global insertion sequence number; the queue pops in
+/// ascending (time, seq) order, which is the FIFO-within-timestamp contract
+/// every seeded run's bit-reproducibility rests on.
+struct Event {
+  SimTime time;
+  uint64_t seq;
+  InlineEvent fn;
+};
+
+/// Multi-tier calendar/ladder priority queue specialized for discrete-event
+/// simulation, replacing the binary-heap `std::priority_queue`.
+///
+/// Internally an event is a 16-byte key — {time, seq packed with a payload
+/// slot index} — and the callback payload lives in a slab indexed by that
+/// slot, so every structural operation (heap sift, bucket scatter) moves
+/// small PODs, never the 64-byte callback object.
+///
+/// Tiers, from "now" to far future:
+///  * `now_fifo_`: events scheduled AT the drain timestamp while it is
+///    being drained — the zero-delay resume pattern (promise wakeups,
+///    Submit, admission-edge retries). Only a zero delay can hit the
+///    running timestamp and seq grows with every insert, so a plain FIFO
+///    is exact; push and pop are O(1) with no comparisons. Zero-delay
+///    payloads ride a parallel FIFO (`now_pay_`) and skip the slab
+///    entirely: this lane is the hottest pattern in the engine.
+///  * `bottom_`: drain heap, a small binary min-heap on (time, seq)
+///    holding the current drain bucket when it is sparse, plus late
+///    inserts that land below the drain cursor. O(log k) in the *bucket*
+///    population, not the whole queue.
+///  * `sub_` (rung 1): when a calendar bucket is pulled with more than
+///    kSplitThreshold events it is scattered into 2^kWidthShift
+///    sub-buckets of one nanosecond each. SimTime is integral
+///    nanoseconds, so a sub-bucket holds exactly one timestamp — and
+///    because each bucket's contents are seq-ascending per timestamp (see
+///    invariant below), a sub-bucket is already in final order: draining
+///    it is a pointer swap into `now_fifo_`, no sorting, no comparisons.
+///  * `ring_` (rung 0): kNumBuckets unsorted append-only calendar buckets,
+///    each 2^kWidthShift ns of simulated time wide, covering
+///    [cur_bucket_, cur_bucket_ + kNumBuckets). Insert is an amortized
+///    O(1) push_back with no comparisons.
+///  * `overflow_`: a binary min-heap on (time, seq) for events beyond the
+///    ring horizon (~0.5 ms with the defaults: coarse backoffs, benchmark
+///    horizon marks). Migrated into the ring as the window advances.
+///
+/// Ordering invariant: within any single timestamp, every container holds
+/// events in ascending seq. Direct inserts are globally seq-ascending;
+/// overflow events migrate into a ring bucket in full (time, seq) order
+/// and always before any direct insert reaches that bucket (a push only
+/// goes to the ring once the window covers the bucket, and migration runs
+/// exactly when the window first covers it). Pop order is therefore
+/// *exactly* ascending (time, seq) — identical to the old global heap.
+class EventQueue {
+ public:
+  /// 1024 buckets x 512 ns: the ring spans ~524 us of simulated future,
+  /// comfortably past per-pass/recirculation/network delays (0.1–5 us).
+  static constexpr int kWidthShift = 9;  // 512 ns per bucket
+  static constexpr size_t kNumBuckets = 1024;
+  /// Rung-1 sub-buckets per calendar bucket: one per nanosecond of width.
+  static constexpr size_t kSubBuckets = size_t{1} << kWidthShift;
+  /// Bucket population above which scattering into rung 1 beats a heap.
+  static constexpr size_t kSplitThreshold = 48;
+  /// Consumed-prefix length at which the now-FIFO compacts in place.
+  static constexpr size_t kCompactThreshold = 1024;
+
+  EventQueue() : ring_(kNumBuckets), sub_(kSubBuckets) {}
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void Push(SimTime time, uint64_t seq, InlineEvent fn) {
+    assert(time >= 0);
+    assert(seq < (uint64_t{1} << kSeqBits) && "seq space exhausted");
+    ++size_;
+    if (time == drain_time_) {
+      // Zero-delay fast lane: seq is monotone, FIFO order is exact. The
+      // payload goes straight into the parallel FIFO — no slab round-trip.
+      now_fifo_.push_back(Key{time, (seq << kSlotBits) | kDirectSlot});
+      now_pay_.push_back(std::move(fn));
+      return;
+    }
+    const Key key{time, (seq << kSlotBits) | AllocSlot(std::move(fn))};
+    const uint64_t b = BucketOf(time);
+    if (sub_active_ && b == sub_bucket_) {
+      const size_t s = SubIndexOf(time);
+      if (s >= sub_cursor_) {
+        sub_[s].push_back(key);
+        ++sub_count_;
+        return;
+      }
+      // Below the rung-1 drain cursor: fall through to the drain heap.
+    } else if (b >= cur_bucket_ + kNumBuckets) {
+      overflow_.push_back(key);
+      std::push_heap(overflow_.begin(), overflow_.end(), LaterFirst{});
+      return;
+    } else if (b >= cur_bucket_) {
+      ring_[b & kRingMask].push_back(key);
+      ++ring_count_;
+      return;
+    }
+    bottom_.push_back(key);
+    std::push_heap(bottom_.begin(), bottom_.end(), LaterFirst{});
+  }
+
+  /// Smallest (time, seq) event's timestamp. Queue must be non-empty.
+  SimTime MinTime() {
+    assert(size_ > 0);
+    if (now_head_ < now_fifo_.size()) {
+      // Late inserts below the drain cursor sit in bottom_ and may precede
+      // the FIFO; both can only tie on the timestamp itself.
+      if (!bottom_.empty() && bottom_.front().time < drain_time_) {
+        return bottom_.front().time;
+      }
+      return drain_time_;
+    }
+    if (bottom_.empty()) Advance();
+    if (now_head_ < now_fifo_.size()) return drain_time_;
+    return bottom_.front().time;
+  }
+
+  /// Removes and returns the smallest (time, seq) event.
+  Event PopMin() {
+    assert(size_ > 0);
+    --size_;
+    if (now_head_ >= now_fifo_.size() && bottom_.empty()) Advance();
+    if (now_head_ < now_fifo_.size()) {
+      const Key fifo_front = now_fifo_[now_head_];
+      // Same-timestamp events still in the drain heap were inserted before
+      // anything in the FIFO (smaller seq), and late sub-cursor inserts in
+      // the heap may precede the FIFO's timestamp outright.
+      if (bottom_.empty() || LaterFirst{}(bottom_.front(), fifo_front)) {
+        Event ev{fifo_front.time, fifo_front.seqslot >> kSlotBits,
+                 SlotOf(fifo_front) == kDirectSlot
+                     ? std::move(now_pay_[pay_head_++])
+                     : TakeSlot(SlotOf(fifo_front))};
+        if (++now_head_ == now_fifo_.size()) {
+          now_fifo_.clear();
+          now_head_ = 0;
+          now_pay_.clear();
+          pay_head_ = 0;
+        } else if (now_head_ >= kCompactThreshold &&
+                   now_fifo_.size() - now_head_ <= now_head_) {
+          // A busy timestamp appends while the head chases the tail; drop
+          // the consumed prefix so the live window stays cache-resident
+          // instead of streaming through an ever-growing vector. The live
+          // tail is no longer than the prefix, so this stays amortized
+          // O(1) per pop.
+          now_fifo_.erase(now_fifo_.begin(),
+                          now_fifo_.begin() +
+                              static_cast<std::ptrdiff_t>(now_head_));
+          now_head_ = 0;
+          now_pay_.erase(now_pay_.begin(),
+                         now_pay_.begin() +
+                             static_cast<std::ptrdiff_t>(pay_head_));
+          pay_head_ = 0;
+        }
+        return ev;
+      }
+    }
+    std::pop_heap(bottom_.begin(), bottom_.end(), LaterFirst{});
+    const Key key = bottom_.back();
+    bottom_.pop_back();
+    drain_time_ = key.time;
+    return Event{key.time, key.seqslot >> kSlotBits, TakeSlot(SlotOf(key))};
+  }
+
+  /// Drops every queued event in O(n) (the old binary heap could only pop
+  /// them one by one, O(n log n)). Bucket capacity is retained so a reused
+  /// queue does not re-grow.
+  void Clear() {
+    now_fifo_.clear();
+    now_head_ = 0;
+    now_pay_.clear();  // destroys pending zero-delay callbacks
+    pay_head_ = 0;
+    bottom_.clear();
+    if (ring_count_ > 0) {
+      for (auto& bucket : ring_) bucket.clear();
+    }
+    if (sub_count_ > 0) {
+      for (auto& bucket : sub_) bucket.clear();
+    }
+    sub_active_ = false;
+    overflow_.clear();
+    slab_.clear();  // destroys every other pending callback
+    free_slots_.clear();
+    ring_count_ = 0;
+    sub_count_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr uint64_t kRingMask = kNumBuckets - 1;
+  static constexpr uint64_t kSubMask = kSubBuckets - 1;
+  static_assert((kNumBuckets & kRingMask) == 0, "ring size must be 2^k");
+
+  /// Keys pack seq (high 40 bits) and the slab slot (low 24 bits) into one
+  /// word. seq is globally unique, so comparing the packed word orders by
+  /// seq alone — the slot bits never decide. 2^40 events per run and 2^24
+  /// simultaneously pending events are far beyond anything the simulator
+  /// reaches (the old heap at 2^24 pending was already >1 GiB).
+  static constexpr int kSlotBits = 24;
+  static constexpr int kSeqBits = 64 - kSlotBits;
+  static constexpr uint32_t kDirectSlot = (uint32_t{1} << kSlotBits) - 1;
+
+  struct Key {
+    SimTime time;
+    uint64_t seqslot;
+  };
+
+  struct LaterFirst {  // max-heap comparator -> std::*_heap act as min-heap
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seqslot > b.seqslot;
+    }
+  };
+
+  static uint32_t SlotOf(const Key& key) {
+    return static_cast<uint32_t>(key.seqslot) & kDirectSlot;
+  }
+  static uint64_t BucketOf(SimTime time) {
+    return static_cast<uint64_t>(time) >> kWidthShift;
+  }
+  static size_t SubIndexOf(SimTime time) {
+    return static_cast<size_t>(static_cast<uint64_t>(time) & kSubMask);
+  }
+
+  uint32_t AllocSlot(InlineEvent fn) {
+    if (free_slots_.empty()) {
+      slab_.push_back(std::move(fn));
+      assert(slab_.size() < kDirectSlot && "slab slot space exhausted");
+      return static_cast<uint32_t>(slab_.size() - 1);
+    }
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = std::move(fn);
+    return slot;
+  }
+
+  InlineEvent TakeSlot(uint32_t slot) {
+    free_slots_.push_back(slot);
+    return std::move(slab_[slot]);
+  }
+
+  /// Refills now_fifo_ or bottom_ from the rungs (and the ring from the
+  /// overflow heap). Precondition: both are empty, size_ > 0.
+  void Advance() {
+    if (sub_active_) {
+      if (sub_count_ > 0) {
+        PullSubBucket();
+        return;
+      }
+      sub_active_ = false;
+    }
+    if (ring_count_ == 0) {
+      // Ring is dry; jump the window straight to the overflow minimum
+      // (always >= cur_bucket_ + kNumBuckets, so it only moves forward).
+      assert(!overflow_.empty());
+      cur_bucket_ = BucketOf(overflow_.front().time);
+      MigrateOverflow();
+    }
+    while (ring_[cur_bucket_ & kRingMask].empty()) {
+      ++cur_bucket_;
+      MigrateOverflow();
+    }
+    std::vector<Key>& bucket = ring_[cur_bucket_ & kRingMask];
+    if (bucket.size() > kSplitThreshold) {
+      // Dense bucket: scatter into rung 1. Relative order per timestamp is
+      // preserved, so every sub-bucket stays seq-ascending.
+      sub_active_ = true;
+      sub_bucket_ = cur_bucket_;
+      sub_cursor_ = kSubBuckets;
+      sub_count_ = bucket.size();
+      for (const Key& key : bucket) {
+        const size_t s = SubIndexOf(key.time);
+        sub_[s].push_back(key);
+        if (s < sub_cursor_) sub_cursor_ = s;
+      }
+      ring_count_ -= bucket.size();
+      bucket.clear();
+      ++cur_bucket_;
+      MigrateOverflow();
+      PullSubBucket();
+      return;
+    }
+    bottom_.swap(bucket);
+    ring_count_ -= bottom_.size();
+    std::make_heap(bottom_.begin(), bottom_.end(), LaterFirst{});
+    ++cur_bucket_;
+    MigrateOverflow();
+  }
+
+  /// Moves the next non-empty rung-1 sub-bucket (a single timestamp, in
+  /// final order) into now_fifo_. Precondition: sub_count_ > 0.
+  void PullSubBucket() {
+    while (sub_[sub_cursor_].empty()) ++sub_cursor_;
+    std::vector<Key>& bucket = sub_[sub_cursor_];
+    sub_count_ -= bucket.size();
+    now_fifo_.swap(bucket);
+    bucket.clear();
+    now_head_ = 0;
+    drain_time_ = now_fifo_.front().time;
+    ++sub_cursor_;
+  }
+
+  /// Pulls overflow events whose bucket entered the ring window.
+  void MigrateOverflow() {
+    const uint64_t window_end = cur_bucket_ + kNumBuckets;
+    while (!overflow_.empty() && BucketOf(overflow_.front().time) < window_end) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), LaterFirst{});
+      const Key key = overflow_.back();
+      overflow_.pop_back();
+      assert(BucketOf(key.time) >= cur_bucket_);
+      ring_[BucketOf(key.time) & kRingMask].push_back(key);
+      ++ring_count_;
+    }
+  }
+
+  std::vector<InlineEvent> slab_;     // payloads, indexed by key slot
+  std::vector<uint32_t> free_slots_;  // recycled slab indices (LIFO)
+
+  std::vector<Key> now_fifo_;        // events at drain_time_, FIFO by seq
+  size_t now_head_ = 0;              // consume cursor into now_fifo_
+  std::vector<InlineEvent> now_pay_; // zero-delay payloads (slab bypass)
+  size_t pay_head_ = 0;              // consume cursor into now_pay_
+  std::vector<Key> bottom_;          // drain heap: min-heap on (time, seq)
+  std::vector<std::vector<Key>> ring_;  // rung 0 calendar buckets
+  std::vector<std::vector<Key>> sub_;   // rung 1: 1-ns sub-buckets
+  std::vector<Key> overflow_;           // min-heap on (time, seq)
+
+  SimTime drain_time_ = -1;  // timestamp of the event(s) being drained
+  uint64_t cur_bucket_ = 0;  // lowest bucket id the ring still covers
+  uint64_t sub_bucket_ = 0;  // which rung-0 bucket rung 1 expands
+  bool sub_active_ = false;  // rung 1 currently holds the drain bucket
+  size_t sub_cursor_ = 0;    // next rung-1 sub-bucket to drain
+  size_t ring_count_ = 0;    // events currently in the ring tier
+  size_t sub_count_ = 0;     // events currently in rung 1
+  size_t size_ = 0;
+};
+
+}  // namespace p4db::sim
+
+#endif  // P4DB_SIM_EVENT_QUEUE_H_

@@ -25,7 +25,8 @@ struct SharedState {
 /// One-shot future usable as an awaitable inside simulated coroutines.
 /// Fulfilled by the paired Promise; the waiter resumes via a zero-delay
 /// simulator event (never inline), which keeps resumption order
-/// deterministic and stacks shallow.
+/// deterministic and stacks shallow. The resume event uses the simulator's
+/// ScheduleResume fast path: no callback object is built for the wakeup.
 template <typename T>
 class Future {
  public:
@@ -55,6 +56,11 @@ class Future {
 template <typename T>
 class Promise {
  public:
+  /// Empty promise: no simulator, no state. Only destruction and assignment
+  /// are valid; pooled holders (e.g. the pipeline's Inflight frames) start
+  /// empty and get a live promise assigned per transaction.
+  Promise() noexcept = default;
+
   explicit Promise(Simulator* sim)
       : sim_(sim), state_(std::make_shared<internal::SharedState<T>>()) {}
 
@@ -78,8 +84,7 @@ class Promise {
       state->value = std::move(v);
       if (state->waiter && !state->resume_scheduled) {
         state->resume_scheduled = true;
-        auto h = state->waiter;
-        sim->Schedule(0, [h] { h.resume(); });
+        sim->ScheduleResume(0, state->waiter);
       }
     });
   }
@@ -88,12 +93,11 @@ class Promise {
   void MaybeScheduleResume() {
     if (state_->waiter && !state_->resume_scheduled) {
       state_->resume_scheduled = true;
-      auto h = state_->waiter;
-      sim_->Schedule(0, [h] { h.resume(); });
+      sim_->ScheduleResume(0, state_->waiter);
     }
   }
 
-  Simulator* sim_;
+  Simulator* sim_ = nullptr;
   std::shared_ptr<internal::SharedState<T>> state_;
 };
 

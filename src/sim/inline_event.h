@@ -1,0 +1,160 @@
+#ifndef P4DB_SIM_INLINE_EVENT_H_
+#define P4DB_SIM_INLINE_EVENT_H_
+
+#include <coroutine>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p4db::sim {
+
+/// Type-erased, move-only nullary callback with a small-buffer optimization.
+///
+/// The simulator fires tens of millions of these per benchmark run; the old
+/// `std::function<void()>` heap-allocated every capture beyond libstdc++'s
+/// 16-byte SBO (two pointers already exceed it once a `this` and a pooled
+/// frame ride along). InlineEvent stores captures up to kInlineCapacity
+/// bytes directly in the event object, so the common schedule patterns —
+/// `[this, fl]`, `[this, node, txn_id]`, a coroutine handle — never touch
+/// the allocator. Larger captures fall back to a single heap allocation.
+///
+/// kInlineCapacity is a size contract: growing it inflates every queued
+/// event (the queue's payload slab stores these by value — 40B capacity +
+/// the vtable pointer = one 48-byte, 16-aligned object), shrinking it
+/// silently demotes hot-path lambdas to the heap. Keep hot-path captures
+/// at or under 40 bytes; see DESIGN.md "Simulator core".
+class InlineEvent {
+ public:
+  static constexpr size_t kInlineCapacity = 40;
+
+  InlineEvent() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+  InlineEvent(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= kStorageAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      vt_ = &kInlineVt<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
+      vt_ = &kHeapVt<Fn>;
+    }
+  }
+
+  /// Coroutine-wakeup fast path: stores only the frame address; no functor
+  /// is constructed and invoke is a direct handle.resume().
+  static InlineEvent Resume(std::coroutine_handle<> h) noexcept {
+    InlineEvent ev;
+    *reinterpret_cast<void**>(ev.storage_) = h.address();
+    ev.vt_ = &kResumeVt;
+    return ev;
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      Relocate(other);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        Relocate(other);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { Destroy(); }
+
+  void operator()() { vt_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+ private:
+  static constexpr size_t kStorageAlign = alignof(std::max_align_t);
+
+  /// relocate = move-construct into dst from src, then destroy src. Events
+  /// live in vectors that grow and in heap operations that shuffle them, so
+  /// relocation is the primitive (cheaper to demand than separate
+  /// move + destroy). `trivial` marks captures relocatable by plain memcpy
+  /// (trivially copyable functors, heap pointers, coroutine handles), which
+  /// covers the hot paths and keeps queue sifts free of indirect calls.
+  struct VTable {
+    void (*invoke)(void* self);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool trivial;
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVt = {
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+      std::is_trivially_copyable_v<Fn>,
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVt = {
+      [](void* self) { (**static_cast<Fn**>(self))(); },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(Fn*));
+      },
+      [](void* self) noexcept { delete *static_cast<Fn**>(self); },
+      true,
+  };
+
+  static constexpr VTable kResumeVt = {
+      [](void* self) {
+        std::coroutine_handle<>::from_address(*static_cast<void**>(self))
+            .resume();
+      },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(void*));
+      },
+      [](void*) noexcept {},
+      true,
+  };
+
+  void Relocate(InlineEvent& other) noexcept {
+    if (vt_->trivial) {
+      // The whole buffer is copied; bytes past the functor are
+      // indeterminate but unsigned char, so this is well-defined and lets
+      // the compiler emit straight-line vector moves.
+      std::memcpy(storage_, other.storage_, kInlineCapacity);
+    } else {
+      vt_->relocate(storage_, other.storage_);
+    }
+  }
+
+  void Destroy() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(kStorageAlign) unsigned char storage_[kInlineCapacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace p4db::sim
+
+#endif  // P4DB_SIM_INLINE_EVENT_H_

@@ -4,11 +4,11 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "common/types.h"
+#include "sim/event_queue.h"
+#include "sim/inline_event.h"
 
 namespace p4db::sim {
 
@@ -19,6 +19,12 @@ namespace p4db::sim {
 /// driven by one event queue. Events with equal timestamps fire in FIFO
 /// order (by insertion sequence number), which makes every run
 /// bit-reproducible for a given seed.
+///
+/// The scheduling core is allocation-free on the hot paths: callbacks are
+/// stored inline in the event (InlineEvent, 48-byte SBO), coroutine wakeups
+/// bypass callback construction entirely (ScheduleResume), and events live
+/// in a two-tier calendar queue (EventQueue) instead of a binary heap. See
+/// DESIGN.md "Simulator core".
 class Simulator {
  public:
   Simulator() = default;
@@ -27,15 +33,32 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run at now() + delay (delay >= 0).
-  void Schedule(SimTime delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  /// Schedules `fn` to run at now() + delay (delay >= 0). Accepts any
+  /// nullary callable; captures up to InlineEvent::kInlineCapacity bytes
+  /// are stored without heap allocation.
+  template <typename F>
+  void Schedule(SimTime delay, F&& fn) {
+    ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedules `fn` at absolute time t (t >= now()).
-  void ScheduleAt(SimTime t, std::function<void()> fn) {
+  template <typename F>
+  void ScheduleAt(SimTime t, F&& fn) {
     assert(t >= now_);
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    queue_.Push(t, next_seq_++, InlineEvent(std::forward<F>(fn)));
+  }
+
+  /// Coroutine fast path: resume `h` at now() + delay. Equivalent to
+  /// Schedule(delay, [h] { h.resume(); }) but never materializes a callback
+  /// object — the event stores just the frame address.
+  void ScheduleResume(SimTime delay, std::coroutine_handle<> h) {
+    ScheduleResumeAt(now_ + delay, h);
+  }
+
+  /// Coroutine fast path at absolute time t (t >= now()).
+  void ScheduleResumeAt(SimTime t, std::coroutine_handle<> h) {
+    assert(t >= now_);
+    queue_.Push(t, next_seq_++, InlineEvent::Resume(h));
   }
 
   /// Runs until the event queue drains (or Stop() is called).
@@ -47,12 +70,13 @@ class Simulator {
 
   /// Processes all events with timestamp <= t, then sets now() = t.
   /// Later events remain queued (they are simply never run if the harness
-  /// tears the world down afterwards).
+  /// tears the world down afterwards). If Stop() fires mid-drain the clock
+  /// freezes at the last executed event instead of jumping to t.
   void RunUntil(SimTime t) {
-    while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    while (!stopped_ && !queue_.empty() && queue_.MinTime() <= t) {
       Step();
     }
-    if (now_ < t) now_ = t;
+    if (!stopped_ && now_ < t) now_ = t;
   }
 
   /// Stops the event loop; no further events execute.
@@ -66,50 +90,37 @@ class Simulator {
   size_t pending_events() const { return queue_.size(); }
   uint64_t executed_events() const { return executed_; }
 
-  /// Drops every queued event without running it. Call before destroying
-  /// coroutine frames that queued events may reference.
-  void DiscardPending() {
-    while (!queue_.empty()) queue_.pop();
-  }
+  /// Drops every queued event without running it, in O(n). Call before
+  /// destroying coroutine frames that queued events may reference.
+  void DiscardPending() { queue_.Clear(); }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   void Step() {
-    // Move the event out before popping: fn may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // The event is moved out of the queue before firing: fn may schedule
+    // new events (including at the current timestamp).
+    Event ev = queue_.PopMin();
     assert(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
     ev.fn();
   }
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventQueue queue_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   bool stopped_ = false;
 };
 
-/// Awaitable that resumes the coroutine after a simulated delay.
+/// Awaitable that resumes the coroutine after a simulated delay, via the
+/// ScheduleResume fast path.
 class DelayAwaiter {
  public:
   DelayAwaiter(Simulator* sim, SimTime delay) : sim_(sim), delay_(delay) {}
 
   bool await_ready() const noexcept { return delay_ <= 0; }
   void await_suspend(std::coroutine_handle<> h) {
-    sim_->Schedule(delay_, [h] { h.resume(); });
+    sim_->ScheduleResume(delay_, h);
   }
   void await_resume() const noexcept {}
 

@@ -123,6 +123,7 @@ Pipeline::Pipeline(sim::Simulator* sim, const PipelineConfig& config,
     : sim_(sim),
       config_(config),
       registers_(config),
+      pool_(new InflightPool()),
       waiting_port_busy_(config.num_waiting_ports, 0) {
   if (metrics != nullptr) {
     mirror_.txns_completed = &metrics->counter("switch.txns_completed");
@@ -137,6 +138,12 @@ Pipeline::Pipeline(sim::Simulator* sim, const PipelineConfig& config,
         &metrics->counter("switch.constrained_write_failures");
     mirror_.recircs_per_txn = &metrics->histogram("switch.recircs_per_txn");
   }
+}
+
+Pipeline::~Pipeline() {
+  // Frames captured by still-queued simulator events outlive us; the pool
+  // absorbs their releases and frees itself with the last one.
+  pool_->Orphan();
 }
 
 Status Pipeline::Validate(const SwitchTxn& txn) const {
@@ -179,19 +186,20 @@ Status Pipeline::Validate(const SwitchTxn& txn) const {
 sim::Future<SwitchResult> Pipeline::Submit(SwitchTxn txn) {
   sim::Promise<SwitchResult> reply(sim_);
   auto future = reply.future();
-  auto fl = std::make_shared<Inflight>(std::move(txn), std::move(reply));
+  InflightRef fl(pool_->Acquire(std::move(txn), std::move(reply)));
   fl->result.origin_node = fl->txn.origin_node;
   fl->result.client_seq = fl->txn.client_seq;
   fl->result.values.assign(fl->txn.instrs.size(), 0);
   fl->result.constraint_ok.assign(fl->txn.instrs.size(), true);
-  sim_->Schedule(0, [this, fl] { Arrive(fl); });
+  sim_->Schedule(0, [this, fl]() mutable { Arrive(std::move(fl)); });
   return future;
 }
 
-void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
+void Pipeline::Arrive(InflightRef fl) {
   if (next_admission_ > sim_->now()) {
     // Another packet occupies this ingress slot; retry at the next one.
-    sim_->ScheduleAt(next_admission_, [this, fl] { Arrive(std::move(fl)); });
+    sim_->ScheduleAt(next_admission_,
+                     [this, fl]() mutable { Arrive(std::move(fl)); });
     return;
   }
   next_admission_ = sim_->now() + config_.admission_gap;
@@ -202,7 +210,7 @@ void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
     // stateful register operation).
     if ((lock_register_ & fl->txn.touch_mask) != 0) {
       ++stats_.lock_blocked_recircs;
-      Bump(mirror_.lock_blocked_recircs);
+      mirror_.lock_blocked_recircs->Increment();
       RecirculateBlocked(std::move(fl));
       return;
     }
@@ -210,7 +218,7 @@ void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
       lock_register_ |= fl->txn.lock_mask;
       fl->holds_locks = true;
       ++stats_.lock_acquisitions;
-      Bump(mirror_.lock_acquisitions);
+      mirror_.lock_acquisitions->Increment();
     }
   }
 
@@ -244,20 +252,18 @@ void Pipeline::Arrive(std::shared_ptr<Inflight> fl) {
   // Final pass: emit the response at egress.
   fl->result.recirculations = fl->txn.nb_recircs;
   ++stats_.txns_completed;
-  Bump(mirror_.txns_completed);
+  mirror_.txns_completed->Increment();
   stats_.total_passes += fl->result.passes;
-  Bump(mirror_.total_passes, fl->result.passes);
+  mirror_.total_passes->Increment(fl->result.passes);
   if (fl->txn.is_multipass) {
     ++stats_.multi_pass_txns;
-    Bump(mirror_.multi_pass_txns);
+    mirror_.multi_pass_txns->Increment();
   } else {
     ++stats_.single_pass_txns;
-    Bump(mirror_.single_pass_txns);
+    mirror_.single_pass_txns->Increment();
   }
   stats_.recircs_per_txn.Record(fl->txn.nb_recircs);
-  if (mirror_.recircs_per_txn != nullptr) {
-    mirror_.recircs_per_txn->Record(fl->txn.nb_recircs);
-  }
+  mirror_.recircs_per_txn->Record(fl->txn.nb_recircs);
   fl->reply.SetAfter(config_.PassLatency(), std::move(fl->result));
 }
 
@@ -273,7 +279,7 @@ bool Pipeline::ExecutePass(Inflight& fl) {
     fl.exec_pass[i] = cur_pass;
     if (!constraint_ok) {
       ++stats_.constrained_write_failures;
-      Bump(mirror_.constrained_write_failures);
+      mirror_.constrained_write_failures->Increment();
     }
   }
   fl.remaining -= executable.size();
@@ -342,18 +348,18 @@ SimTime Pipeline::ReserveRecircPort(SimTime* busy_until, size_t bytes) {
   return depart + config_.recirc_loop_latency;
 }
 
-void Pipeline::RecirculateBlocked(std::shared_ptr<Inflight> fl) {
+void Pipeline::RecirculateBlocked(InflightRef fl) {
   if (fl->txn.nb_recircs < 255) ++fl->txn.nb_recircs;
   const size_t bytes = PacketCodec::WireSize(fl->txn);
   SimTime* port = &waiting_port_busy_[waiting_port_rr_];
   waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
   const SimTime back_at = ReserveRecircPort(port, bytes);
-  sim_->ScheduleAt(back_at, [this, fl] { Arrive(std::move(fl)); });
+  sim_->ScheduleAt(back_at, [this, fl]() mutable { Arrive(std::move(fl)); });
 }
 
-void Pipeline::RecirculateHolder(std::shared_ptr<Inflight> fl) {
+void Pipeline::RecirculateHolder(InflightRef fl) {
   ++stats_.holder_recircs;
-  Bump(mirror_.holder_recircs);
+  mirror_.holder_recircs->Increment();
   if (fl->txn.nb_recircs < 255) ++fl->txn.nb_recircs;
   const size_t bytes = PacketCodec::WireSize(fl->txn);
   SimTime* port = &fast_port_busy_;
@@ -364,7 +370,7 @@ void Pipeline::RecirculateHolder(std::shared_ptr<Inflight> fl) {
     waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
   }
   const SimTime back_at = ReserveRecircPort(port, bytes);
-  sim_->ScheduleAt(back_at, [this, fl] { Arrive(std::move(fl)); });
+  sim_->ScheduleAt(back_at, [this, fl]() mutable { Arrive(std::move(fl)); });
 }
 
 }  // namespace p4db::sw

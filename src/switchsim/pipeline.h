@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "sim/future.h"
 #include "sim/simulator.h"
+#include "switchsim/inflight_pool.h"
 #include "switchsim/instruction.h"
 #include "switchsim/packet.h"
 #include "switchsim/register_file.h"
@@ -73,6 +74,7 @@ class Pipeline {
   /// them. The local PipelineStats snapshot stays authoritative for tests.
   Pipeline(sim::Simulator* sim, const PipelineConfig& config,
            MetricsRegistry* metrics = nullptr);
+  ~Pipeline();
 
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
@@ -117,55 +119,49 @@ class Pipeline {
   uint8_t held_locks() const { return lock_register_; }
 
  private:
-  struct Inflight {
-    SwitchTxn txn;
-    SwitchResult result;
-    size_t remaining;                 // unexecuted instructions
-    std::vector<uint32_t> exec_pass;  // pass in which each instr ran (0=not)
-    bool holds_locks = false;
-    sim::Promise<SwitchResult> reply;
-
-    Inflight(SwitchTxn t, sim::Promise<SwitchResult> p)
-        : txn(std::move(t)),
-          remaining(txn.instrs.size()),
-          exec_pass(txn.instrs.size(), 0),
-          reply(std::move(p)) {}
-  };
-
   /// Handles one arrival at the pipeline ingress (fresh or recirculated).
-  void Arrive(std::shared_ptr<Inflight> fl);
+  void Arrive(InflightRef fl);
   /// Executes one pass worth of instructions; returns true if finished.
   bool ExecutePass(Inflight& fl);
   Value64 ApplyInstruction(const Inflight& fl, const Instruction& instr,
                            bool* constraint_ok);
   /// Schedules a recirculation through a waiting port (blocked packet).
-  void RecirculateBlocked(std::shared_ptr<Inflight> fl);
+  void RecirculateBlocked(InflightRef fl);
   /// Schedules a recirculation for a lock holder between passes.
-  void RecirculateHolder(std::shared_ptr<Inflight> fl);
+  void RecirculateHolder(InflightRef fl);
   SimTime ReserveRecircPort(SimTime* busy_until, size_t bytes);
 
-  /// Registry mirrors of the PipelineStats fields (null when the pipeline
-  /// runs without a cluster registry).
+  /// Registry mirrors of the PipelineStats fields. Default to the
+  /// registry's static discard sinks so every bump is an unconditional
+  /// increment through a stable pointer — no per-bump null check on the
+  /// hot path when the pipeline runs without a cluster registry.
   struct Mirror {
-    MetricsRegistry::Counter* txns_completed = nullptr;
-    MetricsRegistry::Counter* single_pass_txns = nullptr;
-    MetricsRegistry::Counter* multi_pass_txns = nullptr;
-    MetricsRegistry::Counter* total_passes = nullptr;
-    MetricsRegistry::Counter* lock_blocked_recircs = nullptr;
-    MetricsRegistry::Counter* holder_recircs = nullptr;
-    MetricsRegistry::Counter* lock_acquisitions = nullptr;
-    MetricsRegistry::Counter* constrained_write_failures = nullptr;
-    Histogram* recircs_per_txn = nullptr;
+    MetricsRegistry::Counter* txns_completed = &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* single_pass_txns =
+        &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* multi_pass_txns =
+        &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* total_passes = &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* lock_blocked_recircs =
+        &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* holder_recircs =
+        &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* lock_acquisitions =
+        &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* constrained_write_failures =
+        &MetricsRegistry::NullCounter();
+    Histogram* recircs_per_txn = &MetricsRegistry::NullHistogram();
   };
-  static void Bump(MetricsRegistry::Counter* c, uint64_t delta = 1) {
-    if (c != nullptr) c->Increment(delta);
-  }
 
   sim::Simulator* sim_;
   PipelineConfig config_;
   RegisterFile registers_;
   PipelineStats stats_;
   Mirror mirror_;
+
+  /// Heap-allocated and orphan-aware (see InflightPool): queued simulator
+  /// events may still hold frame references after this pipeline dies.
+  InflightPool* pool_;
 
   uint8_t lock_register_ = 0;  // Listing 1 state: bit0 left, bit1 right
   Gid next_gid_ = 1;

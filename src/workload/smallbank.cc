@@ -16,7 +16,9 @@ void SmallBank::Setup(db::Catalog* catalog) {
 }
 
 Key SmallBank::PickAccount(Rng& rng, NodeId node, bool hot) const {
-  if (hot) {
+  // A config with no hot accounts degrades every hot pick to a cold one
+  // (NextRange(0) is ill-defined).
+  if (hot && config_.hot_accounts_per_node > 0) {
     return HotAccount(node,
                       static_cast<uint32_t>(
                           rng.NextRange(config_.hot_accounts_per_node)));
