@@ -178,4 +178,8 @@ void PrintSectionHeader(const std::string& text) {
   std::printf("\n--- %s ---\n", text.c_str());
 }
 
+void AppendRunEntry(const std::string& json_entry) {
+  g_run_entries.push_back(json_entry);
+}
+
 }  // namespace p4db::bench

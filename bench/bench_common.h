@@ -60,6 +60,11 @@ constexpr size_t kTpccHotItemBudget = 2000;
 void PrintBanner(const char* figure, const char* description);
 void PrintSectionHeader(const std::string& text);
 
+/// Appends one raw JSON object to the BENCH_<name>.json runs list — the
+/// escape hatch for benches whose unit of output is not a RunWorkload
+/// (e.g. bench_failover's per-bucket throughput timeline).
+void AppendRunEntry(const std::string& json_entry);
+
 inline double Speedup(double a, double b) { return b == 0 ? 0 : a / b; }
 
 }  // namespace p4db::bench

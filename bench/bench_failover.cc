@@ -1,0 +1,166 @@
+// Robustness experiment (Section 6.1, Appendix A.3): throughput timeline
+// around a scripted mid-run switch reboot. The switch goes dark for a fixed
+// window, traffic degrades to host-side execution, and the control plane
+// re-provisions the registers from the WALs while the cluster keeps
+// running. Reported: steady-state baseline, dip depth during the dark
+// window, and time-to-recover back to 90% of baseline.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/fault_injector.h"
+
+namespace p4db::bench {
+namespace {
+
+constexpr SimTime kBucket = 100 * kMicrosecond;
+constexpr SimTime kDowntime = 500 * kMicrosecond;
+
+double RatePerSecond(uint64_t commits) {
+  return static_cast<double>(commits) *
+         (static_cast<double>(kSecond) / static_cast<double>(kBucket));
+}
+
+void RunFailover(const BenchTime& time) {
+  core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+  wl::YcsbConfig wcfg;
+  wcfg.variant = 'A';
+  wcfg.distributed_fraction = 0.2;
+  wl::Ycsb workload(wcfg);
+
+  const SimTime fault_at = time.warmup + time.measure / 3;
+  const SimTime horizon = time.warmup + time.measure;
+
+  core::Engine engine(cfg);
+  engine.SetWorkload(&workload);
+  engine.Offload(20000, YcsbHotItems(wcfg, cfg.num_nodes));
+
+  net::FaultSchedule schedule;
+  schedule.events.push_back(
+      net::FaultEvent::SwitchReboot(fault_at, kDowntime));
+  engine.InstallFaultSchedule(schedule);
+
+  // Commit-counter probes every bucket across the measured window. The
+  // probes only read, so the observed run is the run.
+  MetricsRegistry::Counter* committed =
+      &engine.metrics_registry().counter("engine.committed");
+  std::vector<uint64_t> samples;
+  for (SimTime t = time.warmup + kBucket; t < horizon; t += kBucket) {
+    engine.simulator().ScheduleAt(
+        t, [committed, &samples] { samples.push_back(committed->value()); });
+  }
+
+  engine.Run(time.warmup, time.measure);
+  samples.push_back(committed->value());  // close the final bucket
+
+  // Bucket i covers [warmup + i*b, warmup + (i+1)*b).
+  std::vector<uint64_t> rates;
+  rates.push_back(samples[0]);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    rates.push_back(samples[i] - samples[i - 1]);
+  }
+  const size_t fault_idx =
+      static_cast<size_t>((fault_at - time.warmup) / kBucket);
+
+  // Baseline: mean pre-fault rate once the closed loop has ramped.
+  double baseline = 0;
+  const size_t base_lo = 2;
+  for (size_t i = base_lo; i < fault_idx; ++i) baseline += rates[i];
+  baseline /= static_cast<double>(fault_idx - base_lo);
+
+  // Dip: worst bucket from the crash until shortly after failback.
+  const size_t dip_hi =
+      std::min(rates.size(),
+               fault_idx + static_cast<size_t>(kDowntime / kBucket) + 3);
+  uint64_t min_rate = rates[fault_idx];
+  for (size_t i = fault_idx; i < dip_hi; ++i) {
+    min_rate = std::min(min_rate, rates[i]);
+  }
+  const double dip_depth =
+      baseline <= 0 ? 0 : 1.0 - static_cast<double>(min_rate) / baseline;
+
+  // Recovery: first bucket at/after the crash back within 90% of baseline.
+  SimTime time_to_recover = -1;
+  for (size_t i = fault_idx; i < rates.size(); ++i) {
+    if (static_cast<double>(rates[i]) >= 0.9 * baseline) {
+      time_to_recover = static_cast<SimTime>(i + 1) * kBucket +
+                        time.warmup - fault_at;
+      break;
+    }
+  }
+
+  PrintSectionHeader("Throughput timeline around the reboot (100us buckets)");
+  std::printf("%12s %14s %s\n", "t-fault(us)", "rate(tx/s)", "phase");
+  const size_t show_lo = fault_idx >= 3 ? fault_idx - 3 : 0;
+  const size_t show_hi = std::min(rates.size(), dip_hi + 12);
+  for (size_t i = show_lo; i < show_hi; ++i) {
+    const SimTime rel =
+        static_cast<SimTime>(i) * kBucket + time.warmup - fault_at;
+    const char* phase = rel < 0              ? "pre-fault"
+                        : rel < kDowntime    ? "switch dark"
+                                             : "failed back";
+    std::printf("%12lld %14.0f %s\n", static_cast<long long>(rel / 1000),
+                RatePerSecond(rates[i]), phase);
+  }
+
+  const uint64_t stale =
+      engine.metrics_registry().counter("switch.stale_epoch_drops").value();
+  const uint64_t timeouts =
+      engine.metrics_registry().counter("engine.txn_timeouts").value();
+  const uint64_t failovers =
+      engine.metrics_registry().counter("engine.failovers").value();
+
+  PrintSectionHeader("Failover summary");
+  const double baseline_tps =
+      baseline * (static_cast<double>(kSecond) / static_cast<double>(kBucket));
+  std::printf("  baseline            %14.0f tx/s\n", baseline_tps);
+  std::printf("  worst bucket        %14.0f tx/s\n",
+              RatePerSecond(min_rate));
+  std::printf("  dip depth           %14.1f %%\n", dip_depth * 100);
+  std::printf("  time to recover     %14.0f us (to 90%% of baseline)\n",
+              static_cast<double>(time_to_recover) / 1000.0);
+  std::printf("  stale epoch drops   %14llu\n",
+              static_cast<unsigned long long>(stale));
+  std::printf("  txn timeouts        %14llu\n",
+              static_cast<unsigned long long>(timeouts));
+  std::printf("  degraded (failover) %14llu txns\n",
+              static_cast<unsigned long long>(failovers));
+
+  std::string entry = "{\"mode\": \"P4DB\", \"workload\": \"ycsb-A\"";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ", \"fault_at_ns\": %lld, \"downtime_ns\": %lld, "
+                "\"bucket_ns\": %lld, \"baseline_tps\": %.0f, "
+                "\"min_tps\": %.0f, \"dip_depth\": %.4f, "
+                "\"time_to_recover_ns\": %lld",
+                static_cast<long long>(fault_at),
+                static_cast<long long>(kDowntime),
+                static_cast<long long>(kBucket), baseline_tps,
+                RatePerSecond(min_rate), dip_depth,
+                static_cast<long long>(time_to_recover));
+  entry += buf;
+  entry += ", \"bucket_commits\": [";
+  for (size_t i = 0; i < rates.size(); ++i) {
+    if (i != 0) entry += ", ";
+    entry += std::to_string(rates[i]);
+  }
+  entry += "], \"registry\": ";
+  entry += engine.metrics_registry().ToJson();
+  entry += "}";
+  AppendRunEntry(entry);
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("failover",
+              "online failover: switch reboot mid-run, WAL re-provisioning");
+  RunFailover(time);
+  return 0;
+}

@@ -18,6 +18,8 @@ const char* CodeName(Code code) {
       return "CONSTRAINT_VIOLATION";
     case Code::kUnsupported:
       return "UNSUPPORTED";
+    case Code::kUnavailable:
+      return "UNAVAILABLE";
     case Code::kInternal:
       return "INTERNAL";
   }

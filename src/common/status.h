@@ -19,6 +19,7 @@ enum class Code {
   kCapacityExceeded,  // Switch stage/register or queue out of space.
   kConstraintViolation,  // Integrity constraint failed (e.g. balance < 0).
   kUnsupported,          // Operation not expressible on this substrate.
+  kUnavailable,          // Dependency down / timed out; retry may succeed.
   kInternal,             // Invariant violation inside the engine.
 };
 
@@ -47,6 +48,9 @@ class Status {
   }
   static Status Unsupported(std::string msg = "") {
     return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));

@@ -13,6 +13,26 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteAttempt(
     NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
     std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
   if (config().mode == EngineMode::kP4db) {
+    if (txn.cls != db::TxnClass::kCold && ctx_.ChaosArmed() &&
+        !ctx_.SwitchUp()) {
+      // Switch is dark: hot and warm transactions degrade to host-only
+      // execution under the regular CC protocol — host rows for the hot
+      // items were seeded from the WAL replay at crash time. During the
+      // failback drain no NEW degraded work may start (its host writes
+      // would race the register re-install), so abort and let the worker's
+      // backoff carry the transaction past the drain window.
+      if (ctx_.SwitchDraining()) {
+        co_await sim::Delay(*ctx_.sim, ctx_.timing().abort_cost);
+        timers->backoff += ctx_.timing().abort_cost;
+        co_return false;
+      }
+      ctx_.metrics->counter("engine.failovers").Increment();
+      ++*ctx_.degraded_inflight;
+      const bool ok =
+          co_await ExecuteCold(node, txn, txn_id, ts, results, timers);
+      --*ctx_.degraded_inflight;
+      co_return ok;
+    }
     switch (txn.cls) {
       case db::TxnClass::kHot:
         co_return co_await ExecuteHot(node, txn, results, timers);
@@ -24,6 +44,18 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteAttempt(
     }
   }
   co_return co_await ExecuteCold(node, txn, txn_id, ts, results, timers);
+}
+
+sim::CoTask<std::optional<sw::SwitchResult>> ConcurrencyControl::SubmitToSwitch(
+    sw::SwitchTxn txn) {
+  if (!ctx_.ChaosArmed()) {
+    // Fault-free runs take the historical deadline-free await; this path
+    // produces the identical simulator event sequence as calling Submit
+    // directly (the nested CoTask resumes by symmetric transfer).
+    co_return co_await ctx_.pipeline->Submit(std::move(txn));
+  }
+  sim::Future<sw::SwitchResult> fut = ctx_.pipeline->Submit(std::move(txn));
+  co_return co_await fut.WithTimeout(ctx_.timing().switch_timeout);
 }
 
 sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
@@ -43,9 +75,13 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   assert(compiled.ok() && "hot transaction must compile");
 
   // Log the intent BEFORE sending: the switch transaction counts as
-  // committed from here on (Section 6.1).
+  // committed from here on (Section 6.1). The epoch stamp and the append
+  // share one synchronous block (no co_await between them) so the packet
+  // carries exactly the epoch current when the intent landed — the fence's
+  // exactly-once argument needs that equality.
   co_await sim::Delay(*ctx_.sim, t.wal_append);
   timers->local_work += t.wal_append;
+  compiled->txn.epoch = ctx_.SwitchEpoch();
   const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
       compiled->txn.client_seq, compiled->txn.instrs);
 
@@ -58,17 +94,29 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   const SimTime t0 = ctx_.sim->now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
                           static_cast<uint32_t>(wire));
-  sw::SwitchResult res =
-      co_await ctx_.pipeline->Submit(std::move(compiled->txn));
+  std::optional<sw::SwitchResult> res =
+      co_await SubmitToSwitch(std::move(compiled->txn));
+  if (!res.has_value()) {
+    // Deadline fired (switch rebooted mid-flight). The intent is logged, so
+    // this transaction IS committed — the packet either executed before the
+    // crash (response lost with the reboot) or recovery replays the intent
+    // exactly once. No result values land in `results`; downstream
+    // consumers see nullopt, exactly like a reader on a crashed node.
+    ctx_.metrics->counter("engine.txn_timeouts").Increment();
+    timers->switch_access += ctx_.sim->now() - t0;
+    co_await sim::Delay(*ctx_.sim, t.commit_local);
+    timers->commit += t.commit_local;
+    co_return true;
+  }
   co_await ctx_.net->Send(net::Endpoint::Switch(), self,
                           static_cast<uint32_t>(resp));
   timers->switch_access += ctx_.sim->now() - t0;
 
   if (!(*ctx_.node_crashed)[node]) {
-    ctx_.wal(node).FillSwitchResult(lsn, res.gid, res.values);
+    ctx_.wal(node).FillSwitchResult(lsn, res->gid, res->values);
   }
   for (size_t i = 0; i < op_index.size(); ++i) {
-    (*results)[op_index[i]] = res.values[i];
+    (*results)[op_index[i]] = res->values[i];
   }
 
   co_await sim::Delay(*ctx_.sim, t.commit_local);

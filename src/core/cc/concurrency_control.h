@@ -64,6 +64,20 @@ class ConcurrencyControl {
                                std::vector<std::optional<Value64>>* results,
                                TxnTimers* timers);
 
+  /// Sends one compiled switch transaction. The caller must have stamped
+  /// txn.epoch with ctx_.SwitchEpoch() in the same synchronous block as the
+  /// AppendSwitchIntent call — the epoch fence relies on packet epoch ==
+  /// epoch-at-append, so the failback replay and the pipeline agree on
+  /// exactly one applier for every intent. With no chaos harness armed this
+  /// is exactly the historical deadline-free await; armed, the await
+  /// carries timing().switch_timeout and yields nullopt when it fires (the
+  /// switch went dark, or the packet was fenced by the epoch check after a
+  /// reboot). A nullopt NEVER triggers a re-send: the intent is already in
+  /// the WAL, so the transaction is committed and recovery owns applying
+  /// it exactly once (at-most-once on the wire).
+  sim::CoTask<std::optional<sw::SwitchResult>> SubmitToSwitch(
+      sw::SwitchTxn txn);
+
   /// Applies one op to host storage. `undo` collects (tuple, column, old
   /// value) for every write — used to build the WAL commit record. There is
   /// no rollback path: aborts can only happen during lock acquisition /

@@ -43,6 +43,39 @@ struct ExecutionContext {
   std::vector<uint32_t>* next_client_seq = nullptr;
   MetricsRegistry* metrics = nullptr;
 
+  /// Failure-awareness view, all owned by the Engine. Null (the default)
+  /// means "no chaos harness attached": strategies must then behave exactly
+  /// as they did before fault injection existed — no timeouts, no epoch
+  /// stamping beyond 0, no degraded dispatch — so fault-free runs stay
+  /// byte-identical.
+  ///
+  /// chaos_armed: a fault schedule is installed; switch awaits get
+  /// deadlines and failover bookkeeping is live.
+  const bool* chaos_armed = nullptr;
+  /// False while the switch is down (between a scripted reboot and the
+  /// control plane finishing online re-provisioning).
+  const bool* switch_up = nullptr;
+  /// Current control-plane epoch to stamp into outgoing switch packets
+  /// (truncated to the packet's 8-bit field).
+  const uint32_t* switch_epoch = nullptr;
+  /// True while the failback is waiting for degraded transactions to drain
+  /// before re-installing register values; new hot/warm work must abort and
+  /// retry rather than start more degraded host writes the install would
+  /// miss.
+  const bool* switch_draining = nullptr;
+  /// Count of degraded (switch-down fallback) transactions currently in
+  /// flight; the failback drain polls this down to zero.
+  uint32_t* degraded_inflight = nullptr;
+
+  bool ChaosArmed() const { return chaos_armed != nullptr && *chaos_armed; }
+  bool SwitchUp() const { return switch_up == nullptr || *switch_up; }
+  bool SwitchDraining() const {
+    return switch_draining != nullptr && *switch_draining;
+  }
+  uint8_t SwitchEpoch() const {
+    return switch_epoch == nullptr ? 0 : static_cast<uint8_t>(*switch_epoch);
+  }
+
   db::LockManager& lock_manager(NodeId node) const {
     return *(*lock_managers)[node];
   }

@@ -312,6 +312,9 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
   assert(compiled.ok() && "warm transaction's hot part must compile");
   co_await sim::Delay(sim, t.wal_append);
   timers->local_work += t.wal_append;
+  // Epoch stamp and intent append in one synchronous block (see
+  // SubmitToSwitch's contract).
+  compiled->txn.epoch = ctx_.SwitchEpoch();
   const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
       compiled->txn.client_seq, compiled->txn.instrs);
 
@@ -323,27 +326,42 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
   const SimTime t0 = sim.now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
                           static_cast<uint32_t>(wire));
-  sw::SwitchResult res =
-      co_await ctx_.pipeline->Submit(std::move(compiled->txn));
-  if (!participants.empty()) {
-    const std::vector<SimTime> arrivals =
-        ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
+  std::optional<sw::SwitchResult> res =
+      co_await SubmitToSwitch(std::move(compiled->txn));
+  if (!res.has_value()) {
+    // Deadline fired: the logged intent makes the switch part committed
+    // (recovery applies it exactly once); no multicast will arrive, so the
+    // coordinator itself releases the remote validation locks. Hot results
+    // stay nullopt.
+    ctx_.metrics->counter("engine.txn_timeouts").Increment();
+    timers->switch_access += sim.now() - t0;
+    const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
     for (NodeId p : participants) {
       db::LockManager* lm = &ctx_.lock_manager(p);
-      ctx_.sim->ScheduleAt(arrivals[p],
-                           [lm, txn_id] { lm->ReleaseAll(txn_id); });
+      ctx_.sim->Schedule(one_way_node,
+                         [lm, txn_id] { lm->ReleaseAll(txn_id); });
     }
-    co_await sim::Delay(sim, arrivals[node] - sim.now());
   } else {
-    co_await ctx_.net->Send(net::Endpoint::Switch(), self,
-                            static_cast<uint32_t>(resp_bytes));
-  }
-  timers->switch_access += sim.now() - t0;
-  if (!(*ctx_.node_crashed)[node]) {
-    ctx_.wal(node).FillSwitchResult(lsn, res.gid, res.values);
-  }
-  for (size_t i = 0; i < op_index.size(); ++i) {
-    (*results)[op_index[i]] = res.values[i];
+    if (!participants.empty()) {
+      const std::vector<SimTime> arrivals =
+          ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
+      for (NodeId p : participants) {
+        db::LockManager* lm = &ctx_.lock_manager(p);
+        ctx_.sim->ScheduleAt(arrivals[p],
+                             [lm, txn_id] { lm->ReleaseAll(txn_id); });
+      }
+      co_await sim::Delay(sim, arrivals[node] - sim.now());
+    } else {
+      co_await ctx_.net->Send(net::Endpoint::Switch(), self,
+                              static_cast<uint32_t>(resp_bytes));
+    }
+    timers->switch_access += sim.now() - t0;
+    if (!(*ctx_.node_crashed)[node]) {
+      ctx_.wal(node).FillSwitchResult(lsn, res->gid, res->values);
+    }
+    for (size_t i = 0; i < op_index.size(); ++i) {
+      (*results)[op_index[i]] = res->values[i];
+    }
   }
 
   // ---- WRITE PHASE (buffer + deferred ops) ----

@@ -52,6 +52,12 @@ struct TimingConfig {
   SimTime abort_cost = 300;      // rollback bookkeeping
   SimTime backoff_base = 2 * kMicrosecond;   // retry backoff (exponential)
   SimTime backoff_max = 64 * kMicrosecond;
+  /// Deadline for one switch round trip (submit -> response) when a fault
+  /// schedule is armed. Generous against the healthy RTT (~10-20 us with
+  /// queueing) so it only fires when the switch genuinely went dark or the
+  /// packet was fenced. With no fault schedule installed the await is
+  /// deadline-free, exactly as before this knob existed.
+  SimTime switch_timeout = 100 * kMicrosecond;
 };
 
 /// Complete configuration of one simulated cluster run.
@@ -62,6 +68,12 @@ struct SystemConfig {
   CcProtocol cc_protocol = CcProtocol::k2pl;
   db::CcScheme cc_scheme = db::CcScheme::kNoWait;
   uint64_t seed = 42;
+  /// Retry budget per transaction; 0 = unbounded (historical behavior).
+  /// When bounded, a transaction that aborts `max_attempts` times is given
+  /// up ("engine.txn_gaveup") instead of silently pinning its worker, and
+  /// per-transaction attempt counts land in the "engine.txn_attempts"
+  /// histogram.
+  uint32_t max_attempts = 0;
 
   TimingConfig timing;
   net::NetworkConfig network;

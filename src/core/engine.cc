@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+#include <unordered_map>
 
 #include "core/cc/execution_context.h"
 #include "core/hotset.h"
@@ -65,6 +67,15 @@ Engine::Engine(const SystemConfig& config)
                                                  "lock.switch");
   committed_counter_ = &registry_.counter("engine.committed");
   aborted_counter_ = &registry_.counter("engine.aborted_attempts");
+  // Retry-cap series exist only when the cap is on, so unbounded-retry runs
+  // dump exactly the historical key set.
+  gaveup_counter_ = config_.max_attempts > 0
+                        ? &registry_.counter("engine.txn_gaveup")
+                        : &MetricsRegistry::NullCounter();
+  attempts_hist_ = config_.max_attempts > 0
+                       ? &registry_.histogram("engine.txn_attempts")
+                       : &MetricsRegistry::NullHistogram();
+  crash_record_offset_.assign(config_.num_nodes, 0);
 
   cc::ExecutionContext ctx;
   ctx.config = &config_;
@@ -79,6 +90,11 @@ Engine::Engine(const SystemConfig& config)
   ctx.node_crashed = &node_crashed_;
   ctx.next_client_seq = &next_client_seq_;
   ctx.metrics = &registry_;
+  ctx.chaos_armed = &chaos_armed_;
+  ctx.switch_up = &switch_up_;
+  ctx.switch_epoch = &switch_epoch_;
+  ctx.switch_draining = &switch_draining_;
+  ctx.degraded_inflight = &degraded_inflight_;
   cc_ = cc::MakeConcurrencyControl(config_.cc_protocol, ctx);
 }
 
@@ -152,8 +168,9 @@ SimTime Engine::BackoffDelay(int attempt, Rng& rng) {
   return static_cast<SimTime>(static_cast<double>(base) * jitter);
 }
 
-sim::Task Engine::RunWorker(NodeId node, WorkerId worker) {
-  Rng rng(config_.seed ^
+sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
+                            uint64_t seed_salt) {
+  Rng rng(config_.seed ^ seed_salt ^
           (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(node) * 1024 +
                                     worker + 1)));
   std::vector<std::optional<Value64>> results;
@@ -165,6 +182,7 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker) {
     TxnTimers timers;
     const uint64_t ts = next_txn_id_;  // kept across retries (fairness)
     int attempt = 0;
+    bool committed = true;
     for (;;) {
       const uint64_t txn_id = next_txn_id_++;
       results.assign(txn.ops.size(), std::nullopt);
@@ -176,14 +194,26 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker) {
         aborted_counter_->Increment();
       }
       ++attempt;
+      if (config_.max_attempts > 0 &&
+          static_cast<uint32_t>(attempt) >= config_.max_attempts) {
+        committed = false;  // retry budget exhausted: give the txn up
+        break;
+      }
       const SimTime backoff = BackoffDelay(attempt, rng);
       timers.backoff += backoff;
       co_await sim::Delay(sim_, backoff);
     }
     if (measuring_) {
-      metrics_.RecordCommit(txn.cls, txn.distributed, sim_.now() - start,
-                            timers);
-      committed_counter_->Increment();
+      // Attempts used: aborts plus the final success (gave-up txns spent
+      // exactly `attempt` == max_attempts). Null sink unless capped.
+      attempts_hist_->Record(attempt + (committed ? 1 : 0));
+      if (committed) {
+        metrics_.RecordCommit(txn.cls, txn.distributed, sim_.now() - start,
+                              timers);
+        committed_counter_->Increment();
+      } else {
+        gaveup_counter_->Increment();
+      }
     }
   }
 }
@@ -194,6 +224,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   ran_ = true;
 
   measuring_ = false;
+  running_ = true;
   for (uint16_t n = 0; n < config_.num_nodes; ++n) {
     for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
       workers_.push_back(RunWorker(n, w));
@@ -208,6 +239,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   measuring_ = true;
   sim_.RunUntil(warmup + duration);
   measuring_ = false;
+  running_ = false;
 
   Metrics out = metrics_;
   // Teardown: drop pending events before destroying worker frames, then
@@ -252,7 +284,16 @@ StatusOr<std::vector<Value64>> Engine::ExecuteOnce(db::Transaction txn,
   }
   std::vector<Value64> out;
   out.reserve(results.size());
-  for (const auto& r : results) out.push_back(r.has_value() ? *r : 0);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].has_value()) {
+      // The attempt "committed" but this op never produced a value (its
+      // switch response was lost to a crash, or the issuing node died).
+      // Report that instead of masking it as a literal 0.
+      return Status::Unavailable("op " + std::to_string(i) +
+                                 " completed without a result");
+    }
+    out.push_back(*results[i]);
+  }
   return out;
 }
 
@@ -264,6 +305,184 @@ Status Engine::RecoverSwitch() {
   std::vector<const db::Wal*> logs;
   for (const auto& w : wals_) logs.push_back(w.get());
   return RecoverSwitchState(pm_, logs, &control_plane_);
+}
+
+Status Engine::RecoverNode(NodeId node) {
+  if (node >= config_.num_nodes) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (!node_crashed_[node]) {
+    return Status::InvalidArgument("node is not crashed");
+  }
+  // Restart scan: every committed host record's effects already live in the
+  // (shared) storage model and gid-less switch intents are the *switch*
+  // recovery's job to apply — the node must never replay them itself, or a
+  // recovered intent would be applied twice. The scan is bookkeeping plus
+  // observability.
+  size_t open_intents = 0;
+  for (const db::LogRecord& rec : wals_[node]->records()) {
+    if (rec.kind == db::LogKind::kSwitchIntent && !rec.has_result) {
+      ++open_intents;
+    }
+  }
+  (void)open_intents;
+  node_crashed_[node] = false;
+  // Lazily created, so only runs that actually recover a node publish it.
+  registry_.counter("engine.node_recoveries").Increment();
+  if (running_) {
+    // Respawn the node's workers under a fresh RNG generation: the crashed
+    // generation's streams died mid-sequence, and reusing them would replay
+    // transactions the node already issued.
+    ++recover_generation_;
+    const uint64_t salt = 0xa0761d6478bd642fULL * recover_generation_;
+    for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
+      workers_.push_back(RunWorker(node, w, salt));
+    }
+  }
+  return Status::Ok();
+}
+
+void Engine::InstallFaultSchedule(const net::FaultSchedule& schedule) {
+  assert(!ran_ && "install the fault schedule before Run");
+  assert(!chaos_armed_ && "fault schedule already installed");
+  if (schedule.empty()) return;  // null schedule: nothing arms, zero overhead
+  fault_schedule_ = schedule;
+  chaos_armed_ = true;
+  fault_injector_ = std::make_unique<net::FaultInjector>(
+      fault_schedule_, config_.seed, &registry_);
+  net_.set_fault_injector(fault_injector_.get());
+  // Chaos-only series are registered at arming (not first use) so two runs
+  // with the same (seed, schedule) dump identical key sets even when an
+  // event never fires.
+  registry_.counter("engine.txn_timeouts");
+  registry_.counter("engine.failovers");
+  pipeline_.BindStaleEpochCounter(
+      &registry_.counter("switch.stale_epoch_drops"));
+  for (const net::FaultEvent& ev : fault_schedule_.events) {
+    switch (ev.kind) {
+      case net::FaultEvent::Kind::kSwitchReboot:
+        sim_.ScheduleAt(ev.at, [this] { OnSwitchCrash(); });
+        sim_.ScheduleAt(ev.at + ev.downtime, [this] { BeginFailback(); });
+        break;
+      case net::FaultEvent::Kind::kNodeCrash:
+        sim_.ScheduleAt(ev.at, [this, n = ev.node] { SimulateNodeCrash(n); });
+        break;
+      case net::FaultEvent::Kind::kNodeRestart:
+        sim_.ScheduleAt(ev.at, [this, n = ev.node] { (void)RecoverNode(n); });
+        break;
+    }
+  }
+}
+
+void Engine::OnSwitchCrash() {
+  if (!switch_up_) return;  // coalesce overlapping reboot events
+  switch_up_ = false;
+  // Stragglers: a transaction that passed the switch-up dispatch check just
+  // before this instant appends its intent AFTER the seeding below. Capture
+  // the per-node record counts so failback can replay exactly those.
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    crash_record_offset_[n] = wals_[n]->records().size();
+  }
+  // Seed the host rows of every hot item with the switch's last committed
+  // state: recovery baseline plus all logged intents since the previous
+  // failback watermark. Hot/warm traffic executes against these rows (via
+  // the regular cold path) while the switch is dark.
+  std::unordered_map<uint64_t, Value64> initial;
+  for (const PartitionManager::HotEntry& e : pm_.entries()) {
+    initial[PackAddr(e.addr)] = e.initial_value;
+  }
+  std::vector<const db::Wal*> logs;
+  for (const auto& w : wals_) logs.push_back(w.get());
+  WalReplayOptions opts;
+  opts.first_record = pm_.recovery_watermarks();
+  opts.best_effort = true;  // a live cluster cannot halt on an inference miss
+  StatusOr<WalReplayResult> replay =
+      ReplayWalSwitchState(std::move(initial), logs, opts);
+  assert(replay.ok());
+  for (const PartitionManager::HotEntry& e : pm_.entries()) {
+    catalog_->table(e.item.tuple.table)
+        .GetOrCreate(e.item.tuple.key)[e.item.column] =
+        replay->state[PackAddr(e.addr)];
+  }
+  // Power loss: registers and allocations wiped, the data plane drops every
+  // packet until failback powers it back on. The GID counter survives in
+  // the control plane (the paper restarts it above everything recovered;
+  // keeping it monotonic models that without re-deriving it here).
+  control_plane_.Reset();
+  pipeline_.Reboot();
+}
+
+void Engine::BeginFailback() {
+  if (switch_up_) return;  // crash event never fired (e.g. double reboot)
+  switch_draining_ = true;
+  FinalizeFailback();
+}
+
+void Engine::FinalizeFailback() {
+  if (degraded_inflight_ > 0) {
+    // Degraded transactions are still mutating the hot items' host rows;
+    // installing register values mid-flight would lose their writes. The
+    // draining flag keeps new degraded work from starting; poll until the
+    // last one commits.
+    sim_.Schedule(5 * kMicrosecond, [this] { FinalizeFailback(); });
+    return;
+  }
+  // Baseline = the host rows (crash-time seed + every degraded write),
+  // then fold in the stragglers: intents appended after the seeding
+  // instant, whose packets the dark/fenced pipeline is guaranteed to have
+  // dropped.
+  std::unordered_map<uint64_t, Value64> baseline;
+  const std::vector<PartitionManager::HotEntry>& entries = pm_.entries();
+  for (const PartitionManager::HotEntry& e : entries) {
+    baseline[PackAddr(e.addr)] =
+        catalog_->table(e.item.tuple.table)
+            .GetOrCreate(e.item.tuple.key)[e.item.column];
+  }
+  std::vector<const db::Wal*> logs;
+  for (const auto& w : wals_) logs.push_back(w.get());
+  WalReplayOptions opts;
+  opts.first_record = crash_record_offset_;
+  opts.best_effort = true;
+  StatusOr<WalReplayResult> replay =
+      ReplayWalSwitchState(std::move(baseline), logs, opts);
+  assert(replay.ok());
+  // Re-provision the data plane: the allocator is fresh after Reset(), so
+  // registration order reproduces every original address.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const PartitionManager::HotEntry& e = entries[i];
+    StatusOr<sw::RegisterAddress> addr =
+        control_plane_.AllocateSlot(e.addr.stage, e.addr.reg);
+    assert(addr.ok() && *addr == e.addr);
+    (void)addr;
+    const Value64 value = replay->state[PackAddr(e.addr)];
+    Status st = control_plane_.InstallValue(e.addr, value);
+    assert(st.ok());
+    (void)st;
+    // Installed values become the new recovery baseline, and the host rows
+    // absorb the straggler effects so a second crash seeds consistently.
+    pm_.UpdateInitialValue(i, value);
+    catalog_->table(e.item.tuple.table)
+        .GetOrCreate(e.item.tuple.key)[e.item.column] = value;
+  }
+  // Watermark: later replays (offline recovery or a second crash) start
+  // from here — everything earlier is folded into the refreshed baseline.
+  std::vector<size_t> watermarks(config_.num_nodes);
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    watermarks[n] = wals_[n]->records().size();
+  }
+  pm_.set_recovery_watermarks(std::move(watermarks));
+  // GID counter restarts above everything recovered (Section 6.1).
+  pipeline_.set_next_gid(
+      std::max(pipeline_.next_gid(), replay->max_gid + 1) +
+      static_cast<Gid>(replay->num_inflight));
+  // Epoch advances exactly when the watermark is cut: packets stamped
+  // before it (epoch N-1, intent < watermark) are fenced and their intents
+  // replayed above; packets stamped after carry the new epoch and execute
+  // on the switch. Each intent thus has exactly one applier.
+  ++switch_epoch_;
+  pipeline_.PowerOn(static_cast<uint8_t>(switch_epoch_));
+  switch_draining_ = false;
+  switch_up_ = true;
 }
 
 }  // namespace p4db::core

@@ -17,6 +17,7 @@
 #include "db/table.h"
 #include "db/txn.h"
 #include "db/wal.h"
+#include "net/fault_injector.h"
 #include "net/network.h"
 #include "sim/co_task.h"
 #include "sim/future.h"
@@ -88,6 +89,27 @@ class Engine {
   /// Rebuilds the switch state from all node WALs (delegates to
   /// RecoverSwitchState in core/recovery.h).
   Status RecoverSwitch();
+  /// Brings a crashed node back: scans its WAL (committed records and
+  /// switch intents are durable; applying in-flight intents is the switch
+  /// recovery's job) and, if a run is in progress, respawns its workers
+  /// with a fresh RNG generation. Inverse of SimulateNodeCrash.
+  Status RecoverNode(NodeId node);
+
+  // -- Deterministic chaos harness (call before Run) --
+
+  /// Arms the fault schedule: link perturbations install on the network and
+  /// every scripted event (switch reboot with online failback, node crash /
+  /// restart) is scheduled at its absolute simulated time. Runs are
+  /// reproducible from (config.seed, schedule); an empty schedule arms
+  /// nothing and leaves the run byte-identical to an engine that never
+  /// heard of fault injection.
+  void InstallFaultSchedule(const net::FaultSchedule& schedule);
+
+  bool chaos_armed() const { return chaos_armed_; }
+  bool switch_up() const { return switch_up_; }
+  /// Control-plane epoch, bumped on every switch reboot; stamped (mod 256)
+  /// into switch packets so the pipeline fences pre-crash stragglers.
+  uint32_t switch_epoch() const { return switch_epoch_; }
 
   // -- Accessors --
   const SystemConfig& config() const { return config_; }
@@ -110,13 +132,23 @@ class Engine {
   const MetricsRegistry& metrics_registry() const { return registry_; }
 
  private:
-  sim::Task RunWorker(NodeId node, WorkerId worker);
+  sim::Task RunWorker(NodeId node, WorkerId worker, uint64_t seed_salt = 0);
   /// Driver for ExecuteOnce: retries one transaction to completion.
   sim::Task DriveOnce(db::Transaction* txn, NodeId home,
                       std::vector<std::optional<Value64>>* results,
                       bool* done);
 
   SimTime BackoffDelay(int attempt, Rng& rng);
+
+  // Chaos-harness event handlers (scheduled by InstallFaultSchedule).
+  /// Crash instant: seed host rows for all hot items from the WAL replay,
+  /// wipe the data plane, bump the epoch. Traffic continues degraded.
+  void OnSwitchCrash();
+  /// Downtime elapsed: start draining degraded transactions, then finalize.
+  void BeginFailback();
+  /// Re-provisions the registers from host rows + straggler intents and
+  /// reopens the switch. Polls itself until the degraded count hits zero.
+  void FinalizeFailback();
 
   SystemConfig config_;
   sim::Simulator sim_;
@@ -136,14 +168,37 @@ class Engine {
   std::vector<sim::Task> workers_;
   bool ran_ = false;
   bool measuring_ = false;
+  /// True while Run's workers are live — RecoverNode only respawns then.
+  bool running_ = false;
 
   uint64_t next_txn_id_ = 1;
   std::vector<uint32_t> next_client_seq_;
+
+  // Chaos-harness state. All inert (and the counters unregistered) until
+  // InstallFaultSchedule arms a non-empty schedule, so fault-free runs dump
+  // exactly the historical metric key set.
+  std::unique_ptr<net::FaultInjector> fault_injector_;
+  net::FaultSchedule fault_schedule_;
+  bool chaos_armed_ = false;
+  bool switch_up_ = true;
+  bool switch_draining_ = false;
+  uint32_t switch_epoch_ = 0;
+  uint32_t degraded_inflight_ = 0;
+  /// Per-node WAL record count captured at the crash instant; records at or
+  /// after it are stragglers (intent appended after the host rows were
+  /// seeded) and are replayed onto the host-row baseline at failback.
+  std::vector<size_t> crash_record_offset_;
+  /// Generation counter salting respawned workers' RNG streams.
+  uint64_t recover_generation_ = 0;
 
   /// Engine-level registry counters (committed / aborted attempts over the
   /// measured window).
   MetricsRegistry::Counter* committed_counter_ = nullptr;
   MetricsRegistry::Counter* aborted_counter_ = nullptr;
+  /// Bound to real series only when config.max_attempts > 0 (else the
+  /// static null sinks), keeping unbounded-retry dumps unchanged.
+  MetricsRegistry::Counter* gaveup_counter_ = nullptr;
+  Histogram* attempts_hist_ = nullptr;
 
   /// The pluggable execution strategy. Declared last: its ExecutionContext
   /// points at the members above.

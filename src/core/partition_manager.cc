@@ -39,6 +39,13 @@ void PartitionManager::RegisterHotItem(const HotItem& item,
   entries_.push_back(HotEntry{item, addr, initial_value});
 }
 
+void PartitionManager::UpdateInitialValue(size_t entry_index, Value64 value) {
+  assert(entry_index < entries_.size());
+  HotEntry& e = entries_[entry_index];
+  e.initial_value = value;
+  initial_values_[e.item] = value;
+}
+
 const sw::RegisterAddress* PartitionManager::AddressOf(
     const HotItem& item) const {
   auto it = index_.find(item);

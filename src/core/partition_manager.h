@@ -40,6 +40,22 @@ class PartitionManager {
   void RegisterHotItem(const HotItem& item, const sw::RegisterAddress& addr,
                        Value64 initial_value);
 
+  /// Refreshes the recovery baseline of one hot item (by registration
+  /// order). An online failback calls this after re-provisioning the data
+  /// plane: the installed value becomes the new "value at offload time", so
+  /// a later offline recovery replays only post-failback WAL records.
+  void UpdateInitialValue(size_t entry_index, Value64 value);
+
+  /// Per-WAL record-index watermarks paired with the baseline above:
+  /// offline recovery replays only records at or after these offsets.
+  /// Empty (the default) means replay everything.
+  const std::vector<size_t>& recovery_watermarks() const {
+    return recovery_watermarks_;
+  }
+  void set_recovery_watermarks(std::vector<size_t> watermarks) {
+    recovery_watermarks_ = std::move(watermarks);
+  }
+
 
   bool IsHot(const HotItem& item) const { return index_.contains(item); }
   const sw::RegisterAddress* AddressOf(const HotItem& item) const;
@@ -83,6 +99,7 @@ class PartitionManager {
   std::unordered_map<HotItem, sw::RegisterAddress, HotItemHash> index_;
   std::unordered_map<HotItem, Value64, HotItemHash> initial_values_;
   std::vector<HotEntry> entries_;
+  std::vector<size_t> recovery_watermarks_;
 };
 
 }  // namespace p4db::core

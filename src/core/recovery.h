@@ -1,6 +1,7 @@
 #ifndef P4DB_CORE_RECOVERY_H_
 #define P4DB_CORE_RECOVERY_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -9,6 +10,51 @@
 #include "switchsim/control_plane.h"
 
 namespace p4db::core {
+
+/// Outcome of replaying the switch-intent records of a set of WALs.
+struct WalReplayResult {
+  /// Final register values, keyed by PackAddr.
+  std::unordered_map<uint64_t, Value64> state;
+  /// Largest GID seen on any replayed committed record.
+  Gid max_gid = 0;
+  /// Number of in-flight (gid-less) records placed by dependency inference.
+  size_t num_inflight = 0;
+};
+
+struct WalReplayOptions {
+  /// Per-log record-index offsets: records before `first_record[i]` of
+  /// `logs[i]` are assumed already folded into the initial state (set after
+  /// an online failback refreshed the recovery baseline). Empty = replay
+  /// everything.
+  std::vector<size_t> first_record;
+  /// Offline recovery demands that some serial order reproduces every
+  /// recorded result and fails otherwise. Online failback cannot halt a
+  /// live cluster on an inference miss, so it accepts the
+  /// minimum-violation order as best effort.
+  bool best_effort = false;
+  /// Dependency inference only tries insertion positions within a window
+  /// of `search_window` serial slots (0 = everywhere), anchored where the
+  /// in-flight record's OWN log places it: just after its last committed
+  /// lsn-predecessor (same-log sends enter the switch FIFO, so the record
+  /// serialized at most a response latency — a few dozen serial slots —
+  /// past its predecessor, minus a small slack for injected reordering).
+  /// This keeps inference O(window^2) instead of O(total^2) per record;
+  /// with mid-run crash WALs of tens of thousands of intents the
+  /// unwindowed search is minutes, not milliseconds. The strict
+  /// (!best_effort) zero-violation check still covers the full order.
+  size_t search_window = 512;
+};
+
+/// Steps 2-3 of switch recovery as a pure function: gathers switch-intent
+/// records from `logs`, replays committed ones (gid order) and places
+/// in-flight ones by dependency inference, starting from `initial`
+/// register values. Shared by offline RecoverSwitchState and the engine's
+/// online crash/failback paths (which replay onto host rows while traffic
+/// continues).
+StatusOr<WalReplayResult> ReplayWalSwitchState(
+    std::unordered_map<uint64_t, Value64> initial,
+    const std::vector<const db::Wal*>& logs,
+    const WalReplayOptions& options = {});
 
 /// Rebuilds the switch register state after a switch power cycle from the
 /// nodes' write-ahead logs (Section 6.1, Appendix A.3):

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "net/fault_injector.h"
+
 namespace p4db::net {
 
 Network::Network(sim::Simulator* sim, const NetworkConfig& config,
@@ -29,9 +31,23 @@ SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
   if (from == to) return sim_->now();
   messages_sent_->Increment();
   bytes_sent_->Increment(bytes);
+
+  // Injected link faults: a drop costs the transport one retransmit delay
+  // before the frame successfully serializes, a delay spike stalls it in a
+  // congested queue, a duplicate occupies the egress link for a second
+  // copy after the real one departs. All recoverable — unrecoverable loss
+  // is modeled at the failure boundary (switch reboot + epoch fencing).
+  SimTime injected_delay = 0;
+  bool injected_dup = false;
+  if (fault_injector_ != nullptr) {
+    const FaultInjector::Perturbation p = fault_injector_->OnSend(from, to);
+    injected_delay = p.extra_delay;
+    injected_dup = p.duplicate;
+  }
+
   const SimTime ser = static_cast<SimTime>(
       std::llround(static_cast<double>(bytes) * config_.ns_per_byte));
-  const SimTime start = sim_->now() + config_.send_overhead;
+  const SimTime start = sim_->now() + config_.send_overhead + injected_delay;
 
   // First hop egress link.
   SimTime* first_link = nullptr;
@@ -42,7 +58,7 @@ SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
     first_link = &DownlinkBusy(to.index);
   }
   const SimTime depart = std::max(start, *first_link) + ser;
-  *first_link = depart;
+  *first_link = depart + (injected_dup ? ser : 0);
 
   SimTime arrive = depart + config_.node_to_switch_one_way;
   if (!from.is_switch() && !to.is_switch()) {

@@ -43,13 +43,16 @@ struct NetworkConfig {
   SimTime rx_service = 500 * kNanosecond;
 };
 
+class FaultInjector;
+
 /// Star-topology rack network: N nodes, one ToR switch in the middle.
 ///
 /// Models per-endpoint egress-link occupancy (messages serialize onto a
-/// link one after another) plus propagation latency. Deterministic; no
-/// drops (the rack network is lossless for our purposes — the paper's
-/// packet-drop concern is recirculation-port overflow, which is modeled in
-/// switchsim, not here).
+/// link one after another) plus propagation latency. Deterministic; by
+/// default lossless (the paper's packet-drop concern is recirculation-port
+/// overflow, which is modeled in switchsim, not here). An optional
+/// FaultInjector perturbs sends with retransmit delays, duplicates, and
+/// delay spikes — still fully deterministic from (seed, FaultSchedule).
 class Network {
  public:
   /// `metrics` is the cluster-wide registry the network publishes its
@@ -83,6 +86,14 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_->value(); }
   uint64_t bytes_sent() const { return bytes_sent_->value(); }
 
+  /// Attaches (or detaches, with nullptr) a deterministic fault source.
+  /// The network stays on the lossless fast path while unset: a single
+  /// pointer check per send, no RNG draws, no timing change.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
  private:
   // Index into link_busy_until_: per node, [0] = node uplink (node->switch),
   // [1] = switch downlink (switch->node), [2] = host receive path.
@@ -98,6 +109,7 @@ class Network {
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // standalone fallback
   MetricsRegistry::Counter* messages_sent_;
   MetricsRegistry::Counter* bytes_sent_;
+  FaultInjector* fault_injector_ = nullptr;  // unowned; null = lossless
 };
 
 }  // namespace p4db::net

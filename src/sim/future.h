@@ -22,6 +22,49 @@ struct SharedState {
 
 }  // namespace internal
 
+/// Future<T> with a deadline: awaiting yields std::optional<T> — nullopt if
+/// the promise was not fulfilled within `timeout`. On timeout the shared
+/// state's waiter is detached, so a late Promise::Set/SetAfter stores the
+/// value but resumes nobody (the consumer's frame may have moved on or been
+/// destroyed). The timeout event is never cancelled; if the value arrives
+/// first the event fires later, sees the fulfilled state, and does nothing.
+/// Built from Future<T>::WithTimeout().
+template <typename T>
+class TimedFuture {
+ public:
+  TimedFuture(Simulator* sim, std::shared_ptr<internal::SharedState<T>> state,
+              SimTime timeout)
+      : sim_(sim), state_(std::move(state)), timeout_(timeout) {}
+
+  bool await_ready() const noexcept { return state_->value.has_value(); }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(!state_->waiter && "future already awaited");
+    state_->waiter = h;
+    auto state = state_;
+    auto* sim = sim_;
+    sim_->Schedule(timeout_, [state, sim] {
+      if (!state->value.has_value() && state->waiter &&
+          !state->resume_scheduled) {
+        state->resume_scheduled = true;
+        sim->ScheduleResume(0, state->waiter);
+      }
+    });
+  }
+
+  std::optional<T> await_resume() {
+    if (state_->value.has_value()) return std::move(*state_->value);
+    // Timed out: detach so a late fulfilment cannot resume this frame.
+    state_->waiter = nullptr;
+    return std::nullopt;
+  }
+
+ private:
+  Simulator* sim_;
+  std::shared_ptr<internal::SharedState<T>> state_;
+  SimTime timeout_;
+};
+
 /// One-shot future usable as an awaitable inside simulated coroutines.
 /// Fulfilled by the paired Promise; the waiter resumes via a zero-delay
 /// simulator event (never inline), which keeps resumption order
@@ -43,6 +86,11 @@ class Future {
   T await_resume() {
     assert(state_->value.has_value());
     return std::move(*state_->value);
+  }
+
+  /// Deadline variant: `co_await fut.WithTimeout(d)` yields optional<T>.
+  TimedFuture<T> WithTimeout(SimTime timeout) const {
+    return TimedFuture<T>(sim_, state_, timeout);
   }
 
  private:

@@ -60,7 +60,7 @@ std::vector<uint8_t> PacketCodec::Encode(const SwitchTxn& txn) {
   Put<uint8_t>(out, static_cast<uint8_t>(txn.instrs.size()));
   Put<uint16_t>(out, txn.origin_node);
   Put<uint32_t>(out, txn.client_seq);
-  Put<uint8_t>(out, 0);  // pad
+  Put<uint8_t>(out, txn.epoch);
   for (const Instruction& instr : txn.instrs) {
     Put<uint8_t>(out, static_cast<uint8_t>(instr.op));
     Put<uint8_t>(out, instr.addr.stage);
@@ -82,12 +82,12 @@ std::vector<uint8_t> PacketCodec::Encode(const SwitchTxn& txn) {
 StatusOr<SwitchTxn> PacketCodec::Decode(const std::vector<uint8_t>& bytes) {
   SwitchTxn txn;
   size_t pos = 0;
-  uint8_t flags = 0, count = 0, pad = 0, op = 0, hdr_pad = 0;
+  uint8_t flags = 0, count = 0, pad = 0, op = 0;
   if (!Get(bytes, &pos, &flags) || !Get(bytes, &pos, &txn.lock_mask) ||
       !Get(bytes, &pos, &txn.touch_mask) ||
       !Get(bytes, &pos, &txn.nb_recircs) || !Get(bytes, &pos, &count) ||
       !Get(bytes, &pos, &txn.origin_node) ||
-      !Get(bytes, &pos, &txn.client_seq) || !Get(bytes, &pos, &hdr_pad)) {
+      !Get(bytes, &pos, &txn.client_seq) || !Get(bytes, &pos, &txn.epoch)) {
     return Status::InvalidArgument("truncated switch-txn header");
   }
   txn.is_multipass = (flags & 1) != 0;

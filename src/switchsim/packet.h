@@ -33,6 +33,15 @@ struct SwitchTxn {
   /// Issuer-local sequence number (echoed back; lets the node match
   /// responses and its WAL entries).
   uint32_t client_seq = 0;
+  /// Control-plane epoch the issuer believes is current, stamped into the
+  /// former header pad byte. The pipeline drops packets whose epoch doesn't
+  /// match its own — after a switch reboot, pre-crash packets still in
+  /// flight are fenced instead of executing against re-provisioned
+  /// registers (the in-band cousin of the paper's GID-counter-restart
+  /// trick, Section 6.1). Wraps at 256; a stale packet would need to
+  /// survive 256 reboots in flight to alias, far beyond any in-flight
+  /// lifetime the rack network allows.
+  uint8_t epoch = 0;
 
   std::vector<Instruction> instrs;
 };
@@ -62,7 +71,7 @@ struct SwitchResult {
 ///   [4]     instr_count
 ///   [5:7]   origin_node
 ///   [7:11]  client_seq
-///   [11]    pad
+///   [11]    epoch
 ///   then per instruction 20 bytes:
 ///   [0] opcode  [1] stage  [2] reg  [3] src1  [4:8] index
 ///   [8:16] operand  [16] src2  [17:20] pad

@@ -204,6 +204,21 @@ void Pipeline::Arrive(InflightRef fl) {
   }
   next_admission_ = sim_->now() + config_.admission_gap;
 
+  // Epoch fence (stage 0, before any register effect): while the switch is
+  // mid power cycle everything is dropped, and afterwards a packet stamped
+  // with a different control-plane epoch predates the last reboot — its
+  // registers were wiped and possibly re-provisioned, so executing it now
+  // would corrupt recovered state. Drop it; the issuing node's timeout
+  // handles the missing response and the WAL guarantees the logged intent
+  // is applied exactly once by recovery. Never touches lock_register_:
+  // reboot already cleared the packet's pre-crash lock bits, and the bits
+  // may since have been acquired by new-epoch packets.
+  if (down_ || fl->txn.epoch != epoch_) {
+    ++stats_.stale_epoch_drops;
+    mirror_.stale_epoch_drops->Increment();
+    return;
+  }
+
   if (!fl->holds_locks) {
     // Admission check in stage 0 (Listing 1 semantics: test the touched
     // regions and, for multi-pass packets, set the pending regions — one

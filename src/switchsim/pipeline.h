@@ -40,6 +40,7 @@ struct PipelineStats {
   uint64_t holder_recircs = 0;         // lock holder cycling between passes
   uint64_t lock_acquisitions = 0;
   uint64_t constrained_write_failures = 0;
+  uint64_t stale_epoch_drops = 0;      // pre-reboot packets fenced at ingress
   Histogram recircs_per_txn;
 };
 
@@ -118,6 +119,36 @@ class Pipeline {
   void set_next_gid(Gid gid) { next_gid_ = gid; }
   uint8_t held_locks() const { return lock_register_; }
 
+  /// Current control-plane epoch. Packets stamped with any other epoch are
+  /// dropped at ingress (stale_epoch_drops) instead of executing: after a
+  /// reboot wipes the registers, pre-crash packets still in flight must not
+  /// touch the re-provisioned state.
+  uint8_t epoch() const { return epoch_; }
+  /// False between Reboot() and PowerOn(): the data plane is mid power
+  /// cycle and drops every arriving packet.
+  bool is_up() const { return !down_; }
+  /// Power-cycle the data plane: the switch goes dark (every packet
+  /// arriving before PowerOn is dropped and counted as fenced) and the lock
+  /// register clears (its state is SRAM too). Register contents and
+  /// allocations are wiped by the companion ControlPlane::Reset().
+  void Reboot() {
+    down_ = true;
+    lock_register_ = 0;
+  }
+  /// Control plane finished re-provisioning: reopen ingress under
+  /// `new_epoch`. Packets stamped with the pre-reboot epoch — built before
+  /// the re-provisioned state existed — get fenced at ingress from now on.
+  void PowerOn(uint8_t new_epoch) {
+    epoch_ = new_epoch;
+    down_ = false;
+  }
+  /// Routes the stale-drop count into a cluster registry counter. Bound
+  /// lazily (only when a fault schedule arms the cluster) so fault-free
+  /// runs publish exactly the pre-chaos metric set.
+  void BindStaleEpochCounter(MetricsRegistry::Counter* counter) {
+    mirror_.stale_epoch_drops = counter;
+  }
+
  private:
   /// Handles one arrival at the pipeline ingress (fresh or recirculated).
   void Arrive(InflightRef fl);
@@ -150,6 +181,8 @@ class Pipeline {
         &MetricsRegistry::NullCounter();
     MetricsRegistry::Counter* constrained_write_failures =
         &MetricsRegistry::NullCounter();
+    MetricsRegistry::Counter* stale_epoch_drops =
+        &MetricsRegistry::NullCounter();
     Histogram* recircs_per_txn = &MetricsRegistry::NullHistogram();
   };
 
@@ -164,6 +197,8 @@ class Pipeline {
   InflightPool* pool_;
 
   uint8_t lock_register_ = 0;  // Listing 1 state: bit0 left, bit1 right
+  uint8_t epoch_ = 0;
+  bool down_ = false;
   Gid next_gid_ = 1;
   SimTime next_admission_ = 0;
 

@@ -14,6 +14,7 @@ SwitchTxn SampleTxn() {
   txn.lock_mask = kLockLeft | kLockRight;
   txn.nb_recircs = 3;
   txn.origin_node = 5;
+  txn.epoch = 9;
   txn.client_seq = 123456;
   txn.instrs.push_back(
       Instruction{OpCode::kRead, RegisterAddress{0, 1, 77}, 0});
@@ -33,8 +34,21 @@ TEST(PacketCodecTest, RoundTripPreservesEverything) {
   EXPECT_EQ(decoded->lock_mask, txn.lock_mask);
   EXPECT_EQ(decoded->nb_recircs, txn.nb_recircs);
   EXPECT_EQ(decoded->origin_node, txn.origin_node);
+  EXPECT_EQ(decoded->epoch, txn.epoch);
   EXPECT_EQ(decoded->client_seq, txn.client_seq);
   EXPECT_EQ(decoded->instrs, txn.instrs);
+}
+
+TEST(PacketCodecTest, EpochRoundTripsAtFullByteRange) {
+  // The control-plane epoch travels mod 256 in a former pad byte; the fence
+  // compares it verbatim, so both extremes must survive the wire.
+  for (int e : {0, 1, 255}) {
+    SwitchTxn txn = SampleTxn();
+    txn.epoch = static_cast<uint8_t>(e);
+    const auto decoded = PacketCodec::Decode(PacketCodec::Encode(txn));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->epoch, static_cast<uint8_t>(e));
+  }
 }
 
 TEST(PacketCodecTest, EncodedSizeMatchesFormula) {
