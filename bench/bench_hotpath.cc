@@ -1,0 +1,225 @@
+// Transaction hot-path benchmark: wall-clock txns/sec and heap
+// allocations per committed transaction, on the single-node (allocation
+// discipline) and 8-node figure-11 (end-to-end speed) configurations.
+//
+// Unlike the figure benches this one measures the HARNESS, not the
+// simulated system: simulated throughput is deterministic and identical
+// across harness changes, so the interesting outputs are
+// wall_txns_per_sec (committed transactions per host second) and
+// allocs_per_txn (global operator-new calls inside the measured window per
+// committed transaction). Both land in BENCH_hotpath.json for the CI
+// perf gate.
+
+#include <cinttypes>
+#include <cstdlib>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "../tests/alloc_counter.h"
+#include "bench_common.h"
+
+namespace p4db::bench {
+namespace {
+
+struct HotpathRun {
+  core::Metrics metrics;
+  double wall_seconds = 0;
+  double wall_txns_per_sec = 0;  // committed / host wall seconds
+  uint64_t window_allocs = 0;    // operator-new calls in measured window
+  uint64_t window_frees = 0;
+  double allocs_per_txn = 0;
+};
+
+/// Steady-state preparation for the strict zero-allocation scenarios: every
+/// row of a bounded working set is materialized up front (GetOrCreate in
+/// the measured window then only looks up) and the growable bookkeeping —
+/// WAL record index + payload arena, the OCC version table — is pre-sized
+/// past the run's high-water mark. 0 = skip (unbounded workloads such as
+/// the figure-11 cluster keep their lazily-materialized 10^9-key table).
+struct SteadyStatePrep {
+  uint64_t materialize_keys = 0;
+  size_t wal_records_per_node = 0;
+  size_t wal_payload_bytes_per_node = 0;
+};
+
+void Prepare(core::Engine& engine, const SteadyStatePrep& prep) {
+  if (prep.materialize_keys == 0) return;
+  db::Catalog& catalog = engine.catalog();
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    db::Table& table = catalog.table(t);
+    for (uint64_t k = 0; k < prep.materialize_keys; ++k) {
+      table.GetOrCreate(static_cast<Key>(k));
+    }
+  }
+  engine.ReserveSteadyState(prep.materialize_keys, prep.wal_records_per_node,
+                            prep.wal_payload_bytes_per_node);
+}
+
+/// Like RunWorkload, but brackets the measured window with allocation
+/// snapshots. Both snapshot events are scheduled before Run, so at their
+/// timestamps they hold the smallest sequence numbers and fire before any
+/// same-instant transaction work: `begin` just after the warmup boundary
+/// (Run's own metrics/registry reset allocates and must stay outside the
+/// window), `end` exactly at the horizon before teardown.
+HotpathRun RunHotpath(const core::SystemConfig& config, wl::Workload* workload,
+                      size_t sample_size, size_t max_hot_items,
+                      const BenchTime& time,
+                      const SteadyStatePrep& prep = {}) {
+  core::Engine engine(config);
+  engine.SetWorkload(workload);
+  engine.Offload(sample_size, max_hot_items);
+  Prepare(engine, prep);
+
+  // P4DB_TRAP_ALLOCS=1 turns the first in-window allocation into a trap so
+  // a debugger shows the offending stack (strict scenarios only).
+  const bool trap =
+      prep.materialize_keys != 0 && std::getenv("P4DB_TRAP_ALLOCS") != nullptr;
+  testing::AllocSnapshot begin, end;
+  engine.simulator().ScheduleAt(time.warmup + 1, [&begin, trap] {
+    begin = testing::CaptureAllocs();
+    if (trap) testing::SetAllocTrap(true);
+  });
+  engine.simulator().ScheduleAt(time.warmup + time.measure, [&end] {
+    testing::SetAllocTrap(false);
+    end = testing::CaptureAllocs();
+  });
+
+  HotpathRun out;
+  const auto wall_start = std::chrono::steady_clock::now();
+  out.metrics = engine.Run(time.warmup, time.measure);
+  const auto wall_end = std::chrono::steady_clock::now();
+  out.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  out.wall_txns_per_sec =
+      out.wall_seconds > 0
+          ? static_cast<double>(out.metrics.committed) / out.wall_seconds
+          : 0;
+  out.window_allocs = end.allocs - begin.allocs;
+  out.window_frees = end.frees - begin.frees;
+  out.allocs_per_txn =
+      out.metrics.committed > 0
+          ? static_cast<double>(out.window_allocs) /
+                static_cast<double>(out.metrics.committed)
+          : 0;
+  return out;
+}
+
+void Record(const char* scenario, const core::SystemConfig& config,
+            const wl::Workload& workload, const HotpathRun& run) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"scenario\": \"%s\", \"mode\": \"%s\", \"cc\": \"%s\", "
+      "\"workload\": \"%s\", \"nodes\": %u, \"committed\": %" PRIu64
+      ", \"wall_seconds\": %.6f, \"wall_txns_per_sec\": %.0f, "
+      "\"window_allocs\": %" PRIu64 ", \"window_frees\": %" PRIu64
+      ", \"allocs_per_txn\": %.3f}",
+      scenario, core::EngineModeName(config.mode),
+      core::CcProtocolName(config.cc_protocol), workload.name().c_str(),
+      config.num_nodes, run.metrics.committed, run.wall_seconds,
+      run.wall_txns_per_sec, run.window_allocs, run.window_frees,
+      run.allocs_per_txn);
+  AppendRunEntry(buf);
+  std::printf("%-24s %-9s %-4s %-10s %10" PRIu64 " %12.0f %12" PRIu64
+              " %10.3f\n",
+              scenario, core::EngineModeName(config.mode),
+              core::CcProtocolName(config.cc_protocol),
+              workload.name().c_str(), run.metrics.committed,
+              run.wall_txns_per_sec, run.window_allocs, run.allocs_per_txn);
+}
+
+core::SystemConfig SingleNode(core::CcProtocol cc) {
+  core::SystemConfig cfg;
+  cfg.mode = core::EngineMode::kNoSwitch;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 20;
+  cfg.cc_protocol = cc;
+  cfg.seed = 42;
+  return cfg;
+}
+
+void RunAll(const BenchTime& time) {
+  std::printf("%-24s %-9s %-4s %-10s %10s %12s %12s %10s\n", "scenario",
+              "mode", "cc", "workload", "committed", "wall-txn/s", "allocs",
+              "allocs/txn");
+
+  // Allocation discipline: single-node, everything host-local, bounded
+  // working set materialized up front. Steady state must then be EXACTLY
+  // zero heap allocations per committed transaction — any regression here
+  // is a new per-txn allocation on the hot path.
+  SteadyStatePrep prep;
+  prep.materialize_keys = 100000;
+  prep.wal_records_per_node = 1 << 18;
+  prep.wal_payload_bytes_per_node = 16 << 20;
+  {
+    wl::YcsbConfig wcfg;
+    wcfg.variant = 'A';
+    wcfg.table_size = prep.materialize_keys;
+    const core::SystemConfig cfg = SingleNode(core::CcProtocol::k2pl);
+    wl::Ycsb workload(wcfg);
+    Record("alloc_ycsb_2pl_1node", cfg, workload,
+           RunHotpath(cfg, &workload, 20000, YcsbHotItems(wcfg, 1), time,
+                      prep));
+  }
+  {
+    wl::YcsbConfig wcfg;
+    wcfg.variant = 'A';
+    wcfg.table_size = prep.materialize_keys;
+    const core::SystemConfig cfg = SingleNode(core::CcProtocol::kOcc);
+    wl::Ycsb workload(wcfg);
+    Record("alloc_ycsb_occ_1node", cfg, workload,
+           RunHotpath(cfg, &workload, 20000, YcsbHotItems(wcfg, 1), time,
+                      prep));
+  }
+  {
+    wl::SmallBankConfig wcfg;
+    wcfg.num_accounts = prep.materialize_keys;
+    const core::SystemConfig cfg = SingleNode(core::CcProtocol::k2pl);
+    wl::SmallBank workload(wcfg);
+    Record("alloc_smallbank_2pl_1node", cfg, workload,
+           RunHotpath(cfg, &workload, 20000, SmallBankHotItems(wcfg, 1),
+                      time, prep));
+  }
+
+  // End-to-end speed: the figure-11 cluster (8 nodes, 20 workers/node,
+  // YCSB-A, 20% distributed) under P4DB and No-Switch, plus SmallBank.
+  {
+    wl::YcsbConfig wcfg;
+    wcfg.variant = 'A';
+    const core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+    wl::Ycsb workload(wcfg);
+    Record("fig11_ycsb_p4db_8node", cfg, workload,
+           RunHotpath(cfg, &workload, 20000,
+                      YcsbHotItems(wcfg, cfg.num_nodes), time));
+  }
+  {
+    wl::YcsbConfig wcfg;
+    wcfg.variant = 'A';
+    const core::SystemConfig cfg = PaperCluster(core::EngineMode::kNoSwitch);
+    wl::Ycsb workload(wcfg);
+    Record("fig11_ycsb_noswitch_8node", cfg, workload,
+           RunHotpath(cfg, &workload, 20000,
+                      YcsbHotItems(wcfg, cfg.num_nodes), time));
+  }
+  {
+    wl::SmallBankConfig wcfg;
+    const core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+    wl::SmallBank workload(wcfg);
+    Record("smallbank_p4db_8node", cfg, workload,
+           RunHotpath(cfg, &workload, 20000,
+                      SmallBankHotItems(wcfg, cfg.num_nodes), time));
+  }
+}
+
+}  // namespace
+}  // namespace p4db::bench
+
+int main() {
+  using namespace p4db::bench;
+  const BenchTime time = BenchTime::FromEnv();
+  PrintBanner("hotpath",
+              "transaction hot path: wall-clock txns/sec + allocations/txn");
+  RunAll(time);
+  return 0;
+}

@@ -1,0 +1,123 @@
+#ifndef P4DB_COMMON_ARENA_H_
+#define P4DB_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace p4db {
+
+/// Chunked bump allocator. Allocations are pointer bumps into the current
+/// chunk; a full chunk is retired (never moved, so handed-out addresses
+/// stay stable — the WAL's records hold spans into its arena for the
+/// process lifetime) and a new one is carved. Objects larger than the
+/// chunk payload get a dedicated chunk. Everything is freed at once on
+/// destruction; Reset() rewinds to empty while keeping the chunks for
+/// reuse (the per-transaction scratch pattern).
+///
+/// Allocate() never runs constructors or destructors: arena-backed types
+/// must be trivially destructible.
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    assert((align & (align - 1)) == 0);
+    uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    if (p + bytes > limit_) {
+      NewChunk(bytes, align);
+      p = (cursor_ + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Guarantees the next Allocate of up to `bytes` (at the given alignment)
+  /// will not take a new chunk. Used by tests/benches that pre-size for a
+  /// strictly allocation-free measurement window.
+  void Reserve(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    const uintptr_t p =
+        (cursor_ + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    if (p + bytes > limit_) NewChunk(bytes, align);
+  }
+
+  /// Rewinds to empty. Previously handed-out pointers become dead; chunks
+  /// are kept and refilled front to back, so a steady-state caller that
+  /// resets between transactions stops allocating once warmed up.
+  void Reset() {
+    next_chunk_ = 0;
+    bytes_used_ = 0;
+    if (chunks_.empty()) {
+      cursor_ = 0;
+      limit_ = 0;
+    } else {
+      OpenChunk(0);
+    }
+  }
+
+  size_t bytes_used() const { return bytes_used_; }
+  size_t bytes_capacity() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  void OpenChunk(size_t index) {
+    cursor_ = reinterpret_cast<uintptr_t>(chunks_[index].data.get());
+    limit_ = cursor_ + chunks_[index].size;
+    next_chunk_ = index + 1;
+  }
+
+  void NewChunk(size_t bytes, size_t align) {
+    // A retired chunk's tail slack is forfeited (bump never back-fills).
+    const size_t wanted = bytes + align;
+    // After Reset, march through retained chunks before allocating fresh.
+    while (next_chunk_ < chunks_.size()) {
+      const size_t idx = next_chunk_;
+      if (chunks_[idx].size >= wanted) {
+        OpenChunk(idx);
+        return;
+      }
+      ++next_chunk_;
+    }
+    const size_t size = wanted > chunk_bytes_ ? wanted : chunk_bytes_;
+    chunks_.push_back(
+        Chunk{std::make_unique<unsigned char[]>(size), size});
+    OpenChunk(chunks_.size() - 1);
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t next_chunk_ = 0;  // first retained chunk not yet reopened
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_ARENA_H_

@@ -1,0 +1,356 @@
+#ifndef P4DB_COMMON_FLAT_MAP_H_
+#define P4DB_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p4db {
+
+/// Default hasher for FlatMap: full-avalanche mix for integral keys (the
+/// standard library's std::hash<uint64_t> is the identity, which would
+/// cluster dense keys in an open-addressed table), std::hash for
+/// everything else (TupleId / HotItem already install mixing hashes).
+template <typename K>
+struct FlatHash {
+  size_t operator()(const K& k) const {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      uint64_t x = static_cast<uint64_t>(k);
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      x *= 0xc4ceb9fe1a85ec53ULL;
+      x ^= x >> 33;
+      return static_cast<size_t>(x);
+    } else {
+      return std::hash<K>{}(k);
+    }
+  }
+};
+
+/// Open-addressed hash map for trivially-copyable keys and values (the
+/// hot-path types: TupleId, HotItem, u64, Value64). Linear probing over a
+/// power-of-two slot array, 7/8 maximum load, backward-shift deletion (no
+/// tombstones, so lookup cost never degrades with churn). One allocation
+/// holds slots and occupancy bytes; InlineSlots > 0 embeds storage for
+/// that many slots so small maps (per-transaction read/write sets) never
+/// allocate.
+///
+/// Iteration is in slot order — fully determined by the insertion/erase
+/// sequence and the hash function, never by addresses — so seeded runs
+/// stay reproducible.
+template <typename K, typename V, size_t InlineSlots = 0,
+          typename Hash = FlatHash<K>>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                    std::is_trivially_destructible_v<K>,
+                "FlatMap keys must be trivial");
+  static_assert(std::is_trivially_copyable_v<V> &&
+                    std::is_trivially_destructible_v<V>,
+                "FlatMap values must be trivial");
+  static_assert(InlineSlots == 0 || (InlineSlots & (InlineSlots - 1)) == 0,
+                "inline slot count must be a power of two");
+
+ public:
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  FlatMap() noexcept {
+    if constexpr (InlineSlots > 0) {
+      slots_ = InlineSlotData();
+      ctrl_ = InlineCtrlData();
+      capacity_ = InlineSlots;
+      std::memset(ctrl_, 0, InlineSlots);
+    }
+  }
+
+  FlatMap(const FlatMap& other) : FlatMap() {
+    reserve(other.size_);
+    for (const Slot& s : other) Insert(s.key, s.value);
+  }
+
+  FlatMap& operator=(const FlatMap& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const Slot& s : other) Insert(s.key, s.value);
+    }
+    return *this;
+  }
+
+  FlatMap(FlatMap&& other) noexcept : FlatMap() { StealFrom(other); }
+
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      ReleaseHeap();
+      ResetToInline();
+      StealFrom(other);
+    }
+    return *this;
+  }
+
+  ~FlatMap() { ReleaseHeap(); }
+
+  size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  size_t capacity() const noexcept { return capacity_; }
+
+  void clear() noexcept {
+    if (capacity_ != 0) std::memset(ctrl_, 0, capacity_);
+    size_ = 0;
+  }
+
+  /// Ensures capacity for `n` entries without rehashing on the way there.
+  void reserve(size_t n) {
+    if (n * 8 <= capacity_ * 7) return;
+    size_t needed = capacity_ == 0 ? kMinHeapCapacity : capacity_;
+    while (n * 8 > needed * 7) needed *= 2;
+    Rehash(needed);
+  }
+
+  V* find(const K& key) noexcept {
+    if (size_ == 0) return nullptr;
+    const size_t mask = capacity_ - 1;
+    size_t i = Hash{}(key) & mask;
+    while (ctrl_[i] != 0) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const V* find(const K& key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  bool contains(const K& key) const noexcept { return find(key) != nullptr; }
+
+  /// Insert-if-absent (std::unordered_map::try_emplace semantics): returns
+  /// {pointer to value, true} on insert, {pointer to existing, false} when
+  /// the key is already present.
+  std::pair<V*, bool> try_emplace(const K& key, const V& value = V{}) {
+    GrowIfNeeded();
+    const size_t mask = capacity_ - 1;
+    size_t i = Hash{}(key) & mask;
+    while (ctrl_[i] != 0) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask;
+    }
+    ctrl_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].value = value;
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  /// Unconditional assign (insert or overwrite).
+  void InsertOrAssign(const K& key, const V& value) {
+    *try_emplace(key).first = value;
+  }
+
+  /// Removes `key`; returns false if absent. Backward-shift deletion keeps
+  /// every remaining probe chain gap-free.
+  bool erase(const K& key) noexcept {
+    if (size_ == 0) return false;
+    const size_t mask = capacity_ - 1;
+    size_t i = Hash{}(key) & mask;
+    while (true) {
+      if (ctrl_[i] == 0) return false;
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask;
+    }
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (ctrl_[j] == 0) break;
+      const size_t ideal = Hash{}(slots_[j].key) & mask;
+      if (((j - ideal) & mask) >= ((j - i) & mask)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    ctrl_[i] = 0;
+    --size_;
+    return true;
+  }
+
+  // -- Slot-order iteration --
+  template <bool Const>
+  class Iter {
+   public:
+    using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using SlotT = std::conditional_t<Const, const Slot, Slot>;
+    Iter(MapT* map, size_t idx) : map_(map), idx_(idx) { SkipEmpty(); }
+    SlotT& operator*() const { return map_->slots_[idx_]; }
+    SlotT* operator->() const { return &map_->slots_[idx_]; }
+    Iter& operator++() {
+      ++idx_;
+      SkipEmpty();
+      return *this;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.idx_ == b.idx_;
+    }
+
+   private:
+    void SkipEmpty() {
+      while (idx_ < map_->capacity_ && map_->ctrl_[idx_] == 0) ++idx_;
+    }
+    MapT* map_;
+    size_t idx_;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() noexcept { return iterator(this, 0); }
+  iterator end() noexcept { return iterator(this, capacity_); }
+  const_iterator begin() const noexcept { return const_iterator(this, 0); }
+  const_iterator end() const noexcept {
+    return const_iterator(this, capacity_);
+  }
+
+ private:
+  static constexpr size_t kMinHeapCapacity = 16;
+
+  // Heap layout: [capacity * Slot][capacity ctrl bytes], one allocation.
+  static size_t HeapBytes(size_t cap) { return cap * (sizeof(Slot) + 1); }
+
+  Slot* InlineSlotData() noexcept {
+    return reinterpret_cast<Slot*>(inline_storage_);
+  }
+  uint8_t* InlineCtrlData() noexcept {
+    return reinterpret_cast<uint8_t*>(inline_storage_) +
+           InlineSlots * sizeof(Slot);
+  }
+  bool IsInline() const noexcept {
+    if constexpr (InlineSlots == 0) {
+      return false;
+    } else {
+      return slots_ ==
+             reinterpret_cast<const Slot*>(inline_storage_);
+    }
+  }
+
+  void GrowIfNeeded() {
+    if (capacity_ == 0) {
+      Rehash(kMinHeapCapacity);
+    } else if ((size_ + 1) * 8 > capacity_ * 7) {
+      Rehash(capacity_ * 2);
+    }
+  }
+
+  /// Probe to the first empty slot; used by rehash (keys are unique).
+  void Insert(const K& key, const V& value) {
+    const size_t mask = capacity_ - 1;
+    size_t i = Hash{}(key) & mask;
+    while (ctrl_[i] != 0) i = (i + 1) & mask;
+    ctrl_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].value = value;
+    ++size_;
+  }
+
+  void Rehash(size_t new_cap) {
+    Slot* old_slots = slots_;
+    uint8_t* old_ctrl = ctrl_;
+    const size_t old_cap = capacity_;
+    const bool old_inline = IsInline();
+
+    void* block = ::operator new(HeapBytes(new_cap),
+                                 std::align_val_t(alignof(Slot)));
+    slots_ = static_cast<Slot*>(block);
+    ctrl_ = reinterpret_cast<uint8_t*>(block) + new_cap * sizeof(Slot);
+    std::memset(ctrl_, 0, new_cap);
+    capacity_ = new_cap;
+    size_ = 0;
+
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_ctrl[i] != 0) Insert(old_slots[i].key, old_slots[i].value);
+    }
+    if (old_cap != 0 && !old_inline) {
+      ::operator delete(old_slots, std::align_val_t(alignof(Slot)));
+    }
+  }
+
+  void ReleaseHeap() noexcept {
+    if (capacity_ != 0 && !IsInline()) {
+      ::operator delete(slots_, std::align_val_t(alignof(Slot)));
+    }
+  }
+
+  void ResetToInline() noexcept {
+    if constexpr (InlineSlots > 0) {
+      slots_ = InlineSlotData();
+      ctrl_ = InlineCtrlData();
+      capacity_ = InlineSlots;
+      std::memset(ctrl_, 0, InlineSlots);
+    } else {
+      slots_ = nullptr;
+      ctrl_ = nullptr;
+      capacity_ = 0;
+    }
+    size_ = 0;
+  }
+
+  void StealFrom(FlatMap& other) noexcept {
+    if (other.IsInline()) {
+      // Inline contents are trivially copyable: memcpy the whole block.
+      if constexpr (InlineSlots > 0) {
+        std::memcpy(inline_storage_, other.inline_storage_,
+                    sizeof(inline_storage_));
+        size_ = other.size_;
+        other.clear();
+      }
+    } else if (other.capacity_ != 0) {
+      slots_ = other.slots_;
+      ctrl_ = other.ctrl_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.ResetToInline();
+    }
+  }
+
+  struct Empty {};
+  using InlineStorage =
+      std::conditional_t<InlineSlots == 0, Empty,
+                         unsigned char[InlineSlots == 0
+                                           ? 1
+                                           : InlineSlots * (sizeof(Slot) + 1)]>;
+
+  alignas(InlineSlots == 0 ? alignof(Empty)
+                           : alignof(Slot)) InlineStorage inline_storage_;
+  Slot* slots_ = nullptr;
+  uint8_t* ctrl_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// Set facade over FlatMap (keys only; the empty value is optimized to one
+/// byte of slot padding in practice).
+template <typename K, size_t InlineSlots = 0, typename Hash = FlatHash<K>>
+class FlatSet {
+  struct Unit {};
+
+ public:
+  bool insert(const K& key) { return map_.try_emplace(key).second; }
+  bool contains(const K& key) const { return map_.contains(key); }
+  bool erase(const K& key) { return map_.erase(key); }
+  void clear() { map_.clear(); }
+  void reserve(size_t n) { map_.reserve(n); }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+ private:
+  FlatMap<K, Unit, InlineSlots, Hash> map_;
+};
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_FLAT_MAP_H_

@@ -1,0 +1,313 @@
+#ifndef P4DB_COMMON_SMALL_VECTOR_H_
+#define P4DB_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace p4db {
+
+/// Contiguous vector with inline storage for the first N elements and heap
+/// fallback beyond. The transaction hot path sizes N to the common case
+/// (e.g. 8 ops per YCSB/SmallBank transaction) so steady-state execution
+/// never touches the allocator; TPC-C's ~50-op transactions spill to the
+/// heap and simply pay what std::vector always paid.
+///
+/// Iterators are raw pointers, so a SmallVector is a contiguous_range and
+/// converts implicitly to std::span — the decode/span-based APIs accept
+/// either container.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+ public:
+  using value_type = T;
+  using size_type = size_t;
+  using difference_type = ptrdiff_t;
+  using reference = T&;
+  using const_reference = const T&;
+  using pointer = T*;
+  using const_pointer = const T*;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() noexcept : data_(InlineData()), size_(0), capacity_(N) {}
+
+  explicit SmallVector(size_type count) : SmallVector() { resize(count); }
+
+  SmallVector(size_type count, const T& value) : SmallVector() {
+    assign(count, value);
+  }
+
+  SmallVector(std::initializer_list<T> init) : SmallVector() {
+    assign(init.begin(), init.end());
+  }
+
+  template <typename InputIt,
+            typename = typename std::iterator_traits<InputIt>::value_type>
+  SmallVector(InputIt first, InputIt last) : SmallVector() {
+    assign(first, last);
+  }
+
+  SmallVector(const SmallVector& other) : SmallVector() {
+    assign(other.begin(), other.end());
+  }
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    StealFrom(std::move(other));
+  }
+
+  ~SmallVector() {
+    clear();
+    if (!IsInline()) Deallocate(data_);
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      if (!IsInline()) {
+        Deallocate(data_);
+        data_ = InlineData();
+        capacity_ = N;
+      }
+      StealFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  /// std::vector interop, so call sites migrating container types (tests,
+  /// generators) keep working unchanged.
+  template <typename A>
+  SmallVector& operator=(const std::vector<T, A>& v) {
+    assign(v.begin(), v.end());
+    return *this;
+  }
+
+  void assign(size_type count, const T& value) {
+    clear();
+    reserve(count);
+    std::uninitialized_fill_n(data_, count, value);
+    size_ = count;
+  }
+
+  template <typename InputIt,
+            typename = typename std::iterator_traits<InputIt>::value_type>
+  void assign(InputIt first, InputIt last) {
+    clear();
+    const size_type count =
+        static_cast<size_type>(std::distance(first, last));
+    reserve(count);
+    std::uninitialized_copy(first, last, data_);
+    size_ = count;
+  }
+
+  // -- Element access --
+  reference operator[](size_type i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const_reference operator[](size_type i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  reference front() { return data_[0]; }
+  const_reference front() const { return data_[0]; }
+  reference back() { return data_[size_ - 1]; }
+  const_reference back() const { return data_[size_ - 1]; }
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+
+  // -- Iterators --
+  iterator begin() noexcept { return data_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator cbegin() const noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+  const_iterator cend() const noexcept { return data_ + size_; }
+
+  // -- Capacity --
+  bool empty() const noexcept { return size_ == 0; }
+  size_type size() const noexcept { return size_; }
+  size_type capacity() const noexcept { return capacity_; }
+  static constexpr size_type inline_capacity() { return N; }
+
+  void reserve(size_type new_cap) {
+    if (new_cap > capacity_) Grow(new_cap);
+  }
+
+  // -- Modifiers --
+  void clear() noexcept {
+    std::destroy_n(data_, size_);
+    size_ = 0;
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  reference emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    std::destroy_at(data_ + size_);
+  }
+
+  void resize(size_type count) {
+    if (count < size_) {
+      std::destroy_n(data_ + count, size_ - count);
+    } else if (count > size_) {
+      reserve(count);
+      std::uninitialized_value_construct_n(data_ + size_, count - size_);
+    }
+    size_ = count;
+  }
+
+  void resize(size_type count, const T& value) {
+    if (count < size_) {
+      std::destroy_n(data_ + count, size_ - count);
+    } else if (count > size_) {
+      reserve(count);
+      std::uninitialized_fill_n(data_ + size_, count - size_, value);
+    }
+    size_ = count;
+  }
+
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    iterator f = const_cast<iterator>(first);
+    iterator l = const_cast<iterator>(last);
+    const size_type removed = static_cast<size_type>(l - f);
+    if (removed != 0) {
+      std::move(l, end(), f);
+      std::destroy_n(end() - removed, removed);
+      size_ -= removed;
+    }
+    return f;
+  }
+
+  iterator insert(const_iterator pos, const T& value) {
+    const size_type idx = static_cast<size_type>(pos - begin());
+    if (size_ == capacity_) Grow(size_ + 1);
+    iterator p = begin() + idx;
+    if (p == end()) {
+      ::new (static_cast<void*>(p)) T(value);
+    } else {
+      ::new (static_cast<void*>(end())) T(std::move(back()));
+      std::move_backward(p, end() - 1, end());
+      *p = value;
+    }
+    ++size_;
+    return p;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  template <typename A>
+  friend bool operator==(const SmallVector& a, const std::vector<T, A>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  template <typename A>
+  friend bool operator==(const std::vector<T, A>& a, const SmallVector& b) {
+    return b == a;
+  }
+
+ private:
+  T* InlineData() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  bool IsInline() const noexcept {
+    return data_ ==
+           std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  static T* Allocate(size_type n) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t(alignof(T))));
+    } else {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+  }
+  static void Deallocate(T* p) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(p, std::align_val_t(alignof(T)));
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  void Grow(size_type min_cap) {
+    size_type new_cap = capacity_ * 2;
+    if (new_cap < min_cap) new_cap = min_cap;
+    T* fresh = Allocate(new_cap);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(static_cast<void*>(fresh), data_, size_ * sizeof(T));
+    } else {
+      std::uninitialized_move(data_, data_ + size_, fresh);
+      std::destroy_n(data_, size_);
+    }
+    if (!IsInline()) Deallocate(data_);
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  /// Move-construct from `other`: steal the heap block if it has one, else
+  /// move the inline elements. `other` is left empty (inline).
+  void StealFrom(SmallVector&& other) noexcept {
+    if (other.IsInline()) {
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        std::memcpy(static_cast<void*>(data_), other.data_,
+                    other.size_ * sizeof(T));
+      } else {
+        std::uninitialized_move(other.data_, other.data_ + other.size_,
+                                data_);
+        std::destroy_n(other.data_, other.size_);
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_;
+  size_type size_;
+  size_type capacity_;
+};
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_SMALL_VECTOR_H_

@@ -26,7 +26,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteAttempt(
         timers->backoff += ctx_.timing().abort_cost;
         co_return false;
       }
-      ctx_.metrics->counter("engine.failovers").Increment();
+      failovers_->Increment();
       ++*ctx_.degraded_inflight;
       const bool ok =
           co_await ExecuteCold(node, txn, txn_id, ts, results, timers);
@@ -89,7 +89,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
   const size_t resp = sw::PacketCodec::ResponseWireSize(
       compiled->txn.instrs.size());
-  const std::vector<uint16_t> op_index = compiled->op_index;
+  const auto& op_index = compiled->op_index;
 
   const SimTime t0 = ctx_.sim->now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
@@ -102,7 +102,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
     // crash (response lost with the reboot) or recovery replays the intent
     // exactly once. No result values land in `results`; downstream
     // consumers see nullopt, exactly like a reader on a crashed node.
-    ctx_.metrics->counter("engine.txn_timeouts").Increment();
+    txn_timeouts_->Increment();
     timers->switch_access += ctx_.sim->now() - t0;
     co_await sim::Delay(*ctx_.sim, t.commit_local);
     timers->commit += t.commit_local;
@@ -126,7 +126,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
 
 Value64 ConcurrencyControl::ApplyHostOp(
     const db::Op& op, const std::vector<std::optional<Value64>>& results,
-    std::vector<std::tuple<TupleId, uint16_t, Value64>>* undo) {
+    UndoLog* undo) {
   const auto carried_value = [&](int16_t src, bool negate) -> Value64 {
     const Value64 v = results[src].has_value() ? *results[src] : 0;
     return negate ? -v : v;

@@ -6,12 +6,17 @@
 #include <tuple>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "core/cc/execution_context.h"
 #include "core/metrics.h"
 #include "db/txn.h"
 #include "sim/co_task.h"
 
 namespace p4db::core::cc {
+
+/// Per-attempt undo record: (tuple, column, pre-image). Inline capacity
+/// matches the common 8-op transaction so collecting undo never allocates.
+using UndoLog = SmallVector<std::tuple<TupleId, uint16_t, Value64>, 8>;
 
 /// Wire sizes of the host protocol messages (shared by every strategy).
 constexpr uint32_t kLockRequestBytes = 96;   // lock msg incl. piggybacked data
@@ -44,6 +49,20 @@ class ConcurrencyControl {
   sim::CoTask<bool> ExecuteAttempt(
       NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
       std::vector<std::optional<Value64>>* results, TxnTimers* timers);
+
+  /// Points the chaos-event counters at the real registry series. Called by
+  /// the Engine when a fault schedule arms; until then both stay on the
+  /// process-wide discard sink so fault-free runs never register (and never
+  /// dump) the chaos-only keys.
+  void BindChaosCounters(MetricsRegistry* metrics) {
+    txn_timeouts_ = &metrics->counter("engine.txn_timeouts");
+    failovers_ = &metrics->counter("engine.failovers");
+  }
+
+  /// Pre-sizes per-tuple bookkeeping (OCC version table) for a bounded
+  /// working set so steady-state validation never grows a table. No-op for
+  /// protocols without per-tuple state.
+  virtual void ReserveTupleCapacity(size_t) {}
 
  protected:
   /// Host execution of a cold transaction; also used for every transaction
@@ -85,12 +104,15 @@ class ConcurrencyControl {
   /// instead of aborting, matching the switch, Section 5.1).
   Value64 ApplyHostOp(const db::Op& op,
                       const std::vector<std::optional<Value64>>& results,
-                      std::vector<std::tuple<TupleId, uint16_t, Value64>>*
-                          undo);
+                      UndoLog* undo);
 
   const SystemConfig& config() const { return *ctx_.config; }
 
   ExecutionContext ctx_;
+  /// Hot-path chaos counters, cached once instead of a registry string
+  /// lookup per timeout/failover (see BindChaosCounters).
+  MetricsRegistry::Counter* txn_timeouts_ = &MetricsRegistry::NullCounter();
+  MetricsRegistry::Counter* failovers_ = &MetricsRegistry::NullCounter();
 };
 
 /// Factory keyed by SystemConfig::cc_protocol.

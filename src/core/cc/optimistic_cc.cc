@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/cc/node_set.h"
 #include "switchsim/packet.h"
 
 namespace p4db::core::cc {
 
 uint64_t OptimisticCC::VersionOf(const TupleId& tuple) const {
-  auto it = versions_.find(tuple);
-  return it == versions_.end() ? 0 : it->second;
+  const uint64_t* v = versions_.find(tuple);
+  return v == nullptr ? 0 : *v;
 }
 
 Value64 OptimisticCC::OccApplyOp(
@@ -42,8 +43,8 @@ Value64 OptimisticCC::OccApplyOp(
   const HotItem cell{TupleId{op.tuple.table, key}, op.column};
   // Current value: write buffer first, then the table.
   Value64 value;
-  if (auto it = ctx->write_buffer.find(cell); it != ctx->write_buffer.end()) {
-    value = it->second;
+  if (const Value64* buffered = ctx->write_buffer.find(cell)) {
+    value = *buffered;
   } else {
     value = ctx_.catalog->table(op.tuple.table).GetOrCreate(key)[op.column];
   }
@@ -51,7 +52,7 @@ Value64 OptimisticCC::OccApplyOp(
   // Snapshot (key_from_src) accesses target write-once rows: no version
   // tracking, no validation locks (db/txn.h).
   if (!ctx_.catalog->IsReplicated(op.tuple.table) && !op.key_from_src) {
-    ctx->read_versions.emplace(effective, VersionOf(effective));
+    ctx->read_versions.try_emplace(effective, VersionOf(effective));
   }
 
   const auto buffer_write = [&](Value64 v) {
@@ -170,14 +171,14 @@ sim::CoTask<bool> OptimisticCC::ExecuteCold(
     ctx_.catalog->table(cell.tuple.table).GetOrCreate(cell.tuple.key)
         [cell.column] = value;
   }
-  std::vector<db::HostLogOp> writes;
+  SmallVector<db::HostLogOp, 8> writes;
   for (const TupleId& tuple : occ.write_set) {
     ++versions_[tuple];
     writes.push_back(db::HostLogOp{tuple, 0, 0});
   }
   co_await sim::Delay(sim, t.wal_append);
   timers->local_work += t.wal_append;
-  ctx_.wal(node).AppendHostCommit(std::move(writes));
+  ctx_.wal(node).AppendHostCommit(writes);
 
   bool has_remote = false;
   for (const TupleId& tuple : occ.write_set) {
@@ -207,8 +208,8 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
 
   // Partition ops as in the 2PL warm path: hot (switch), deferred cold
   // (after the switch sub-txn), immediate cold (read phase now).
-  std::vector<bool> is_hot_op(txn.ops.size(), false);
-  std::vector<bool> deferred(txn.ops.size(), false);
+  SmallVector<uint8_t, 64> is_hot_op(txn.ops.size(), 0);
+  SmallVector<uint8_t, 64> deferred(txn.ops.size(), 0);
   for (size_t i = 0; i < txn.ops.size(); ++i) {
     const db::Op& op = txn.ops[i];
     if (op.type != db::OpType::kInsert && !op.key_from_src &&
@@ -259,7 +260,7 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
   // ---- VALIDATION PHASE ----
   // Deferred cold ops run after the switch sub-transaction, so their
   // tuples must be locked now (they are not yet in the write buffer).
-  std::vector<TupleId> to_lock = occ.write_set;
+  SmallVector<TupleId, 8> to_lock = occ.write_set;
   for (size_t i = 0; i < txn.ops.size(); ++i) {
     if (!deferred[i] || txn.ops[i].type == db::OpType::kInsert) continue;
     bool known = false;
@@ -267,7 +268,7 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
     if (!known) to_lock.push_back(txn.ops[i].tuple);
   }
   bool valid = true;
-  std::unordered_set<NodeId> participants;
+  NodeSet participants;
   for (const TupleId& tuple : to_lock) {
     const NodeId owner = ctx_.catalog->OwnerOf(tuple);
     if (owner != node) participants.insert(owner);
@@ -321,7 +322,7 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
   const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
   const size_t resp_bytes =
       sw::PacketCodec::ResponseWireSize(compiled->txn.instrs.size());
-  const std::vector<uint16_t> op_index = compiled->op_index;
+  const auto& op_index = compiled->op_index;
 
   const SimTime t0 = sim.now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
@@ -333,23 +334,23 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
     // (recovery applies it exactly once); no multicast will arrive, so the
     // coordinator itself releases the remote validation locks. Hot results
     // stay nullopt.
-    ctx_.metrics->counter("engine.txn_timeouts").Increment();
+    txn_timeouts_->Increment();
     timers->switch_access += sim.now() - t0;
     const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
-    for (NodeId p : participants) {
+    participants.ForEachReverse([&](NodeId p) {
       db::LockManager* lm = &ctx_.lock_manager(p);
       ctx_.sim->Schedule(one_way_node,
                          [lm, txn_id] { lm->ReleaseAll(txn_id); });
-    }
+    });
   } else {
     if (!participants.empty()) {
-      const std::vector<SimTime> arrivals =
+      const auto arrivals =
           ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
-      for (NodeId p : participants) {
+      participants.ForEachReverse([&](NodeId p) {
         db::LockManager* lm = &ctx_.lock_manager(p);
         ctx_.sim->ScheduleAt(arrivals[p],
                              [lm, txn_id] { lm->ReleaseAll(txn_id); });
-      }
+      });
       co_await sim::Delay(sim, arrivals[node] - sim.now());
     } else {
       co_await ctx_.net->Send(net::Endpoint::Switch(), self,

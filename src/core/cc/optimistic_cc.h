@@ -2,11 +2,11 @@
 #define P4DB_CORE_CC_OPTIMISTIC_CC_H_
 
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/small_vector.h"
 #include "core/cc/concurrency_control.h"
 #include "core/hot_items.h"
 
@@ -33,6 +33,8 @@ class OptimisticCC : public ConcurrencyControl {
   /// tests of the validation logic.
   uint64_t VersionOf(const TupleId& tuple) const;
 
+  void ReserveTupleCapacity(size_t n) override { versions_.reserve(n); }
+
  protected:
   sim::CoTask<bool> ExecuteCold(
       NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
@@ -45,18 +47,25 @@ class OptimisticCC : public ConcurrencyControl {
 
  private:
   /// OCC state carried through one attempt: buffered writes, versions read.
+  /// Every container is inline-backed for the common 8-op transaction, so
+  /// one attempt's bookkeeping lives entirely on the coroutine frame.
+  /// Iteration differences vs the old unordered containers are invisible
+  /// to the simulation: write_buffer/inserts land in distinct cells
+  /// (order-independent final state), read_versions only feeds a pure
+  /// validation check, and the event-ordering-sensitive write_set was and
+  /// stays in first-write order.
   struct OccContext {
     /// Buffered writes, per (tuple, column) — the HotItem key reuses the
     /// same identity.
-    std::unordered_map<HotItem, Value64, HotItemHash> write_buffer;
+    FlatMap<HotItem, Value64, 16, HotItemHash> write_buffer;
     /// First version observed per tuple (read set).
-    std::unordered_map<TupleId, uint64_t> read_versions;
+    FlatMap<TupleId, uint64_t, 16> read_versions;
     /// Tuples with buffered writes, in first-write order (lock order).
-    std::vector<TupleId> write_set;
+    SmallVector<TupleId, 8> write_set;
     /// Remote tuples already fetched this attempt (one RTT each).
-    std::unordered_set<TupleId> fetched;
+    FlatSet<TupleId, 16> fetched;
     /// Insert rows created during the write phase: (tuple+column, value).
-    std::vector<std::pair<HotItem, Value64>> inserts;
+    SmallVector<std::pair<HotItem, Value64>, 8> inserts;
   };
 
   /// Applies one op against the OCC write buffer; reads record versions.
@@ -64,8 +73,10 @@ class OptimisticCC : public ConcurrencyControl {
                      const std::vector<std::optional<Value64>>& results,
                      OccContext* ctx);
 
-  /// Per-tuple commit counters for OCC validation (Appendix A.4).
-  std::unordered_map<TupleId, uint64_t> versions_;
+  /// Per-tuple commit counters for OCC validation (Appendix A.4). Flat so
+  /// the bump per committed write is one probe, no node allocation; bench
+  /// warmup pre-sizes it via ReserveTupleCapacity.
+  FlatMap<TupleId, uint64_t> versions_;
 };
 
 }  // namespace p4db::core::cc

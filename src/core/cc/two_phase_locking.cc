@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <tuple>
-#include <unordered_set>
 
+#include "core/cc/node_set.h"
 #include "switchsim/packet.h"
 
 namespace p4db::core::cc {
 
-std::vector<TwoPhaseLocking::LockPlanEntry> TwoPhaseLocking::BuildLockPlan(
+TwoPhaseLocking::LockPlan TwoPhaseLocking::BuildLockPlan(
     const db::Transaction& txn, bool only_cold_ops) const {
-  std::vector<LockPlanEntry> plan;
+  LockPlan plan;
   for (const db::Op& op : txn.ops) {
     if (op.type == db::OpType::kInsert) continue;  // fresh keys: no lock
     if (op.key_from_src) continue;  // snapshot access to write-once rows
@@ -90,8 +90,8 @@ sim::CoTask<bool> TwoPhaseLocking::AcquireLock(NodeId node,
 }
 
 void TwoPhaseLocking::ReleaseLocks(NodeId node, uint64_t txn_id,
-                                   const std::vector<LockPlanEntry>& plan) {
-  std::unordered_set<NodeId> owners;
+                                   const LockPlan& plan) {
+  NodeSet owners;
   bool any_switch_lock = false;
   for (const LockPlanEntry& e : plan) {
     if (config().mode == EngineMode::kLmSwitch && e.hot) {
@@ -101,7 +101,7 @@ void TwoPhaseLocking::ReleaseLocks(NodeId node, uint64_t txn_id,
     }
   }
   const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
-  for (NodeId owner : owners) {
+  owners.ForEachReverse([&](NodeId owner) {
     db::LockManager* lm = &ctx_.lock_manager(owner);
     if (owner == node) {
       lm->ReleaseAll(txn_id);
@@ -109,7 +109,7 @@ void TwoPhaseLocking::ReleaseLocks(NodeId node, uint64_t txn_id,
       ctx_.sim->Schedule(one_way_node,
                          [lm, txn_id] { lm->ReleaseAll(txn_id); });
     }
-  }
+  });
   if (any_switch_lock) {
     db::LockManager* lm = ctx_.switch_lm;
     ctx_.sim->Schedule(config().network.node_to_switch_one_way,
@@ -125,8 +125,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
   co_await sim::Delay(sim, t.txn_setup);
   timers->local_work += t.txn_setup;
 
-  const std::vector<LockPlanEntry> plan =
-      BuildLockPlan(txn, /*only_cold_ops=*/false);
+  const LockPlan plan = BuildLockPlan(txn, /*only_cold_ops=*/false);
 
   // LM-Switch: all hot-item lock requests travel in ONE packet to the
   // switch lock manager (NetLock batches per-transaction requests); the
@@ -175,7 +174,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
   // Execute. In LM-Switch mode the lock for a hot item was decided at the
   // switch, but the data still lives on the owner node: remote hot items
   // cost an extra data round trip here.
-  std::vector<std::tuple<TupleId, uint16_t, Value64>> undo;
+  UndoLog undo;
   for (size_t i = 0; i < txn.ops.size(); ++i) {
     const db::Op& op = txn.ops[i];
     if (config().mode == EngineMode::kLmSwitch &&
@@ -198,14 +197,14 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
 
   co_await sim::Delay(sim, t.wal_append);
   timers->local_work += t.wal_append;
-  std::vector<db::HostLogOp> writes;
+  SmallVector<db::HostLogOp, 8> writes;
   for (const auto& [tuple, column, old_value] : undo) {
     (void)old_value;
     writes.push_back(db::HostLogOp{
         tuple, column,
         ctx_.catalog->table(tuple.table).GetOrCreate(tuple.key)[column]});
   }
-  ctx_.wal(node).AppendHostCommit(std::move(writes));
+  ctx_.wal(node).AppendHostCommit(writes);
 
   if (config().mode == EngineMode::kChiller) {
     // Early release of the contended inner region (Figure 18b).
@@ -252,8 +251,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
 
   // Phase 1: cold sub-transaction — acquire all cold locks and execute the
   // cold ops so they can no longer abort (Figure 8).
-  const std::vector<LockPlanEntry> plan =
-      BuildLockPlan(txn, /*only_cold_ops=*/true);
+  const LockPlan plan = BuildLockPlan(txn, /*only_cold_ops=*/true);
   for (const LockPlanEntry& entry : plan) {
     const bool ok = co_await AcquireLock(node, entry, txn_id, ts, timers);
     if (!ok) {
@@ -268,9 +266,9 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   // inserts and cold ops that consume hot/deferred results — they cannot
   // abort since every lock is already held, mirroring the paper's
   // "offload dependent cold tuples" rule), and immediate cold (now).
-  std::vector<std::tuple<TupleId, uint16_t, Value64>> undo;
-  std::vector<bool> is_hot_op(txn.ops.size(), false);
-  std::vector<bool> deferred(txn.ops.size(), false);
+  UndoLog undo;
+  SmallVector<uint8_t, 64> is_hot_op(txn.ops.size(), 0);
+  SmallVector<uint8_t, 64> deferred(txn.ops.size(), 0);
   for (size_t i = 0; i < txn.ops.size(); ++i) {
     const db::Op& op = txn.ops[i];
     if (op.type != db::OpType::kInsert && !op.key_from_src &&
@@ -325,7 +323,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
 
   // Voting phase of the extended 2PC (Figure 10) — only if the cold part is
   // distributed.
-  std::unordered_set<NodeId> participants;
+  NodeSet participants;
   for (const LockPlanEntry& entry : plan) {
     if (entry.owner != node) participants.insert(entry.owner);
   }
@@ -342,7 +340,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
   const size_t resp_bytes = sw::PacketCodec::ResponseWireSize(
       compiled->txn.instrs.size());
-  const std::vector<uint16_t> op_index = compiled->op_index;
+  const auto& op_index = compiled->op_index;
 
   const SimTime t0 = sim.now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
@@ -355,25 +353,25 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     // (recovery applies it exactly once); no multicast will arrive, so the
     // coordinator itself tells remote participants to commit & release —
     // one node-to-node hop away. Hot results stay nullopt.
-    ctx_.metrics->counter("engine.txn_timeouts").Increment();
+    txn_timeouts_->Increment();
     timers->switch_access += sim.now() - t0;
     const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
-    for (NodeId p : participants) {
+    participants.ForEachReverse([&](NodeId p) {
       db::LockManager* lm = &ctx_.lock_manager(p);
       ctx_.sim->Schedule(one_way_node,
                          [lm, txn_id] { lm->ReleaseAll(txn_id); });
-    }
+    });
   } else {
     if (!participants.empty()) {
-      const std::vector<SimTime> arrivals =
+      const auto arrivals =
           ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
       // Remote participants commit & release when the multicast reaches
       // them.
-      for (NodeId p : participants) {
+      participants.ForEachReverse([&](NodeId p) {
         db::LockManager* lm = &ctx_.lock_manager(p);
         ctx_.sim->ScheduleAt(arrivals[p],
                              [lm, txn_id] { lm->ReleaseAll(txn_id); });
-      }
+      });
       co_await sim::Delay(sim, arrivals[node] - sim.now());
     } else {
       co_await ctx_.net->Send(net::Endpoint::Switch(), self,

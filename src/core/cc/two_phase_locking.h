@@ -38,9 +38,11 @@ class TwoPhaseLocking : public ConcurrencyControl {
     NodeId owner;
     bool hot;
   };
+  /// Inline capacity covers the common 8-op transaction; larger plans
+  /// (TPC-C new-order) spill to the heap exactly like the old std::vector.
+  using LockPlan = SmallVector<LockPlanEntry, 8>;
 
-  std::vector<LockPlanEntry> BuildLockPlan(const db::Transaction& txn,
-                                           bool only_cold_ops) const;
+  LockPlan BuildLockPlan(const db::Transaction& txn, bool only_cold_ops) const;
   /// Acquires one lock (possibly remote / at the switch for LM-Switch hot
   /// items), charging the right timers. Returns false on abort decision.
   sim::CoTask<bool> AcquireLock(NodeId node, const LockPlanEntry& entry,
@@ -48,8 +50,7 @@ class TwoPhaseLocking : public ConcurrencyControl {
                                 TxnTimers* timers);
   /// Releases txn_id's locks at every involved node; remote releases take
   /// effect after the release message's one-way latency.
-  void ReleaseLocks(NodeId node, uint64_t txn_id,
-                    const std::vector<LockPlanEntry>& plan);
+  void ReleaseLocks(NodeId node, uint64_t txn_id, const LockPlan& plan);
 };
 
 }  // namespace p4db::core::cc

@@ -356,6 +356,7 @@ void Engine::InstallFaultSchedule(const net::FaultSchedule& schedule) {
   // event never fires.
   registry_.counter("engine.txn_timeouts");
   registry_.counter("engine.failovers");
+  cc_->BindChaosCounters(&registry_);
   pipeline_.BindStaleEpochCounter(
       &registry_.counter("switch.stale_epoch_drops"));
   for (const net::FaultEvent& ev : fault_schedule_.events) {

@@ -105,6 +105,24 @@ class Engine {
   /// heard of fault injection.
   void InstallFaultSchedule(const net::FaultSchedule& schedule);
 
+  /// Pre-sizes per-tuple/per-record bookkeeping (CC version tables, WAL
+  /// record indexes and payload arenas) for a bounded run so the measured
+  /// window executes without growing any of them — the allocation-free
+  /// steady state the hot-path benchmarks assert.
+  void ReserveSteadyState(size_t tuples_per_node, size_t wal_records_per_node,
+                          size_t wal_payload_bytes_per_node) {
+    cc_->ReserveTupleCapacity(tuples_per_node * config_.num_nodes);
+    for (auto& wal : wals_) {
+      wal->Reserve(wal_records_per_node, wal_payload_bytes_per_node);
+    }
+    // Closed-loop workers bound the pending-event count; the bucket cap
+    // covers the worst single-timestamp burst (every worker resuming at
+    // once plus the harness marks).
+    const size_t workers =
+        size_t{config_.num_nodes} * config_.workers_per_node;
+    sim_.Reserve(workers * 8 + 1024, workers * 4 + 256);
+  }
+
   bool chaos_armed() const { return chaos_armed_; }
   bool switch_up() const { return switch_up_; }
   /// Control-plane epoch, bumped on every switch reboot; stamped (mod 256)

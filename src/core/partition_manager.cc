@@ -76,14 +76,14 @@ void PartitionManager::Classify(db::Transaction* txn, NodeId home) const {
 
 StatusOr<PartitionManager::Compiled> PartitionManager::Compile(
     const db::Transaction& txn,
-    const std::vector<std::optional<Value64>>& resolved, uint16_t origin_node,
+    std::span<const std::optional<Value64>> resolved, uint16_t origin_node,
     uint32_t client_seq) const {
   Compiled out;
   out.txn.origin_node = origin_node;
   out.txn.client_seq = client_seq;
 
   // op index -> instruction index, for dependency rewiring.
-  std::vector<int> instr_of_op(txn.ops.size(), -1);
+  SmallVector<int, 64> instr_of_op(txn.ops.size(), -1);
 
   for (size_t i = 0; i < txn.ops.size(); ++i) {
     const db::Op& op = txn.ops[i];

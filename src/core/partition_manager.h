@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "common/small_vector.h"
 
 #include "common/status.h"
 #include "common/types.h"
@@ -77,8 +80,9 @@ class PartitionManager {
   struct Compiled {
     sw::SwitchTxn txn;
     /// For each instruction, the index of the source op in the original
-    /// transaction (lets callers map results back).
-    std::vector<uint16_t> op_index;
+    /// transaction (lets callers map results back). Inline like the
+    /// instruction list it parallels.
+    SmallVector<uint16_t, 8> op_index;
     uint32_t predicted_passes = 1;
   };
 
@@ -88,8 +92,7 @@ class PartitionManager {
   /// feeding a hot op) become immediates. Fails if a hot op depends on an
   /// unresolved cold op.
   StatusOr<Compiled> Compile(const db::Transaction& txn,
-                             const std::vector<std::optional<Value64>>&
-                                 resolved,
+                             std::span<const std::optional<Value64>> resolved,
                              uint16_t origin_node, uint32_t client_seq) const;
 
 

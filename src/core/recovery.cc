@@ -1,13 +1,14 @@
 #include "core/recovery.h"
 
 #include <algorithm>
+#include <ranges>
 #include <cassert>
 #include <unordered_map>
 
 namespace p4db::core {
 
 std::vector<Value64> ReplayInstructions(
-    const std::vector<sw::Instruction>& instrs,
+    std::span<const sw::Instruction> instrs,
     std::unordered_map<uint64_t, Value64>* state) {
   std::vector<Value64> values;
   values.reserve(instrs.size());
@@ -66,7 +67,9 @@ size_t CountViolations(const std::vector<const db::LogRecord*>& order,
   for (const db::LogRecord* rec : order) {
     const std::vector<Value64> values = ReplayInstructions(rec->instrs,
                                                            &state);
-    if (rec->has_result && values != rec->results) ++violations;
+    if (rec->has_result && !std::ranges::equal(values, rec->results)) {
+      ++violations;
+    }
   }
   return violations;
 }
@@ -166,7 +169,8 @@ StatusOr<WalReplayResult> ReplayWalSwitchState(
     for (size_t i = 0; i < lo; ++i) {
       const std::vector<Value64> values =
           ReplayInstructions(order[i]->instrs, &prefix_state);
-      if (order[i]->has_result && values != order[i]->results) {
+      if (order[i]->has_result &&
+          !std::ranges::equal(values, order[i]->results)) {
         ++prefix_violations;
       }
     }

@@ -1,6 +1,7 @@
 #ifndef P4DB_CORE_RECOVERY_H_
 #define P4DB_CORE_RECOVERY_H_
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -81,8 +82,14 @@ Status RecoverSwitchState(const PartitionManager& pm,
 /// Pure replay of switch instructions against an address->value map with
 /// the data plane's exact semantics (exposed for tests).
 std::vector<Value64> ReplayInstructions(
-    const std::vector<sw::Instruction>& instrs,
+    std::span<const sw::Instruction> instrs,
     std::unordered_map<uint64_t, Value64>* state);
+inline std::vector<Value64> ReplayInstructions(
+    std::initializer_list<sw::Instruction> instrs,
+    std::unordered_map<uint64_t, Value64>* state) {
+  return ReplayInstructions(
+      std::span<const sw::Instruction>(instrs.begin(), instrs.size()), state);
+}
 
 /// Packs a register address into the map key used by ReplayInstructions.
 inline uint64_t PackAddr(const sw::RegisterAddress& a) {

@@ -1,7 +1,7 @@
 #include "db/lock_manager.h"
 
-#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace p4db::db {
 
@@ -14,11 +14,106 @@ sim::Future<Status> Ready(sim::Simulator* sim, Status s) {
   return f;
 }
 
+// Hot-path abort statuses carry no message: abort is a normal event under
+// contention and building a std::string per denial would put the allocator
+// back on the hot path. The code alone identifies the cause.
+Status AbortStatus() { return Status(Code::kAborted); }
+
 }  // namespace
 
-bool LockManager::Compatible(const Entry& entry, uint64_t txn_id,
+// ------------------------------------------------------------ node pools --
+
+uint32_t LockManager::AllocHolder() {
+  if (holder_free_ != kNil) {
+    const uint32_t idx = holder_free_;
+    holder_free_ = holder_pool_[idx].next;
+    return idx;
+  }
+  holder_pool_.emplace_back();
+  return static_cast<uint32_t>(holder_pool_.size() - 1);
+}
+
+void LockManager::FreeHolder(uint32_t idx) {
+  holder_pool_[idx].next = holder_free_;
+  holder_free_ = idx;
+}
+
+uint32_t LockManager::AllocWaiter() {
+  if (waiter_free_ != kNil) {
+    const uint32_t idx = waiter_free_;
+    waiter_free_ = waiter_pool_[idx].next;
+    return idx;
+  }
+  waiter_pool_.emplace_back();
+  return static_cast<uint32_t>(waiter_pool_.size() - 1);
+}
+
+void LockManager::FreeWaiter(uint32_t idx) {
+  // Drop the shared state so a pooled node keeps nothing alive.
+  waiter_pool_[idx].promise = sim::Promise<Status>();
+  waiter_pool_[idx].next = waiter_free_;
+  waiter_free_ = idx;
+}
+
+uint32_t LockManager::AllocHeld() {
+  if (held_free_ != kNil) {
+    const uint32_t idx = held_free_;
+    held_free_ = held_pool_[idx].next;
+    return idx;
+  }
+  held_pool_.emplace_back();
+  return static_cast<uint32_t>(held_pool_.size() - 1);
+}
+
+void LockManager::FreeHeld(uint32_t idx) {
+  held_pool_[idx].next = held_free_;
+  held_free_ = idx;
+}
+
+void LockManager::PushHolder(Entry& entry, uint64_t txn_id, uint64_t ts,
                              LockMode mode) {
-  for (const Holder& h : entry.holders) {
+  const uint32_t idx = AllocHolder();
+  holder_pool_[idx] = Holder{txn_id, ts, mode, entry.holders};
+  entry.holders = idx;
+}
+
+void LockManager::RemoveHolder(Entry& entry, uint64_t txn_id) {
+  uint32_t prev = kNil;
+  uint32_t cur = entry.holders;
+  while (cur != kNil) {
+    const uint32_t next = holder_pool_[cur].next;
+    if (holder_pool_[cur].txn_id == txn_id) {
+      if (prev == kNil) {
+        entry.holders = next;
+      } else {
+        holder_pool_[prev].next = next;
+      }
+      FreeHolder(cur);
+    } else {
+      prev = cur;
+    }
+    cur = next;
+  }
+}
+
+void LockManager::HeldAppend(uint64_t txn_id, TupleId tuple) {
+  const uint32_t idx = AllocHeld();
+  held_pool_[idx] = HeldNode{tuple, kNil};
+  HeldList& list = held_[txn_id];
+  if (list.tail == kNil) {
+    list.head = idx;
+  } else {
+    held_pool_[list.tail].next = idx;
+  }
+  list.tail = idx;
+}
+
+// -------------------------------------------------------------- protocol --
+
+bool LockManager::Compatible(const Entry& entry, uint64_t txn_id,
+                             LockMode mode) const {
+  for (uint32_t i = entry.holders; i != kNil; i = holder_pool_[i].next) {
+    const Holder& h = holder_pool_[i];
     if (h.txn_id == txn_id) continue;
     if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
       return false;
@@ -33,41 +128,50 @@ sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
   Entry& entry = table_[tuple];
 
   // Re-acquisition / upgrade detection.
-  Holder* mine = nullptr;
-  for (Holder& h : entry.holders) {
-    if (h.txn_id == txn_id) {
-      mine = &h;
+  uint32_t mine = kNil;
+  for (uint32_t i = entry.holders; i != kNil; i = holder_pool_[i].next) {
+    if (holder_pool_[i].txn_id == txn_id) {
+      mine = i;
       break;
     }
   }
-  if (mine != nullptr) {
-    if (mode == LockMode::kShared || mine->mode == LockMode::kExclusive) {
+  if (mine != kNil) {
+    if (mode == LockMode::kShared ||
+        holder_pool_[mine].mode == LockMode::kExclusive) {
       Count(&stats_.immediate_grants, mirror_.immediate_grants);
       return Ready(sim_, Status::Ok());  // already sufficient
     }
     // Shared -> exclusive upgrade: judged against the OTHER holders only.
     if (Compatible(entry, txn_id, LockMode::kExclusive)) {
-      mine->mode = LockMode::kExclusive;
+      holder_pool_[mine].mode = LockMode::kExclusive;
       Count(&stats_.upgrades, mirror_.upgrades);
       Count(&stats_.immediate_grants, mirror_.immediate_grants);
       return Ready(sim_, Status::Ok());
     }
     if (scheme_ == CcScheme::kNoWait) {
       Count(&stats_.no_wait_aborts, mirror_.no_wait_aborts);
-      return Ready(sim_, Status::Aborted("upgrade denied (NO_WAIT)"));
+      return Ready(sim_, AbortStatus());  // upgrade denied (NO_WAIT)
     }
     // WAIT_DIE: wait only if older than every other holder.
-    for (const Holder& h : entry.holders) {
+    for (uint32_t i = entry.holders; i != kNil; i = holder_pool_[i].next) {
+      const Holder& h = holder_pool_[i];
       if (h.txn_id != txn_id && h.ts <= ts) {
         Count(&stats_.wait_die_aborts, mirror_.wait_die_aborts);
-        return Ready(sim_, Status::Aborted("upgrade died (WAIT_DIE)"));
+        return Ready(sim_, AbortStatus());  // upgrade died (WAIT_DIE)
       }
     }
     Count(&stats_.waits, mirror_.waits);
-    Waiter w{txn_id, ts, LockMode::kExclusive, /*upgrade=*/true,
-             sim::Promise<Status>(sim_)};
+    const uint32_t idx = AllocWaiter();
+    Waiter& w = waiter_pool_[idx];
+    w.txn_id = txn_id;
+    w.ts = ts;
+    w.mode = LockMode::kExclusive;
+    w.upgrade = true;
+    w.promise = sim::Promise<Status>(sim_);
     auto f = w.promise.future();
-    entry.waiters.push_front(std::move(w));  // upgraders jump the queue
+    w.next = entry.waiters_head;  // upgraders jump the queue
+    entry.waiters_head = idx;
+    if (entry.waiters_tail == kNil) entry.waiters_tail = idx;
     return f;
   }
 
@@ -75,115 +179,155 @@ sim::Future<Status> LockManager::Acquire(uint64_t txn_id, uint64_t ts,
   // fairness: nobody overtakes a queued incompatible waiter, so writers
   // cannot starve behind a stream of readers).
   const bool conflict =
-      !Compatible(entry, txn_id, mode) || !entry.waiters.empty();
+      !Compatible(entry, txn_id, mode) || entry.waiters_head != kNil;
   if (!conflict) {
-    entry.holders.push_back(Holder{txn_id, ts, mode});
-    held_[txn_id].push_back(tuple);
+    PushHolder(entry, txn_id, ts, mode);
+    HeldAppend(txn_id, tuple);
     Count(&stats_.immediate_grants, mirror_.immediate_grants);
     return Ready(sim_, Status::Ok());
   }
 
   if (scheme_ == CcScheme::kNoWait) {
     Count(&stats_.no_wait_aborts, mirror_.no_wait_aborts);
-    return Ready(sim_, Status::Aborted("lock denied (NO_WAIT)"));
+    return Ready(sim_, AbortStatus());  // lock denied (NO_WAIT)
   }
 
   // WAIT_DIE: may wait only if strictly older than every conflicting
   // transaction (holders and queued waiters).
-  for (const Holder& h : entry.holders) {
+  for (uint32_t i = entry.holders; i != kNil; i = holder_pool_[i].next) {
+    const Holder& h = holder_pool_[i];
     if (h.txn_id != txn_id && h.ts <= ts) {
       Count(&stats_.wait_die_aborts, mirror_.wait_die_aborts);
-      return Ready(sim_, Status::Aborted("died on holder (WAIT_DIE)"));
+      return Ready(sim_, AbortStatus());  // died on holder (WAIT_DIE)
     }
   }
-  for (const Waiter& w : entry.waiters) {
+  for (uint32_t i = entry.waiters_head; i != kNil; i = waiter_pool_[i].next) {
+    const Waiter& w = waiter_pool_[i];
     const bool incompatible =
         mode == LockMode::kExclusive || w.mode == LockMode::kExclusive;
     if (incompatible && w.txn_id != txn_id && w.ts <= ts) {
       Count(&stats_.wait_die_aborts, mirror_.wait_die_aborts);
-      return Ready(sim_, Status::Aborted("died on waiter (WAIT_DIE)"));
+      return Ready(sim_, AbortStatus());  // died on waiter (WAIT_DIE)
     }
   }
   Count(&stats_.waits, mirror_.waits);
-  Waiter w{txn_id, ts, mode, /*upgrade=*/false, sim::Promise<Status>(sim_)};
+  const uint32_t idx = AllocWaiter();
+  Waiter& w = waiter_pool_[idx];
+  w.txn_id = txn_id;
+  w.ts = ts;
+  w.mode = mode;
+  w.upgrade = false;
+  w.promise = sim::Promise<Status>(sim_);
   auto f = w.promise.future();
-  entry.waiters.push_back(std::move(w));
+  w.next = kNil;
+  if (entry.waiters_tail == kNil) {
+    entry.waiters_head = idx;
+  } else {
+    waiter_pool_[entry.waiters_tail].next = idx;
+  }
+  entry.waiters_tail = idx;
   return f;
 }
 
 void LockManager::GrantWaiters(TupleId tuple, Entry& entry) {
-  while (!entry.waiters.empty()) {
-    Waiter& w = entry.waiters.front();
-    if (w.upgrade) {
-      // Grantable once the upgrader is the sole holder.
-      Holder* mine = nullptr;
-      bool others = false;
-      for (Holder& h : entry.holders) {
-        if (h.txn_id == w.txn_id) {
-          mine = &h;
-        } else {
-          others = true;
+  while (entry.waiters_head != kNil) {
+    const uint32_t widx = entry.waiters_head;
+    LockMode granted;
+    {
+      Waiter& w = waiter_pool_[widx];
+      if (w.upgrade) {
+        // Grantable once the upgrader is the sole holder.
+        uint32_t mine = kNil;
+        bool others = false;
+        for (uint32_t i = entry.holders; i != kNil;
+             i = holder_pool_[i].next) {
+          if (holder_pool_[i].txn_id == w.txn_id) {
+            mine = i;
+          } else {
+            others = true;
+          }
         }
+        if (others) return;
+        assert(mine != kNil && "upgrader lost its shared lock");
+        holder_pool_[mine].mode = LockMode::kExclusive;
+        Count(&stats_.upgrades, mirror_.upgrades);
+        granted = LockMode::kExclusive;
+      } else {
+        if (!Compatible(entry, w.txn_id, w.mode)) return;
+        PushHolder(entry, w.txn_id, w.ts, w.mode);
+        HeldAppend(w.txn_id, tuple);
+        granted = w.mode;
       }
-      if (others) return;
-      assert(mine != nullptr && "upgrader lost its shared lock");
-      mine->mode = LockMode::kExclusive;
-      Count(&stats_.upgrades, mirror_.upgrades);
-    } else {
-      if (!Compatible(entry, w.txn_id, w.mode)) return;
-      entry.holders.push_back(Holder{w.txn_id, w.ts, w.mode});
-      held_[w.txn_id].push_back(tuple);
     }
+    // Re-resolve: PushHolder/HeldAppend never touch waiter_pool_, but keep
+    // the access pattern obviously safe against future pool growth.
+    Waiter& w = waiter_pool_[widx];
     w.promise.Set(Status::Ok());
-    entry.waiters.pop_front();
-    if (entry.holders.back().mode == LockMode::kExclusive) return;
+    entry.waiters_head = w.next;
+    if (entry.waiters_head == kNil) entry.waiters_tail = kNil;
+    FreeWaiter(widx);
+    if (granted == LockMode::kExclusive) return;
+  }
+}
+
+void LockManager::ReleaseInEntry(uint64_t txn_id, TupleId tuple) {
+  Entry* entry = table_.find(tuple);
+  if (entry == nullptr) return;
+  RemoveHolder(*entry, txn_id);
+  GrantWaiters(tuple, *entry);
+  if (entry->holders == kNil && entry->waiters_head == kNil) {
+    table_.erase(tuple);
   }
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
-  auto it = held_.find(txn_id);
-  if (it == held_.end()) return;
-  std::vector<TupleId> tuples = std::move(it->second);
-  held_.erase(it);
-  for (const TupleId& tuple : tuples) {
-    auto eit = table_.find(tuple);
-    if (eit == table_.end()) continue;
-    Entry& entry = eit->second;
-    std::erase_if(entry.holders,
-                  [txn_id](const Holder& h) { return h.txn_id == txn_id; });
-    GrantWaiters(tuple, entry);
-    if (entry.holders.empty() && entry.waiters.empty()) {
-      table_.erase(eit);
-    }
+  HeldList* list = held_.find(txn_id);
+  if (list == nullptr) return;
+  uint32_t cur = list->head;
+  held_.erase(txn_id);  // GrantWaiters may insert into held_; detach first
+  while (cur != kNil) {
+    const TupleId tuple = held_pool_[cur].tuple;
+    const uint32_t next = held_pool_[cur].next;
+    FreeHeld(cur);
+    ReleaseInEntry(txn_id, tuple);
+    cur = next;
   }
 }
 
 void LockManager::ReleaseOne(uint64_t txn_id, TupleId tuple) {
-  auto it = held_.find(txn_id);
-  if (it == held_.end()) return;
-  auto& tuples = it->second;
-  auto tit = std::find(tuples.begin(), tuples.end(), tuple);
-  if (tit == tuples.end()) return;
-  tuples.erase(tit);
-  if (tuples.empty()) held_.erase(it);
+  HeldList* list = held_.find(txn_id);
+  if (list == nullptr) return;
+  uint32_t prev = kNil;
+  uint32_t cur = list->head;
+  while (cur != kNil && !(held_pool_[cur].tuple == tuple)) {
+    prev = cur;
+    cur = held_pool_[cur].next;
+  }
+  if (cur == kNil) return;
+  const uint32_t next = held_pool_[cur].next;
+  if (prev == kNil) {
+    list->head = next;
+  } else {
+    held_pool_[prev].next = next;
+  }
+  if (list->tail == cur) list->tail = prev;
+  FreeHeld(cur);
+  if (list->head == kNil) held_.erase(txn_id);
 
-  auto eit = table_.find(tuple);
-  if (eit == table_.end()) return;
-  Entry& entry = eit->second;
-  std::erase_if(entry.holders,
-                [txn_id](const Holder& h) { return h.txn_id == txn_id; });
-  GrantWaiters(tuple, entry);
-  if (entry.holders.empty() && entry.waiters.empty()) table_.erase(eit);
+  ReleaseInEntry(txn_id, tuple);
 }
 
 size_t LockManager::HeldBy(uint64_t txn_id) const {
-  auto it = held_.find(txn_id);
-  return it == held_.end() ? 0 : it->second.size();
+  const HeldList* list = held_.find(txn_id);
+  if (list == nullptr) return 0;
+  size_t n = 0;
+  for (uint32_t i = list->head; i != kNil; i = held_pool_[i].next) ++n;
+  return n;
 }
 
 bool LockManager::IsLocked(TupleId tuple) const {
-  auto it = table_.find(tuple);
-  return it != table_.end() && !it->second.holders.empty();
+  const Entry* entry = table_.find(tuple);
+  return entry != nullptr && entry->holders != kNil;
 }
 
 }  // namespace p4db::db

@@ -2,12 +2,11 @@
 #define P4DB_DB_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/metrics_registry.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -35,6 +34,13 @@ struct LockStats {
 
 /// Per-node pessimistic lock table. One instance guards one node's
 /// partition; remote transactions reach it after paying network latency.
+///
+/// Storage is allocation-free in steady state: the lock table is an
+/// open-addressed FlatMap keyed by TupleId, and holders / waiters /
+/// held-lock lists are index-linked nodes in free-listed pools, so lock
+/// churn recycles nodes instead of hitting the allocator. Waiter order
+/// (FIFO, with upgraders jumping the queue) is a linked list, exactly the
+/// order the old deque enforced.
 ///
 /// Coroutine integration: Acquire returns a future that resolves to
 /// kOk (granted) or kAborted (deadlock prevention). A transaction waits on
@@ -89,27 +95,63 @@ class LockManager {
   CcScheme scheme() const { return scheme_; }
 
  private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  /// Holder of a granted lock; entries chain through `next` (unordered —
+  /// every consumer scans the whole chain).
   struct Holder {
     uint64_t txn_id;
     uint64_t ts;
     LockMode mode;
+    uint32_t next;
   };
+  /// Queued request; chains head->tail in grant (FIFO) order. Free-listed
+  /// through `next`; the promise is cleared on release so the pooled node
+  /// holds no shared state between uses.
   struct Waiter {
-    uint64_t txn_id;
-    uint64_t ts;
-    LockMode mode;
-    bool upgrade;
+    uint64_t txn_id = 0;
+    uint64_t ts = 0;
+    LockMode mode = LockMode::kShared;
+    bool upgrade = false;
+    uint32_t next = kNil;
     sim::Promise<Status> promise;
   };
+  /// Per-transaction held-lock list node, in acquisition order (ReleaseAll
+  /// walks it front to back, preserving the old vector's release order).
+  struct HeldNode {
+    TupleId tuple;
+    uint32_t next;
+  };
+
   struct Entry {
-    std::vector<Holder> holders;
-    std::deque<Waiter> waiters;
+    uint32_t holders = kNil;
+    uint32_t waiters_head = kNil;
+    uint32_t waiters_tail = kNil;
+  };
+  struct HeldList {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
   };
 
   /// Grants as many front waiters as compatibility allows (FIFO; stops at
   /// the first incompatible waiter so writers cannot starve).
   void GrantWaiters(TupleId tuple, Entry& entry);
-  static bool Compatible(const Entry& entry, uint64_t txn_id, LockMode mode);
+  bool Compatible(const Entry& entry, uint64_t txn_id, LockMode mode) const;
+
+  uint32_t AllocHolder();
+  void FreeHolder(uint32_t idx);
+  uint32_t AllocWaiter();
+  void FreeWaiter(uint32_t idx);
+  uint32_t AllocHeld();
+  void FreeHeld(uint32_t idx);
+
+  void PushHolder(Entry& entry, uint64_t txn_id, uint64_t ts, LockMode mode);
+  /// Unlinks txn_id's holder node (if any) from the entry.
+  void RemoveHolder(Entry& entry, uint64_t txn_id);
+  void HeldAppend(uint64_t txn_id, TupleId tuple);
+  /// Releases the lock on `tuple` held by txn_id within `entry`, grants
+  /// waiters, and drops the entry when it becomes empty.
+  void ReleaseInEntry(uint64_t txn_id, TupleId tuple);
 
   struct Mirror {
     MetricsRegistry::Counter* acquisitions = nullptr;
@@ -129,8 +171,15 @@ class LockManager {
   CcScheme scheme_;
   LockStats stats_;
   Mirror mirror_;
-  std::unordered_map<TupleId, Entry> table_;
-  std::unordered_map<uint64_t, std::vector<TupleId>> held_;
+
+  FlatMap<TupleId, Entry> table_;
+  FlatMap<uint64_t, HeldList> held_;
+  std::vector<Holder> holder_pool_;
+  std::vector<Waiter> waiter_pool_;
+  std::vector<HeldNode> held_pool_;
+  uint32_t holder_free_ = kNil;
+  uint32_t waiter_free_ = kNil;
+  uint32_t held_free_ = kNil;
 };
 
 }  // namespace p4db::db

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "common/small_vector.h"
 #include "common/types.h"
 
 namespace p4db::db {
@@ -74,7 +74,9 @@ const char* TxnClassName(TxnClass c);
 struct Transaction {
   /// Workload-defined type tag (e.g. SmallBank's Payment) for statistics.
   uint8_t type_tag = 0;
-  std::vector<Op> ops;
+  /// Inline storage covers the common case (YCSB groups of 8, SmallBank's
+  /// <= 6 ops); TPC-C's ~50-op transactions spill to the heap.
+  SmallVector<Op, 8> ops;
 
   /// Filled by the engine during classification.
   TxnClass cls = TxnClass::kCold;

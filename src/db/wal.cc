@@ -1,42 +1,42 @@
 #include "db/wal.h"
 
 #include <cassert>
-#include <utility>
 
 namespace p4db::db {
 
-Lsn Wal::AppendHostCommit(std::vector<HostLogOp> writes) {
+Lsn Wal::AppendHostCommit(std::span<const HostLogOp> writes) {
   LogRecord rec;
   rec.lsn = records_.size();
   rec.kind = LogKind::kHostCommit;
-  rec.host_writes = std::move(writes);
+  rec.host_writes = Persist(writes);
   if (host_commits_ != nullptr) {
     host_commits_->Increment();
     logged_writes_->Increment(rec.host_writes.size());
   }
-  records_.push_back(std::move(rec));
-  return records_.back().lsn;
+  records_.push_back(rec);
+  return rec.lsn;
 }
 
 Lsn Wal::AppendSwitchIntent(uint32_t client_seq,
-                            std::vector<sw::Instruction> instrs) {
+                            std::span<const sw::Instruction> instrs) {
   LogRecord rec;
   rec.lsn = records_.size();
   rec.kind = LogKind::kSwitchIntent;
   rec.client_seq = client_seq;
-  rec.instrs = std::move(instrs);
+  rec.instrs = Persist(instrs);
   if (switch_intents_ != nullptr) switch_intents_->Increment();
-  records_.push_back(std::move(rec));
-  return records_.back().lsn;
+  records_.push_back(rec);
+  return rec.lsn;
 }
 
-void Wal::FillSwitchResult(Lsn lsn, Gid gid, std::vector<Value64> results) {
+void Wal::FillSwitchResult(Lsn lsn, Gid gid,
+                           std::span<const Value64> results) {
   assert(lsn < records_.size());
   LogRecord& rec = records_[lsn];
   assert(rec.kind == LogKind::kSwitchIntent);
   assert(!rec.has_result);
   rec.gid = gid;
-  rec.results = std::move(results);
+  rec.results = Persist(results);
   rec.has_result = true;
 }
 

@@ -2,8 +2,11 @@
 #define P4DB_DB_WAL_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/metrics_registry.h"
 #include "common/types.h"
 #include "switchsim/instruction.h"
@@ -31,23 +34,27 @@ enum class LogKind : uint8_t {
   kSwitchIntent,
 };
 
+/// A log record's payload lives in the owning Wal's arena (appended data is
+/// immutable, exactly like bytes on disk); the record itself only carries
+/// spans. This turns the old three-vectors-per-record layout into one bump
+/// append, so logging a commit costs zero allocations in steady state.
 struct LogRecord {
   Lsn lsn = 0;
   LogKind kind = LogKind::kHostCommit;
 
   // kHostCommit payload.
-  std::vector<HostLogOp> host_writes;
+  std::span<const HostLogOp> host_writes;
 
   // kSwitchIntent payload: the exact instructions sent to the switch.
   uint32_t client_seq = 0;
-  std::vector<sw::Instruction> instrs;
+  std::span<const sw::Instruction> instrs;
   /// Filled in when the switch response arrives. A record with
   /// gid == kInvalidGid after a crash is an in-flight switch transaction:
   /// executed-but-unacknowledged (or never admitted) — recovery must place
   /// it using read/write-set dependencies (Appendix A.3, Scenario 1).
   Gid gid = kInvalidGid;
   /// Result values of the read/write operations, recorded with the gid.
-  std::vector<Value64> results;
+  std::span<const Value64> results;
   bool has_result = false;
 };
 
@@ -69,12 +76,35 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  Lsn AppendHostCommit(std::vector<HostLogOp> writes);
+  /// Pre-sizes the record index and the payload arena so a bounded
+  /// benchmark window appends without touching the allocator.
+  void Reserve(size_t records, size_t payload_bytes) {
+    records_.reserve(records);
+    payload_.Reserve(payload_bytes);
+  }
+
+  Lsn AppendHostCommit(std::span<const HostLogOp> writes);
+  Lsn AppendHostCommit(std::initializer_list<HostLogOp> writes) {
+    return AppendHostCommit(std::span<const HostLogOp>(writes.begin(),
+                                                       writes.size()));
+  }
   Lsn AppendSwitchIntent(uint32_t client_seq,
-                         std::vector<sw::Instruction> instrs);
+                         std::span<const sw::Instruction> instrs);
+  Lsn AppendSwitchIntent(uint32_t client_seq,
+                         std::initializer_list<sw::Instruction> instrs) {
+    return AppendSwitchIntent(
+        client_seq,
+        std::span<const sw::Instruction>(instrs.begin(), instrs.size()));
+  }
   /// Records the switch response (gid + read/write results) for the intent
   /// at `lsn`.
-  void FillSwitchResult(Lsn lsn, Gid gid, std::vector<Value64> results);
+  void FillSwitchResult(Lsn lsn, Gid gid, std::span<const Value64> results);
+  void FillSwitchResult(Lsn lsn, Gid gid,
+                        std::initializer_list<Value64> results) {
+    FillSwitchResult(lsn, gid,
+                     std::span<const Value64>(results.begin(),
+                                              results.size()));
+  }
 
   const std::vector<LogRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }
@@ -83,7 +113,17 @@ class Wal {
   std::vector<const LogRecord*> SwitchIntents() const;
 
  private:
+  /// Copies a payload into the arena and returns a view of the stable copy.
+  template <typename T>
+  std::span<const T> Persist(std::span<const T> src) {
+    if (src.empty()) return {};
+    T* dst = payload_.AllocateArray<T>(src.size());
+    std::copy(src.begin(), src.end(), dst);
+    return {dst, src.size()};
+  }
+
   std::vector<LogRecord> records_;
+  Arena payload_;
   MetricsRegistry::Counter* host_commits_ = nullptr;
   MetricsRegistry::Counter* switch_intents_ = nullptr;
   MetricsRegistry::Counter* logged_writes_ = nullptr;

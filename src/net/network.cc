@@ -77,8 +77,8 @@ SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
   return arrive;
 }
 
-std::vector<SimTime> Network::MulticastFromSwitch(uint32_t bytes) {
-  std::vector<SimTime> arrivals(config_.num_nodes);
+SmallVector<SimTime, 16> Network::MulticastFromSwitch(uint32_t bytes) {
+  SmallVector<SimTime, 16> arrivals(config_.num_nodes);
   for (uint16_t n = 0; n < config_.num_nodes; ++n) {
     arrivals[n] = ArrivalTime(Endpoint::Switch(), Endpoint::Node(n), bytes);
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/small_vector.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -79,8 +80,10 @@ class Network {
 
   /// Arrival times of a switch multicast to every node (Figure 10: the
   /// switch broadcasts the commit decision). Egress occupancy is per
-  /// node-facing switch port, so the sends proceed in parallel.
-  std::vector<SimTime> MulticastFromSwitch(uint32_t bytes);
+  /// node-facing switch port, so the sends proceed in parallel. Inline
+  /// storage covers the paper's 8-node rack (and up to 16) without
+  /// allocating per multicast.
+  SmallVector<SimTime, 16> MulticastFromSwitch(uint32_t bytes);
 
   const NetworkConfig& config() const { return config_; }
   uint64_t messages_sent() const { return messages_sent_->value(); }

@@ -3,8 +3,11 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "common/object_pool.h"
 
 namespace p4db::sim {
 
@@ -39,6 +42,16 @@ class CoTask {
     }
     void return_value(T v) { value = std::move(v); }
     void unhandled_exception() { std::terminate(); }
+
+    // Nested execution paths create a handful of CoTask frames per
+    // transaction; recycle them through the size-classed FreePool.
+    static void* operator new(std::size_t size) {
+      return FreePool::Allocate(size);
+    }
+    static void operator delete(void* p, std::size_t) noexcept {
+      FreePool::Free(p);
+    }
+    static void operator delete(void* p) noexcept { FreePool::Free(p); }
   };
 
   CoTask() = default;

@@ -180,6 +180,25 @@ class EventQueue {
     return Event{key.time, key.seqslot >> kSlotBits, TakeSlot(SlotOf(key))};
   }
 
+  /// Pre-sizes every internal vector for an allocation-free steady state.
+  /// Bucket capacities circulate — Advance/PullSubBucket swap bucket
+  /// storage with `bottom_`/`now_fifo_` — so without this a fresh queue
+  /// keeps growing freshly-rotated-in small vectors for many ring
+  /// revolutions after the load has stabilized. `pending_events` bounds the
+  /// simultaneously-queued event count (slab, overflow, zero-delay lane);
+  /// `bucket_capacity` bounds the population of any single calendar bucket
+  /// or single-timestamp burst.
+  void Reserve(size_t pending_events, size_t bucket_capacity) {
+    slab_.reserve(pending_events);
+    free_slots_.reserve(slab_.capacity());
+    now_fifo_.reserve(std::max(pending_events, bucket_capacity));
+    now_pay_.reserve(pending_events);
+    bottom_.reserve(bucket_capacity);
+    overflow_.reserve(pending_events);
+    for (auto& bucket : ring_) bucket.reserve(bucket_capacity);
+    for (auto& bucket : sub_) bucket.reserve(bucket_capacity);
+  }
+
   /// Drops every queued event in O(n) (the old binary heap could only pop
   /// them one by one, O(n log n)). Bucket capacity is retained so a reused
   /// queue does not re-grow.
@@ -244,6 +263,10 @@ class EventQueue {
     if (free_slots_.empty()) {
       slab_.push_back(std::move(fn));
       assert(slab_.size() < kDirectSlot && "slab slot space exhausted");
+      // free_slots_ can never hold more entries than the slab has slots, so
+      // growing it here (already an allocating moment) keeps TakeSlot — the
+      // steady-state pop path — allocation-free forever after.
+      free_slots_.reserve(slab_.capacity());
       return static_cast<uint32_t>(slab_.size() - 1);
     }
     const uint32_t slot = free_slots_.back();

@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/object_pool.h"
 #include "sim/simulator.h"
 
 namespace p4db::sim {
@@ -109,8 +110,12 @@ class Promise {
   /// empty and get a live promise assigned per transaction.
   Promise() noexcept = default;
 
+  // allocate_shared through the FreePool: one pooled block carries the
+  // control block and the state, recycled across transactions.
   explicit Promise(Simulator* sim)
-      : sim_(sim), state_(std::make_shared<internal::SharedState<T>>()) {}
+      : sim_(sim),
+        state_(std::allocate_shared<internal::SharedState<T>>(
+            PoolAllocator<internal::SharedState<T>>{})) {}
 
   Future<T> future() { return Future<T>(sim_, state_); }
 

@@ -8,6 +8,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/object_pool.h"
+
 namespace p4db::sim {
 
 /// Type-erased, move-only nullary callback with a small-buffer optimization.
@@ -42,7 +44,11 @@ class InlineEvent {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
       vt_ = &kInlineVt<Fn>;
     } else {
-      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
+      // Oversized captures (e.g. a switch reply carrying a SwitchResult)
+      // recycle through the FreePool instead of hitting the allocator.
+      void* block = FreePool::Allocate(sizeof(Fn));
+      *reinterpret_cast<Fn**>(storage_) =
+          ::new (block) Fn(std::forward<F>(fn));
       vt_ = &kHeapVt<Fn>;
     }
   }
@@ -117,7 +123,11 @@ class InlineEvent {
       [](void* dst, void* src) noexcept {
         std::memcpy(dst, src, sizeof(Fn*));
       },
-      [](void* self) noexcept { delete *static_cast<Fn**>(self); },
+      [](void* self) noexcept {
+        Fn* fn = *static_cast<Fn**>(self);
+        fn->~Fn();
+        FreePool::Free(fn);
+      },
       true,
   };
 

@@ -94,6 +94,12 @@ class Simulator {
   /// destroying coroutine frames that queued events may reference.
   void DiscardPending() { queue_.Clear(); }
 
+  /// Pre-sizes the event queue's internal storage (see EventQueue::Reserve)
+  /// so steady-state scheduling never touches the allocator.
+  void Reserve(size_t pending_events, size_t bucket_capacity) {
+    queue_.Reserve(pending_events, bucket_capacity);
+  }
+
  private:
   void Step() {
     // The event is moved out of the queue before firing: fn may schedule

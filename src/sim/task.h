@@ -2,8 +2,11 @@
 #define P4DB_SIM_TASK_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "common/object_pool.h"
 
 namespace p4db::sim {
 
@@ -25,6 +28,16 @@ class Task {
     std::suspend_always final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     void unhandled_exception() { std::terminate(); }
+
+    // Frames recycle through the size-classed FreePool: workers spawn one
+    // frame per transaction attempt, so this is a steady-state hot path.
+    static void* operator new(std::size_t size) {
+      return FreePool::Allocate(size);
+    }
+    static void operator delete(void* p, std::size_t) noexcept {
+      FreePool::Free(p);
+    }
+    static void operator delete(void* p) noexcept { FreePool::Free(p); }
   };
 
   Task() = default;

@@ -3,7 +3,8 @@
 
 #include <cstdint>
 #include <utility>
-#include <vector>
+
+#include "common/small_vector.h"
 
 #include "sim/future.h"
 #include "switchsim/packet.h"
@@ -23,8 +24,9 @@ struct Inflight {
 
   SwitchTxn txn;
   SwitchResult result;
-  size_t remaining = 0;             // unexecuted instructions
-  std::vector<uint32_t> exec_pass;  // pass in which each instr ran (0=not)
+  size_t remaining = 0;  // unexecuted instructions
+  /// Pass in which each instr ran (0 = not yet); inline up to 8 instrs.
+  SmallVector<uint32_t, 8> exec_pass;
   bool holds_locks = false;
   sim::Promise<SwitchResult> reply;
 

@@ -15,7 +15,7 @@ void Put(std::vector<uint8_t>& out, T value) {
 }
 
 template <typename T>
-bool Get(const std::vector<uint8_t>& in, size_t* pos, T* value) {
+bool Get(std::span<const uint8_t> in, size_t* pos, T* value) {
   if (*pos + sizeof(T) > in.size()) return false;
   std::memcpy(value, in.data() + *pos, sizeof(T));
   *pos += sizeof(T);
@@ -50,8 +50,9 @@ std::string ToString(const Instruction& instr) {
          std::to_string(instr.operand);
 }
 
-std::vector<uint8_t> PacketCodec::Encode(const SwitchTxn& txn) {
-  std::vector<uint8_t> out;
+void PacketCodec::Encode(const SwitchTxn& txn, std::vector<uint8_t>* buf) {
+  std::vector<uint8_t>& out = *buf;
+  out.clear();
   out.reserve(EncodedSize(txn));
   Put<uint8_t>(out, txn.is_multipass ? 1 : 0);
   Put<uint8_t>(out, txn.lock_mask);
@@ -76,10 +77,9 @@ std::vector<uint8_t> PacketCodec::Encode(const SwitchTxn& txn) {
     Put<uint8_t>(out, 0);
     Put<uint8_t>(out, 0);
   }
-  return out;
 }
 
-StatusOr<SwitchTxn> PacketCodec::Decode(const std::vector<uint8_t>& bytes) {
+StatusOr<SwitchTxn> PacketCodec::Decode(std::span<const uint8_t> bytes) {
   SwitchTxn txn;
   size_t pos = 0;
   uint8_t flags = 0, count = 0, pad = 0, op = 0;

@@ -2,8 +2,10 @@
 #define P4DB_SWITCHSIM_PACKET_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "switchsim/instruction.h"
@@ -43,7 +45,9 @@ struct SwitchTxn {
   /// lifetime the rack network allows.
   uint8_t epoch = 0;
 
-  std::vector<Instruction> instrs;
+  /// Inline storage matches the workloads' common case (YCSB groups of 8,
+  /// SmallBank <= 6 instructions); larger switch transactions spill.
+  SmallVector<Instruction, 8> instrs;
 };
 
 /// Result of an executed switch transaction. Switch transactions never
@@ -55,10 +59,11 @@ struct SwitchResult {
   uint32_t passes = 0;
   uint32_t recirculations = 0;
   /// Per-instruction result value (read value / post-write value).
-  std::vector<Value64> values;
-  /// Per-instruction constraint flag; false iff a constrained write's
-  /// predicate failed (the write was skipped).
-  std::vector<bool> constraint_ok;
+  SmallVector<Value64, 8> values;
+  /// Per-instruction constraint flag (0/1); 0 iff a constrained write's
+  /// predicate failed (the write was skipped). Byte-sized instead of
+  /// vector<bool> so results stay inline and memcpy-relocatable.
+  SmallVector<uint8_t, 8> constraint_ok;
 };
 
 /// Wire codec for switch transactions, used for packet-size accounting on
@@ -97,8 +102,17 @@ class PacketCodec {
     return 24 + num_instrs * 9 + kFrameOverheadBytes;
   }
 
-  static std::vector<uint8_t> Encode(const SwitchTxn& txn);
-  static StatusOr<SwitchTxn> Decode(const std::vector<uint8_t>& bytes);
+  /// Serializes into `out`, reusing its capacity (cleared first). The hot
+  /// path keeps one buffer per in-flight slot, so steady-state encodes
+  /// never allocate.
+  static void Encode(const SwitchTxn& txn, std::vector<uint8_t>* out);
+  /// Convenience form for tests/tools; allocates a fresh buffer.
+  static std::vector<uint8_t> Encode(const SwitchTxn& txn) {
+    std::vector<uint8_t> out;
+    Encode(txn, &out);
+    return out;
+  }
+  static StatusOr<SwitchTxn> Decode(std::span<const uint8_t> bytes);
 };
 
 }  // namespace p4db::sw

@@ -11,9 +11,8 @@ namespace {
 /// True if instruction `i` can execute in pass `cur_pass` at its stage,
 /// given where each earlier instruction ran. A PHV operand must have been
 /// produced in a previous pass, or in this pass at a strictly earlier stage.
-bool DepsSatisfied(const std::vector<Instruction>& instrs, size_t i,
-                   const std::vector<uint32_t>& exec_pass,
-                   uint32_t cur_pass) {
+bool DepsSatisfied(std::span<const Instruction> instrs, size_t i,
+                   std::span<const uint32_t> exec_pass, uint32_t cur_pass) {
   const Instruction& in = instrs[i];
   const auto ok = [&](uint8_t src) {
     if (exec_pass[src] == 0) return false;
@@ -34,11 +33,11 @@ bool DepsSatisfied(const std::vector<Instruction>& instrs, size_t i,
 /// allow. Returns the instruction indices executed this pass, in stage
 /// order. Deterministic and shared verbatim between the live data plane
 /// and the node-side pass planner.
-std::vector<size_t> SweepOnePass(const std::vector<Instruction>& instrs,
-                                 const std::vector<uint32_t>& exec_pass,
-                                 uint32_t cur_pass) {
+SmallVector<uint32_t, 16> SweepOnePass(std::span<const Instruction> instrs,
+                                       std::span<const uint32_t> exec_pass,
+                                       uint32_t cur_pass) {
   // Arrays with remaining work, in pipeline order.
-  std::vector<std::pair<uint8_t, uint8_t>> arrays;  // (stage, reg)
+  SmallVector<std::pair<uint8_t, uint8_t>, 16> arrays;  // (stage, reg)
   for (size_t i = 0; i < instrs.size(); ++i) {
     if (exec_pass[i] != 0) continue;
     arrays.emplace_back(instrs[i].addr.stage, instrs[i].addr.reg);
@@ -46,8 +45,8 @@ std::vector<size_t> SweepOnePass(const std::vector<Instruction>& instrs,
   std::sort(arrays.begin(), arrays.end());
   arrays.erase(std::unique(arrays.begin(), arrays.end()), arrays.end());
 
-  std::vector<uint32_t> pass_view = exec_pass;  // updated as we execute
-  std::vector<size_t> executed;
+  PassPlan pass_view(exec_pass.begin(), exec_pass.end());  // updated live
+  SmallVector<uint32_t, 16> executed;
   for (const auto& [stage, reg] : arrays) {
     for (size_t i = 0; i < instrs.size(); ++i) {
       if (pass_view[i] != 0) continue;
@@ -58,7 +57,7 @@ std::vector<size_t> SweepOnePass(const std::vector<Instruction>& instrs,
       // stage's match-action entry consumes one instruction per packet).
       if (DepsSatisfied(instrs, i, pass_view, cur_pass)) {
         pass_view[i] = cur_pass;
-        executed.push_back(i);
+        executed.push_back(static_cast<uint32_t>(i));
       }
       break;
     }
@@ -73,30 +72,30 @@ uint8_t RegionOf(const PipelineConfig& config, uint8_t stage) {
 
 }  // namespace
 
-uint32_t Pipeline::PlanPasses(const std::vector<Instruction>& instrs,
-                              std::vector<uint32_t>* exec_pass) {
+uint32_t Pipeline::PlanPasses(std::span<const Instruction> instrs,
+                              PassPlan* exec_pass) {
   exec_pass->assign(instrs.size(), 0);
   if (instrs.empty()) return 1;
   size_t remaining = instrs.size();
   uint32_t pass = 0;
   while (remaining > 0) {
     ++pass;
-    const std::vector<size_t> done = SweepOnePass(instrs, *exec_pass, pass);
+    const auto done = SweepOnePass(instrs, *exec_pass, pass);
     assert(!done.empty() && "pass made no progress");
-    for (size_t i : done) (*exec_pass)[i] = pass;
+    for (uint32_t i : done) (*exec_pass)[i] = pass;
     remaining -= done.size();
   }
   return pass;
 }
 
-uint32_t Pipeline::CountPasses(const std::vector<Instruction>& instrs) {
-  std::vector<uint32_t> exec_pass;
+uint32_t Pipeline::CountPasses(std::span<const Instruction> instrs) {
+  PassPlan exec_pass;
   return PlanPasses(instrs, &exec_pass);
 }
 
 uint8_t LockDemandFor(const PipelineConfig& config,
-                      const std::vector<Instruction>& instrs) {
-  std::vector<uint32_t> exec_pass;
+                      std::span<const Instruction> instrs) {
+  PassPlan exec_pass;
   Pipeline::PlanPasses(instrs, &exec_pass);
   uint8_t mask = 0;
   for (size_t i = 0; i < instrs.size(); ++i) {
@@ -106,7 +105,7 @@ uint8_t LockDemandFor(const PipelineConfig& config,
 }
 
 uint8_t TouchMaskFor(const PipelineConfig& config,
-                     const std::vector<Instruction>& instrs) {
+                     std::span<const Instruction> instrs) {
   uint8_t mask = 0;
   for (const Instruction& in : instrs) {
     mask |= RegionOf(config, in.addr.stage);
@@ -114,7 +113,7 @@ uint8_t TouchMaskFor(const PipelineConfig& config,
   return mask;
 }
 
-uint8_t Pipeline::LockDemand(const std::vector<Instruction>& instrs) const {
+uint8_t Pipeline::LockDemand(std::span<const Instruction> instrs) const {
   return LockDemandFor(config_, instrs);
 }
 
@@ -284,9 +283,8 @@ void Pipeline::Arrive(InflightRef fl) {
 
 bool Pipeline::ExecutePass(Inflight& fl) {
   const uint32_t cur_pass = fl.result.passes;
-  const std::vector<size_t> executable =
-      SweepOnePass(fl.txn.instrs, fl.exec_pass, cur_pass);
-  for (size_t i : executable) {
+  const auto executable = SweepOnePass(fl.txn.instrs, fl.exec_pass, cur_pass);
+  for (uint32_t i : executable) {
     bool constraint_ok = true;
     fl.result.values[i] =
         ApplyInstruction(fl, fl.txn.instrs[i], &constraint_ok);

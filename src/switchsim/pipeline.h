@@ -2,8 +2,12 @@
 #define P4DB_SWITCHSIM_PIPELINE_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <vector>
+
+#include "common/small_vector.h"
 
 #include "common/histogram.h"
 #include "common/metrics_registry.h"
@@ -18,17 +22,22 @@
 
 namespace p4db::sw {
 
+/// Per-instruction pass assignment (1-based; 0 = not yet planned). Inline
+/// capacity covers every packet the compiler emits (<= 255 instructions,
+/// virtually always <= 64); planning never allocates on the hot path.
+using PassPlan = SmallVector<uint32_t, 64>;
+
 /// Regions (kLockLeft/kLockRight) containing registers that stay PENDING
 /// after the first pipeline pass — the locks a multi-pass transaction must
 /// acquire. Zero for single-pass sequences. (Free functions so the
 /// node-side compiler can compute headers without a Pipeline instance.)
 uint8_t LockDemandFor(const PipelineConfig& config,
-                      const std::vector<Instruction>& instrs);
+                      std::span<const Instruction> instrs);
 
 /// Regions touched by ANY instruction of the sequence: these must be free
 /// of other transactions' locks at admission.
 uint8_t TouchMaskFor(const PipelineConfig& config,
-                     const std::vector<Instruction>& instrs);
+                     std::span<const Instruction> instrs);
 
 /// Runtime counters exposed by the pipeline.
 struct PipelineStats {
@@ -95,16 +104,20 @@ class Pipeline {
   /// under the PISA access rules (the same per-stage sweep the data plane
   /// performs). Exposed so the node-side compiler provably agrees with the
   /// switch.
-  static uint32_t CountPasses(const std::vector<Instruction>& instrs);
+  static uint32_t CountPasses(std::span<const Instruction> instrs);
+  static uint32_t CountPasses(std::initializer_list<Instruction> instrs) {
+    return CountPasses(
+        std::span<const Instruction>(instrs.begin(), instrs.size()));
+  }
 
   /// Full pass plan: fills exec_pass[i] with the 1-based pass in which
   /// instruction i executes; returns the number of passes.
-  static uint32_t PlanPasses(const std::vector<Instruction>& instrs,
-                             std::vector<uint32_t>* exec_pass);
+  static uint32_t PlanPasses(std::span<const Instruction> instrs,
+                             PassPlan* exec_pass);
 
   /// Pending-region lock mask required by the given instructions under this
   /// pipeline's locking mode (see LockDemandFor).
-  uint8_t LockDemand(const std::vector<Instruction>& instrs) const;
+  uint8_t LockDemand(std::span<const Instruction> instrs) const;
 
   RegisterFile& registers() { return registers_; }
   const RegisterFile& registers() const { return registers_; }

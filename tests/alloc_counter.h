@@ -1,0 +1,155 @@
+#ifndef P4DB_TESTS_ALLOC_COUNTER_H_
+#define P4DB_TESTS_ALLOC_COUNTER_H_
+
+// Opt-in global heap-allocation counter.
+//
+// Including this header in exactly ONE translation unit of a binary
+// replaces the global operator new/delete family with counting versions
+// (replacement is program-wide per [replacement.functions]). Binaries that
+// do not include it keep the stock allocator, so the library itself never
+// pays for the counting. Including it twice in one binary is a link error
+// (duplicate definitions) — that is intentional.
+//
+// The counters are plain integers: everything in this repository runs on
+// one thread (the discrete-event simulator), and gtest drives tests
+// serially.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <execinfo.h>
+#include <unistd.h>
+
+namespace p4db::testing {
+
+namespace alloc_internal {
+inline uint64_t g_allocs = 0;
+inline uint64_t g_frees = 0;
+inline uint64_t g_bytes = 0;
+/// Debug aid: when set, the next counted allocation traps so a debugger
+/// shows who allocated inside a window that is supposed to be silent.
+inline bool g_trap = false;
+
+/// Dumps the current stack (raw addresses, decodable with addr2line) to
+/// stderr and aborts. backtrace_symbols_fd writes straight to the fd and
+/// never allocates, so it is safe to call from inside operator new.
+[[noreturn]] inline void TrapWithBacktrace() {
+  g_trap = false;
+  void* frames[48];
+  const int n = ::backtrace(frames, 48);
+  ::backtrace_symbols_fd(frames, n, STDERR_FILENO);
+  std::abort();
+}
+
+inline void* CountedAlloc(std::size_t size) {
+  if (g_trap) TrapWithBacktrace();
+  ++g_allocs;
+  g_bytes += size;
+  return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  if (g_trap) TrapWithBacktrace();
+  ++g_allocs;
+  g_bytes += size;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+
+inline void CountedFree(void* p) {
+  if (p == nullptr) return;
+  ++g_frees;
+  std::free(p);
+}
+}  // namespace alloc_internal
+
+struct AllocSnapshot {
+  uint64_t allocs = 0;  // calls into any operator new
+  uint64_t frees = 0;   // calls into any operator delete (non-null)
+  uint64_t bytes = 0;   // total bytes requested (not live)
+};
+
+inline AllocSnapshot CaptureAllocs() {
+  return AllocSnapshot{alloc_internal::g_allocs, alloc_internal::g_frees,
+                       alloc_internal::g_bytes};
+}
+
+/// Arms/disarms the trap-on-allocation debug aid (see g_trap).
+inline void SetAllocTrap(bool on) { alloc_internal::g_trap = on; }
+
+}  // namespace p4db::testing
+
+void* operator new(std::size_t size) {
+  if (void* p = p4db::testing::alloc_internal::CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  if (void* p = p4db::testing::alloc_internal::CountedAlignedAlloc(
+          size, static_cast<std::size_t>(al))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return p4db::testing::alloc_internal::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return p4db::testing::alloc_internal::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return p4db::testing::alloc_internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(al));
+}
+
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return p4db::testing::alloc_internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  p4db::testing::alloc_internal::CountedFree(p);
+}
+
+#endif  // P4DB_TESTS_ALLOC_COUNTER_H_

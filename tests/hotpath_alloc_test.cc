@@ -1,0 +1,83 @@
+// Regression gate for the zero-allocation transaction hot path: once a
+// bounded working set is materialized and the growable bookkeeping is
+// pre-sized (Engine::ReserveSteadyState), the measured window of a
+// single-node closed-loop run must execute with EXACTLY zero global heap
+// allocations — under both concurrency-control protocols. Any failure here
+// means someone added a per-transaction (or per-event) allocation to the
+// steady-state path; see DESIGN.md "Hot-path memory discipline".
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/ycsb.h"
+
+// Exactly one TU per binary may include this (it replaces operator new).
+#include "alloc_counter.h"
+
+namespace p4db {
+namespace {
+
+core::SystemConfig SingleNode(core::CcProtocol cc) {
+  core::SystemConfig cfg;
+  cfg.mode = core::EngineMode::kNoSwitch;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 20;
+  cfg.cc_protocol = cc;
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// Mirrors bench_hotpath's strict alloc scenarios: bounded YCSB-A table,
+/// every row materialized before the run, CC/WAL/simulator storage reserved
+/// past the run's high-water mark. Returns the number of operator-new calls
+/// observed inside the measured window.
+uint64_t MeasuredWindowAllocs(core::CcProtocol cc) {
+  constexpr uint64_t kKeys = 100000;
+  wl::YcsbConfig wcfg;
+  wcfg.variant = 'A';
+  wcfg.table_size = kKeys;
+  wl::Ycsb workload(wcfg);
+
+  core::Engine engine(SingleNode(cc));
+  engine.SetWorkload(&workload);
+  engine.Offload(/*sample_size=*/20000, wcfg.hot_keys_per_node);
+
+  db::Catalog& catalog = engine.catalog();
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    db::Table& table = catalog.table(t);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      table.GetOrCreate(static_cast<Key>(k));
+    }
+  }
+  engine.ReserveSteadyState(kKeys, /*wal_records_per_node=*/1 << 18,
+                            /*wal_payload_bytes_per_node=*/16 << 20);
+
+  // Snapshots bracket the measured window; both events are scheduled before
+  // Run, so they fire before any same-instant transaction work. The begin
+  // snapshot sits one tick past the warmup boundary because Run's own
+  // metrics reset at the boundary allocates by design.
+  const SimTime warmup = 2 * kMillisecond;
+  const SimTime measure = 10 * kMillisecond;
+  testing::AllocSnapshot begin, end;
+  engine.simulator().ScheduleAt(warmup + 1,
+                                [&begin] { begin = testing::CaptureAllocs(); });
+  engine.simulator().ScheduleAt(warmup + measure,
+                                [&end] { end = testing::CaptureAllocs(); });
+
+  const core::Metrics metrics = engine.Run(warmup, measure);
+  // The window must have seen real traffic, or "zero allocations" is
+  // vacuous.
+  EXPECT_GT(metrics.committed, 1000u);
+  return end.allocs - begin.allocs;
+}
+
+TEST(HotpathAllocTest, TwoPhaseLockingSteadyStateIsAllocationFree) {
+  EXPECT_EQ(MeasuredWindowAllocs(core::CcProtocol::k2pl), 0u);
+}
+
+TEST(HotpathAllocTest, OccSteadyStateIsAllocationFree) {
+  EXPECT_EQ(MeasuredWindowAllocs(core::CcProtocol::kOcc), 0u);
+}
+
+}  // namespace
+}  // namespace p4db

@@ -13,9 +13,9 @@ db::Op Op(db::OpType type, Key key, uint16_t column = 0) {
   return op;
 }
 
-db::Transaction Txn(std::vector<db::Op> ops) {
+db::Transaction Txn(std::initializer_list<db::Op> ops) {
   db::Transaction t;
-  t.ops = std::move(ops);
+  t.ops.assign(ops.begin(), ops.end());
   return t;
 }
 

@@ -122,13 +122,16 @@ class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CodecPropertyTest, RandomPacketsRoundTrip) {
   Rng rng(GetParam());
+  std::vector<uint8_t> wire;  // reused across iterations (the hot-path shape)
   for (int iter = 0; iter < 50; ++iter) {
     SwitchTxn txn;
     txn.is_multipass = rng.NextBool(0.5);
     txn.lock_mask = static_cast<uint8_t>(rng.NextRange(4));
+    txn.touch_mask = static_cast<uint8_t>(rng.NextRange(4));
     txn.nb_recircs = static_cast<uint8_t>(rng.NextRange(256));
     txn.origin_node = static_cast<uint16_t>(rng.NextRange(65536));
     txn.client_seq = static_cast<uint32_t>(rng.Next());
+    txn.epoch = static_cast<uint8_t>(rng.NextRange(256));
     const size_t n = rng.NextRange(40);
     for (size_t i = 0; i < n; ++i) {
       Instruction in;
@@ -147,10 +150,18 @@ TEST_P(CodecPropertyTest, RandomPacketsRoundTrip) {
       }
       txn.instrs.push_back(in);
     }
-    const auto decoded = PacketCodec::Decode(PacketCodec::Encode(txn));
+    PacketCodec::Encode(txn, &wire);
+    ASSERT_EQ(wire.size(), PacketCodec::EncodedSize(txn));
+    const auto decoded = PacketCodec::Decode(wire);
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_EQ(decoded->instrs, txn.instrs);
+    EXPECT_EQ(decoded->is_multipass, txn.is_multipass);
     EXPECT_EQ(decoded->lock_mask, txn.lock_mask);
+    EXPECT_EQ(decoded->touch_mask, txn.touch_mask);
+    EXPECT_EQ(decoded->nb_recircs, txn.nb_recircs);
+    EXPECT_EQ(decoded->origin_node, txn.origin_node);
+    EXPECT_EQ(decoded->client_seq, txn.client_seq);
+    EXPECT_EQ(decoded->epoch, txn.epoch);
   }
 }
 

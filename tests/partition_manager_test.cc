@@ -207,7 +207,8 @@ TEST_F(PartitionManagerTest, CompileFailsOnUnresolvedColdDependency) {
 TEST_F(PartitionManagerTest, CompileRejectsNoHotOps) {
   db::Transaction txn;
   txn.ops = {Op(db::OpType::kGet, TupleId{table_, 100})};
-  EXPECT_FALSE(pm_.Compile(txn, {std::nullopt}, 0, 0).ok());
+  const std::vector<std::optional<Value64>> unresolved = {std::nullopt};
+  EXPECT_FALSE(pm_.Compile(txn, unresolved, 0, 0).ok());
 }
 
 TEST_F(PartitionManagerTest, CompileSetsLockHeaders) {

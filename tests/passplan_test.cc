@@ -57,7 +57,7 @@ TEST_P(PassPlanPropertyTest, PlansObeyTheMemoryModel) {
   const PipelineConfig cfg = SmallConfig();
   for (int iter = 0; iter < 60; ++iter) {
     const auto instrs = RandomInstrs(rng, cfg, 12);
-    std::vector<uint32_t> exec_pass;
+    PassPlan exec_pass;
     const uint32_t passes = Pipeline::PlanPasses(instrs, &exec_pass);
 
     // (a) Every instruction lands in exactly one pass in [1, passes].

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/small_vector.h"
+
+// Exactly one TU per binary may include this (it replaces operator new).
+#include "alloc_counter.h"
+
+namespace p4db {
+namespace {
+
+TEST(SmallVectorTest, StaysInlineUpToCapacity) {
+  const testing::AllocSnapshot before = testing::CaptureAllocs();
+  SmallVector<int, 8> v;
+  for (int i = 0; i < 8; ++i) v.push_back(i);
+  const testing::AllocSnapshot after = testing::CaptureAllocs();
+  EXPECT_EQ(after.allocs - before.allocs, 0u);
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v.capacity(), 8u);
+}
+
+TEST(SmallVectorTest, SpillsToHeapAndPreservesElements) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, BasicModifiers) {
+  SmallVector<int, 4> v{1, 2, 3};
+  v.emplace_back(4);
+  EXPECT_EQ(v.back(), 4);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 3u);
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0);
+  v.resize(2, 9);
+  EXPECT_EQ((std::vector<int>{1, 2}), v);
+  v.resize(4, 7);
+  EXPECT_EQ((std::vector<int>{1, 2, 7, 7}), v);
+}
+
+TEST(SmallVectorTest, EraseAndInsert) {
+  SmallVector<int, 4> v{10, 20, 30, 40, 50};
+  v.erase(v.begin() + 1);
+  EXPECT_EQ((std::vector<int>{10, 30, 40, 50}), v);
+  v.erase(v.begin() + 1, v.begin() + 3);
+  EXPECT_EQ((std::vector<int>{10, 50}), v);
+  v.insert(v.begin() + 1, 25);
+  EXPECT_EQ((std::vector<int>{10, 25, 50}), v);
+  v.insert(v.end(), 99);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(SmallVectorTest, CopyAndMoveSemantics) {
+  SmallVector<int, 2> spilled;
+  for (int i = 0; i < 10; ++i) spilled.push_back(i);
+
+  SmallVector<int, 2> copy = spilled;
+  EXPECT_EQ(copy, spilled);
+
+  const int* heap_data = spilled.data();
+  SmallVector<int, 2> stolen = std::move(spilled);
+  EXPECT_EQ(stolen.data(), heap_data) << "move must steal the heap block";
+  EXPECT_TRUE(spilled.empty());
+
+  SmallVector<int, 4> inline_v{1, 2, 3};
+  SmallVector<int, 4> moved = std::move(inline_v);
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), moved);
+  EXPECT_TRUE(inline_v.empty());
+}
+
+TEST(SmallVectorTest, NonTrivialElementsAreDestroyed) {
+  // std::string exercises the non-trivially-copyable Grow/Steal paths.
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back(std::string(100, 'x'));  // spills, moves elements over
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[2], std::string(100, 'x'));
+  SmallVector<std::string, 2> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 3u);
+  moved.clear();
+  EXPECT_TRUE(moved.empty());
+}
+
+TEST(SmallVectorTest, VectorInterop) {
+  const std::vector<int> source{5, 6, 7};
+  SmallVector<int, 8> v;
+  v = source;
+  EXPECT_EQ(v, source);
+  EXPECT_EQ(source, v);
+  v.push_back(8);
+  EXPECT_FALSE(v == source);
+}
+
+TEST(SmallVectorTest, ConvertsImplicitlyToSpan) {
+  SmallVector<uint8_t, 8> v{1, 2, 3};
+  std::span<const uint8_t> s = v;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.data(), v.data());
+}
+
+TEST(SmallVectorTest, AssignAndIteratorConstruction) {
+  const std::vector<int> source{4, 5, 6, 7, 8};
+  SmallVector<int, 4> v(source.begin(), source.end());
+  EXPECT_EQ(v, source);
+  v.assign(3, 42);
+  EXPECT_EQ((std::vector<int>{42, 42, 42}), v);
+}
+
+TEST(SmallVectorTest, ReserveKeepsSubsequentPushesAllocationFree) {
+  SmallVector<int, 2> v;
+  v.reserve(100);
+  const testing::AllocSnapshot before = testing::CaptureAllocs();
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const testing::AllocSnapshot after = testing::CaptureAllocs();
+  EXPECT_EQ(after.allocs - before.allocs, 0u);
+}
+
+}  // namespace
+}  // namespace p4db

@@ -47,7 +47,8 @@ TEST(WalTest, FillSwitchResultRecordsGidAndValues) {
   const LogRecord& rec = wal.records()[lsn];
   EXPECT_TRUE(rec.has_result);
   EXPECT_EQ(rec.gid, 42u);
-  EXPECT_EQ(rec.results, (std::vector<Value64>{12}));
+  ASSERT_EQ(rec.results.size(), 1u);
+  EXPECT_EQ(rec.results[0], 12);
 }
 
 TEST(WalTest, SwitchIntentsFiltersHostRecords) {

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the transaction hot path.
+
+Compares freshly produced BENCH_hotpath.json / BENCH_simcore.json against
+the committed baselines in bench/baselines/, using only metrics that
+transfer across machines:
+
+ * hotpath `window_allocs` per scenario — heap allocations inside the
+   measured window. A zero baseline must stay exactly zero (the
+   zero-allocation steady-state contract); a nonzero baseline may not grow
+   more than the tolerance (plus a small absolute slack for stdlib
+   growth-policy differences across toolchains).
+ * hotpath `committed` per scenario — simulated-time throughput, fully
+   deterministic for a seeded run, so a >tolerance drift means the
+   simulated system itself changed, not the host.
+ * simcore `geomean_speedup` — the calendar-queue core measured against the
+   in-binary legacy heap core in the same process on the same host, so the
+   host's absolute speed cancels out. May not drop more than the tolerance.
+
+Wall-clock metrics (wall_txns_per_sec, events_per_sec) are reported for
+context but never gated: they do not transfer across CI hosts.
+
+Usage: perf_gate.py --baseline-dir bench/baselines --fresh-dir build/bench
+Exits 1 on any regression.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TOLERANCE = 0.10  # fail on >10% regression
+ALLOC_ABS_SLACK = 16  # absolute allocation slack for nonzero baselines
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        run["scenario"]: run
+        for run in doc.get("runs", [])
+        if isinstance(run, dict) and "scenario" in run
+    }
+
+
+def check(failures, label, fresh, limit, direction):
+    """direction +1: fresh may not exceed limit; -1: fresh may not drop below."""
+    ok = fresh <= limit if direction > 0 else fresh >= limit
+    marker = "ok  " if ok else "FAIL"
+    bound = "<=" if direction > 0 else ">="
+    print(f"  [{marker}] {label}: {fresh:g} ({bound} {limit:g})")
+    if not ok:
+        failures.append(label)
+
+
+def gate_hotpath(failures, baseline, fresh):
+    print("hotpath:")
+    for scenario, base in baseline.items():
+        run = fresh.get(scenario)
+        if run is None:
+            print(f"  [FAIL] {scenario}: missing from fresh results")
+            failures.append(f"{scenario} missing")
+            continue
+        base_allocs = base["window_allocs"]
+        limit = 0 if base_allocs == 0 else int(
+            base_allocs * (1 + TOLERANCE)) + ALLOC_ABS_SLACK
+        check(failures, f"{scenario} window_allocs", run["window_allocs"],
+              limit, +1)
+        check(failures, f"{scenario} committed", run["committed"],
+              base["committed"] * (1 - TOLERANCE), -1)
+        check(failures, f"{scenario} committed", run["committed"],
+              base["committed"] * (1 + TOLERANCE), +1)
+        print(f"         {scenario} wall_txns_per_sec: "
+              f"{run['wall_txns_per_sec']:g} "
+              f"(baseline {base['wall_txns_per_sec']:g}, not gated)")
+
+
+def gate_simcore(failures, baseline, fresh):
+    print("simcore:")
+    base = baseline.get("simcore_speedups")
+    run = fresh.get("simcore_speedups")
+    if base is None:
+        print("  [skip] no simcore_speedups entry in baseline")
+        return
+    if run is None:
+        print("  [FAIL] simcore_speedups: missing from fresh results")
+        failures.append("simcore_speedups missing")
+        return
+    check(failures, "geomean_speedup", run["geomean_speedup"],
+          base["geomean_speedup"] * (1 - TOLERANCE), -1)
+    for pattern, ratio in base.items():
+        if pattern in ("scenario", "geomean_speedup"):
+            continue
+        print(f"         {pattern}: {run.get(pattern, float('nan')):g}x "
+              f"(baseline {ratio:g}x, geomean-gated only)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--fresh-dir", required=True)
+    args = parser.parse_args()
+
+    failures = []
+    for name, gate in (("BENCH_hotpath.json", gate_hotpath),
+                       ("BENCH_simcore.json", gate_simcore)):
+        base_path = os.path.join(args.baseline_dir, name)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(base_path):
+            print(f"{name}: no committed baseline, skipping")
+            continue
+        if not os.path.exists(fresh_path):
+            print(f"{name}: fresh results not found at {fresh_path}")
+            failures.append(f"{name} not produced")
+            continue
+        gate(failures, load_runs(base_path), load_runs(fresh_path))
+
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} regression(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
