@@ -3,7 +3,10 @@
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
+#include <string_view>
 #include <vector>
+
+#include "common/json_util.h"
 
 namespace p4db::bench {
 
@@ -32,22 +35,10 @@ std::string SanitizeBenchName(const char* figure) {
   return out.empty() ? std::string("bench") : out;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
+// --trace=PATH state: the first kP4db run of the process records a full
+// trace and exports it there.
+std::string g_trace_path;
+bool g_trace_consumed = false;
 
 void FlushBenchJson() {
   if (g_bench_name.empty()) return;
@@ -91,6 +82,10 @@ void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
   entry += buf;
   entry += ", \"registry\": ";
   entry += out.metrics_json;
+  if (!out.time_series_json.empty()) {
+    entry += ", \"time_series\": ";
+    entry += out.time_series_json;
+  }
   entry += "}";
   g_run_entries.push_back(std::move(entry));
 }
@@ -107,11 +102,27 @@ BenchTime BenchTime::FromEnv() {
   return t;
 }
 
+void ParseBenchArgs(int argc, char** argv) {
+  constexpr std::string_view kTrace = "--trace=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.substr(0, kTrace.size()) == kTrace) {
+      g_trace_path = std::string(arg.substr(kTrace.size()));
+    }
+  }
+}
+
+const std::string& TracePath() { return g_trace_path; }
+
 RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
                       size_t sample_size, size_t max_hot_items,
                       const BenchTime& time) {
   core::Engine engine(config);
   engine.SetWorkload(workload);
+  trace::Sampler& sampler = engine.EnableTimeSeries(kSamplerTick);
+  const bool capture_trace = !g_trace_path.empty() && !g_trace_consumed &&
+                             config.mode == core::EngineMode::kP4db;
+  if (capture_trace) engine.tracer().EnableFull();
   RunOutput out;
   out.offload = engine.Offload(sample_size, max_hot_items);
   const auto wall_start = std::chrono::steady_clock::now();
@@ -136,6 +147,20 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
       .counter("harness.wall_us")
       .Set(static_cast<uint64_t>(out.wall_seconds * 1e6));
   out.metrics_json = engine.metrics_registry().ToJson();
+  out.time_series_json = sampler.ToJson();
+  if (capture_trace) {
+    g_trace_consumed = true;
+    if (engine.tracer().ExportChromeTrace(g_trace_path, &sampler)) {
+      std::printf("[trace] wrote %s (%llu spans, %llu dropped) — open in "
+                  "Perfetto or chrome://tracing\n",
+                  g_trace_path.c_str(),
+                  static_cast<unsigned long long>(engine.tracer().size()),
+                  static_cast<unsigned long long>(engine.tracer().dropped()));
+    } else {
+      std::fprintf(stderr, "[trace] FAILED to write %s\n",
+                   g_trace_path.c_str());
+    }
+  }
   RecordRun(config, *workload, out);
   return out;
 }

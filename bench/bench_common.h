@@ -33,7 +33,22 @@ struct RunOutput {
   uint64_t sim_events = 0;    // simulator events executed by the run
   double events_per_sec = 0;  // sim_events / wall_seconds (harness speed)
   std::string metrics_json;   // engine MetricsRegistry dump for this run
+  std::string time_series_json;  // Sampler::ToJson for this run
 };
+
+/// Virtual-time sampling window used by every RunWorkload: committed /
+/// aborted / switch-txn rates and windowed p99 latency per tick, embedded as
+/// "time_series" in each BENCH_<name>.json run entry.
+constexpr SimTime kSamplerTick = 100 * kMicrosecond;
+
+/// Parses harness-wide flags out of argv (currently --trace=PATH). Benches
+/// call this first in main; unrecognized arguments are ignored.
+void ParseBenchArgs(int argc, char** argv);
+
+/// Path from --trace=PATH, empty when tracing was not requested. The first
+/// kP4db RunWorkload of the process captures a full trace and writes the
+/// Chrome trace_event file there (open in Perfetto / chrome://tracing).
+const std::string& TracePath();
 
 /// Builds an Engine for `config`, offloads `max_hot_items` detected from
 /// `sample_size` sampled transactions, runs the closed loop, and collects

@@ -32,7 +32,6 @@ void RunFailover(const BenchTime& time) {
   wl::Ycsb workload(wcfg);
 
   const SimTime fault_at = time.warmup + time.measure / 3;
-  const SimTime horizon = time.warmup + time.measure;
 
   core::Engine engine(cfg);
   engine.SetWorkload(&workload);
@@ -43,24 +42,19 @@ void RunFailover(const BenchTime& time) {
       net::FaultEvent::SwitchReboot(fault_at, kDowntime));
   engine.InstallFaultSchedule(schedule);
 
-  // Commit-counter probes every bucket across the measured window. The
-  // probes only read, so the observed run is the run.
-  MetricsRegistry::Counter* committed =
-      &engine.metrics_registry().counter("engine.committed");
-  std::vector<uint64_t> samples;
-  for (SimTime t = time.warmup + kBucket; t < horizon; t += kBucket) {
-    engine.simulator().ScheduleAt(
-        t, [committed, &samples] { samples.push_back(committed->value()); });
-  }
+  // The shared virtual-time sampler snapshots the commit counter every
+  // bucket across the measured window. The ticks only read, so the observed
+  // run is the run.
+  trace::Sampler& sampler = engine.EnableTimeSeries(kBucket);
 
   engine.Run(time.warmup, time.measure);
-  samples.push_back(committed->value());  // close the final bucket
 
-  // Bucket i covers [warmup + i*b, warmup + (i+1)*b).
+  // Bucket i covers (warmup + i*b, warmup + (i+1)*b]: the "committed" rate
+  // series is the per-tick delta of the commit counter.
+  const std::vector<int64_t>* committed_series = sampler.Find("committed");
   std::vector<uint64_t> rates;
-  rates.push_back(samples[0]);
-  for (size_t i = 1; i < samples.size(); ++i) {
-    rates.push_back(samples[i] - samples[i - 1]);
+  for (const int64_t d : *committed_series) {
+    rates.push_back(static_cast<uint64_t>(d));
   }
   const size_t fault_idx =
       static_cast<size_t>((fault_at - time.warmup) / kBucket);
@@ -149,6 +143,8 @@ void RunFailover(const BenchTime& time) {
   }
   entry += "], \"registry\": ";
   entry += engine.metrics_registry().ToJson();
+  entry += ", \"time_series\": ";
+  entry += sampler.ToJson();
   entry += "}";
   AppendRunEntry(entry);
 }
@@ -156,8 +152,9 @@ void RunFailover(const BenchTime& time) {
 }  // namespace
 }  // namespace p4db::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4db::bench;
+  ParseBenchArgs(argc, argv);
   const BenchTime time = BenchTime::FromEnv();
   PrintBanner("failover",
               "online failover: switch reboot mid-run, WAL re-provisioning");

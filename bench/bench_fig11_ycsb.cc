@@ -65,8 +65,9 @@ void SweepDistributed(const BenchTime& time) {
 }  // namespace
 }  // namespace p4db::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4db::bench;
+  ParseBenchArgs(argc, argv);
   const BenchTime time = BenchTime::FromEnv();
   PrintBanner("Figure 11 + Figure 19",
               "YCSB speedup over No-Switch and raw throughput");

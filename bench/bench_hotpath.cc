@@ -65,11 +65,15 @@ void Prepare(core::Engine& engine, const SteadyStatePrep& prep) {
 HotpathRun RunHotpath(const core::SystemConfig& config, wl::Workload* workload,
                       size_t sample_size, size_t max_hot_items,
                       const BenchTime& time,
-                      const SteadyStatePrep& prep = {}) {
+                      const SteadyStatePrep& prep = {},
+                      bool trace_full = false) {
   core::Engine engine(config);
   engine.SetWorkload(workload);
   engine.Offload(sample_size, max_hot_items);
   Prepare(engine, prep);
+  // Full-run tracing: the ring is the one allocation, made here, before the
+  // measured window. Recording itself must stay allocation-free.
+  if (trace_full) engine.tracer().EnableFull();
 
   // P4DB_TRAP_ALLOCS=1 turns the first in-window allocation into a trap so
   // a debugger shows the offending stack (strict scenarios only).
@@ -184,14 +188,15 @@ void RunAll(const BenchTime& time) {
 
   // End-to-end speed: the figure-11 cluster (8 nodes, 20 workers/node,
   // YCSB-A, 20% distributed) under P4DB and No-Switch, plus SmallBank.
+  HotpathRun fig11_p4db;
   {
     wl::YcsbConfig wcfg;
     wcfg.variant = 'A';
     const core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
     wl::Ycsb workload(wcfg);
-    Record("fig11_ycsb_p4db_8node", cfg, workload,
-           RunHotpath(cfg, &workload, 20000,
-                      YcsbHotItems(wcfg, cfg.num_nodes), time));
+    fig11_p4db = RunHotpath(cfg, &workload, 20000,
+                            YcsbHotItems(wcfg, cfg.num_nodes), time);
+    Record("fig11_ycsb_p4db_8node", cfg, workload, fig11_p4db);
   }
   {
     wl::YcsbConfig wcfg;
@@ -209,6 +214,43 @@ void RunAll(const BenchTime& time) {
     Record("smallbank_p4db_8node", cfg, workload,
            RunHotpath(cfg, &workload, 20000,
                       SmallBankHotItems(wcfg, cfg.num_nodes), time));
+  }
+
+  // Tracing overhead: the figure-11 P4DB run again with a full-run tracer
+  // armed. Tracing is passive, so the simulated results must be identical
+  // to the untraced run; the wall-clock ratio is the recording cost, gated
+  // in CI at <10%.
+  {
+    wl::YcsbConfig wcfg;
+    wcfg.variant = 'A';
+    const core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+    wl::Ycsb workload(wcfg);
+    const HotpathRun traced =
+        RunHotpath(cfg, &workload, 20000, YcsbHotItems(wcfg, cfg.num_nodes),
+                   time, {}, /*trace_full=*/true);
+    Record("fig11_ycsb_p4db_traced", cfg, workload, traced);
+    if (traced.metrics.committed != fig11_p4db.metrics.committed) {
+      std::printf("WARNING: traced committed %" PRIu64
+                  " != untraced %" PRIu64 " — tracing is not passive!\n",
+                  traced.metrics.committed, fig11_p4db.metrics.committed);
+    }
+    const double overhead_ratio =
+        traced.wall_txns_per_sec > 0
+            ? fig11_p4db.wall_txns_per_sec / traced.wall_txns_per_sec
+            : 0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"scenario\": \"tracing_overhead\", "
+                  "\"overhead_ratio\": %.4f, \"untraced_committed\": %" PRIu64
+                  ", \"traced_committed\": %" PRIu64 "}",
+                  overhead_ratio, fig11_p4db.metrics.committed,
+                  traced.metrics.committed);
+    AppendRunEntry(buf);
+    std::printf("%-24s tracing on/off wall ratio %.3fx (committed %s)\n",
+                "tracing_overhead", overhead_ratio,
+                traced.metrics.committed == fig11_p4db.metrics.committed
+                    ? "identical"
+                    : "DIFFER");
   }
 }
 

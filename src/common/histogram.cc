@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 namespace p4db {
 
@@ -33,6 +35,44 @@ int64_t Histogram::BucketMid(int bucket) {
   const int64_t step =
       log2 > kSubBucketsLog2 ? (int64_t{1} << (log2 - kSubBucketsLog2)) : 0;
   return base + step * sub + step / 2;
+}
+
+int64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return std::numeric_limits<int64_t>::min();
+  const int log2 = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const int64_t base = int64_t{1} << log2;
+  const int64_t step =
+      log2 > kSubBucketsLog2 ? (int64_t{1} << (log2 - kSubBucketsLog2)) : 0;
+  return base + step * sub;
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket >= kNumBuckets - 1) return std::numeric_limits<int64_t>::max();
+  const int log2 = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const int64_t base = int64_t{1} << log2;
+  // Low buckets (one per power of two) span [2^log2, 2^(log2+1)); only
+  // their sub == 0 slot is ever populated.
+  const int64_t step =
+      log2 > kSubBucketsLog2 ? (int64_t{1} << (log2 - kSubBucketsLog2))
+                             : (int64_t{1} << log2);
+  return base + step * sub + step;
+}
+
+void Histogram::AppendBucketsJson(std::string* out) const {
+  *out += "[";
+  bool first = true;
+  ForEachBucket([&](int, int64_t lower, int64_t upper, uint64_t count) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s[%lld, %lld, %llu]",
+                  first ? "" : ", ", static_cast<long long>(lower),
+                  static_cast<long long>(upper),
+                  static_cast<unsigned long long>(count));
+    *out += buf;
+    first = false;
+  });
+  *out += "]";
 }
 
 void Histogram::Record(int64_t value_ns) {

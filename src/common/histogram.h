@@ -2,6 +2,7 @@
 #define P4DB_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace p4db {
@@ -11,6 +12,8 @@ namespace p4db {
 /// benchmark harness for the paper's latency plots (Figures 16, 18a).
 class Histogram {
  public:
+  static constexpr int kNumBuckets = 256;
+
   Histogram();
 
   void Record(int64_t value_ns);
@@ -24,10 +27,36 @@ class Histogram {
   /// q in [0, 1]; returns an approximate quantile (bucket midpoint).
   int64_t Quantile(double q) const;
 
- private:
-  static constexpr int kNumBuckets = 256;
-  static int BucketFor(int64_t value);
+  /// Raw bucket access, for time-series snapshots (windowed quantiles are
+  /// bucket diffs between ticks) and full-distribution exports.
+  uint64_t bucket_count(int bucket) const {
+    return buckets_[static_cast<size_t>(bucket)];
+  }
+  /// Smallest value mapped to `bucket` (bucket 0 also absorbs v <= 0).
+  static int64_t BucketLowerBound(int bucket);
+  /// Exclusive upper bound of `bucket`; INT64_MAX for the last bucket.
+  static int64_t BucketUpperBound(int bucket);
+  /// Representative midpoint of `bucket` (what Quantile reports).
   static int64_t BucketMid(int bucket);
+
+  /// Calls fn(bucket, lower, upper_exclusive, count) for every non-empty
+  /// bucket in ascending value order.
+  template <typename Fn>
+  void ForEachBucket(Fn&& fn) const {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      if (buckets_[static_cast<size_t>(i)] != 0) {
+        fn(i, BucketLowerBound(i), BucketUpperBound(i),
+           buckets_[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
+  /// Appends the non-empty buckets as a JSON array of [lower, upper, count]
+  /// triples.
+  void AppendBucketsJson(std::string* out) const;
+
+ private:
+  static int BucketFor(int64_t value);
 
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

@@ -1,0 +1,47 @@
+#ifndef P4DB_COMMON_JSON_UTIL_H_
+#define P4DB_COMMON_JSON_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace p4db {
+
+/// Appends `s` to `*out` with JSON string escaping: quote, backslash, and
+/// every control character below 0x20 (emitted as \u00XX). Single shared
+/// rule for every machine-readable dump (metrics registry, bench harness,
+/// trace and time-series exporters) so a hostile metric or scenario name
+/// cannot produce unparseable JSON in any of them.
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+/// Appends `s` as a complete JSON string literal, quotes included.
+inline void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  AppendJsonEscaped(out, s);
+  out->push_back('"');
+}
+
+/// Returns the escaped form of `s` (without surrounding quotes).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(&out, s);
+  return out;
+}
+
+}  // namespace p4db
+
+#endif  // P4DB_COMMON_JSON_UTIL_H_

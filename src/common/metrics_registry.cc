@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/json_util.h"
+
 namespace p4db {
 
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
@@ -39,19 +41,6 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
-namespace {
-
-void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
-  }
-  out->push_back('"');
-}
-
-}  // namespace
-
 std::string MetricsRegistry::ToJson() const {
   std::string out = "{\n  \"counters\": {";
   char buf[160];
@@ -59,7 +48,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, c] : counters_) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendEscaped(&out, name);
+    AppendJsonString(&out, name);
     std::snprintf(buf, sizeof(buf), ": %" PRIu64, c->value());
     out += buf;
   }
@@ -69,7 +58,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, h] : histograms_) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendEscaped(&out, name);
+    AppendJsonString(&out, name);
     std::snprintf(buf, sizeof(buf),
                   ": {\"count\": %" PRIu64
                   ", \"mean\": %.1f, \"p50\": %" PRId64 ", \"p95\": %" PRId64

@@ -27,6 +27,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteAttempt(
         co_return false;
       }
       failovers_->Increment();
+      ctx_.tracer->Instant(trace::Category::kDegraded, ts, node);
       ++*ctx_.degraded_inflight;
       const bool ok =
           co_await ExecuteCold(node, txn, txn_id, ts, results, timers);
@@ -35,7 +36,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteAttempt(
     }
     switch (txn.cls) {
       case db::TxnClass::kHot:
-        co_return co_await ExecuteHot(node, txn, results, timers);
+        co_return co_await ExecuteHot(node, txn, ts, results, timers);
       case db::TxnClass::kWarm:
         co_return co_await ExecuteWarm(node, txn, txn_id, ts, results,
                                        timers);
@@ -59,7 +60,7 @@ sim::CoTask<std::optional<sw::SwitchResult>> ConcurrencyControl::SubmitToSwitch(
 }
 
 sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
-    NodeId node, db::Transaction& txn,
+    NodeId node, db::Transaction& txn, uint64_t ts,
     std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
   const TimingConfig& t = ctx_.timing();
   // Setup plus per-op marshalling (hot-index lookups, packet construction)
@@ -79,11 +80,14 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   // share one synchronous block (no co_await between them) so the packet
   // carries exactly the epoch current when the intent landed — the fence's
   // exactly-once argument needs that equality.
+  const SimTime wal_begin = ctx_.sim->now();
   co_await sim::Delay(*ctx_.sim, t.wal_append);
   timers->local_work += t.wal_append;
   compiled->txn.epoch = ctx_.SwitchEpoch();
   const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
       compiled->txn.client_seq, compiled->txn.instrs);
+  ctx_.tracer->CompleteSpan(wal_begin, ctx_.sim->now(),
+                            trace::Category::kWalAppend, ts, node);
 
   const net::Endpoint self = net::Endpoint::Node(node);
   const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
@@ -93,7 +97,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
 
   const SimTime t0 = ctx_.sim->now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
-                          static_cast<uint32_t>(wire));
+                          static_cast<uint32_t>(wire), ts);
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
   if (!res.has_value()) {
@@ -104,13 +108,20 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
     // consumers see nullopt, exactly like a reader on a crashed node.
     txn_timeouts_->Increment();
     timers->switch_access += ctx_.sim->now() - t0;
+    ctx_.tracer->CompleteSpan(t0, ctx_.sim->now(),
+                              trace::Category::kSwitchAccess, ts, node);
+    const SimTime c0 = ctx_.sim->now();
     co_await sim::Delay(*ctx_.sim, t.commit_local);
     timers->commit += t.commit_local;
+    ctx_.tracer->CompleteSpan(c0, ctx_.sim->now(), trace::Category::kCommit,
+                              ts, node);
     co_return true;
   }
   co_await ctx_.net->Send(net::Endpoint::Switch(), self,
-                          static_cast<uint32_t>(resp));
+                          static_cast<uint32_t>(resp), ts);
   timers->switch_access += ctx_.sim->now() - t0;
+  ctx_.tracer->CompleteSpan(t0, ctx_.sim->now(),
+                            trace::Category::kSwitchAccess, ts, node);
 
   if (!(*ctx_.node_crashed)[node]) {
     ctx_.wal(node).FillSwitchResult(lsn, res->gid, res->values);
@@ -119,8 +130,11 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
     (*results)[op_index[i]] = res->values[i];
   }
 
+  const SimTime c0 = ctx_.sim->now();
   co_await sim::Delay(*ctx_.sim, t.commit_local);
   timers->commit += t.commit_local;
+  ctx_.tracer->CompleteSpan(c0, ctx_.sim->now(), trace::Category::kCommit, ts,
+                            node);
   co_return true;
 }
 

@@ -78,8 +78,10 @@ class ConcurrencyControl {
       std::vector<std::optional<Value64>>* results, TxnTimers* timers) = 0;
 
   /// Entirely-on-switch transactions (Section 6.1). Never fails; identical
-  /// under every host CC protocol, hence shared here.
-  sim::CoTask<bool> ExecuteHot(NodeId node, db::Transaction& txn,
+  /// under every host CC protocol, hence shared here. `ts` labels the
+  /// transaction's trace spans (hot txns have no host CC state of their
+  /// own).
+  sim::CoTask<bool> ExecuteHot(NodeId node, db::Transaction& txn, uint64_t ts,
                                std::vector<std::optional<Value64>>* results,
                                TxnTimers* timers);
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "core/config.h"
 #include "core/partition_manager.h"
@@ -42,6 +43,9 @@ struct ExecutionContext {
   /// increment the home node's entry when they build a switch packet.
   std::vector<uint32_t>* next_client_seq = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Engine's tracer; never null (defaults to the shared inert instance so
+  /// strategy code can emit unconditionally).
+  trace::Tracer* tracer = &trace::Tracer::Disabled();
 
   /// Failure-awareness view, all owned by the Engine. Null (the default)
   /// means "no chaos harness attached": strategies must then behave exactly

@@ -111,9 +111,9 @@ sim::CoTask<bool> OptimisticCC::ExecuteCold(
       // Remote snapshot read: one data round trip per distinct tuple.
       const SimTime t0 = sim.now();
       co_await ctx_.net->Send(self, net::Endpoint::Node(owner),
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
       co_await ctx_.net->Send(net::Endpoint::Node(owner), self,
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
       timers->remote_access += sim.now() - t0;
       occ.fetched.insert(op.tuple);
     }
@@ -124,22 +124,25 @@ sim::CoTask<bool> OptimisticCC::ExecuteCold(
   timers->local_work += exec_cost;
 
   // ---- VALIDATION PHASE ----
+  const SimTime validate_begin = sim.now();
   bool valid = true;
   for (const TupleId& tuple : occ.write_set) {
     const NodeId owner = ctx_.catalog->OwnerOf(tuple);
     const SimTime t0 = sim.now();
     if (owner != node) {
       co_await ctx_.net->Send(self, net::Endpoint::Node(owner),
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
     }
     co_await sim::Delay(sim, t.lock_op);
     Status st = co_await ctx_.lock_manager(owner).Acquire(
         txn_id, ts, tuple, db::LockMode::kExclusive);
     if (owner != node) {
       co_await ctx_.net->Send(net::Endpoint::Node(owner), self,
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
     }
     timers->lock_wait += sim.now() - t0;
+    ctx_.tracer->CompleteSpan(t0, sim.now(), trace::Category::kLockWait, ts,
+                              node);
     if (!st.ok()) {
       valid = false;
       break;
@@ -153,6 +156,10 @@ sim::CoTask<bool> OptimisticCC::ExecuteCold(
       }
     }
   }
+  ctx_.tracer->CompleteSpan(validate_begin, sim.now(),
+                            trace::Category::kValidate, ts, node,
+                            /*attempt=*/0, /*pass=*/0,
+                            /*aux=*/valid ? 1u : 0u);
   if (!valid) {
     for (NodeId n = 0; n < ctx_.num_nodes(); ++n) {
       ctx_.lock_manager(n).ReleaseAll(txn_id);
@@ -176,14 +183,18 @@ sim::CoTask<bool> OptimisticCC::ExecuteCold(
     ++versions_[tuple];
     writes.push_back(db::HostLogOp{tuple, 0, 0});
   }
+  const SimTime wal_begin = sim.now();
   co_await sim::Delay(sim, t.wal_append);
   timers->local_work += t.wal_append;
   ctx_.wal(node).AppendHostCommit(writes);
+  ctx_.tracer->CompleteSpan(wal_begin, sim.now(),
+                            trace::Category::kWalAppend, ts, node);
 
   bool has_remote = false;
   for (const TupleId& tuple : occ.write_set) {
     has_remote |= (ctx_.catalog->OwnerOf(tuple) != node);
   }
+  const SimTime commit_begin = sim.now();
   if (has_remote) {
     const SimTime rtt = ctx_.NodeRttEstimate();
     co_await sim::Delay(sim, 2 * rtt + t.wal_append);  // 2PC rounds
@@ -192,6 +203,8 @@ sim::CoTask<bool> OptimisticCC::ExecuteCold(
     co_await sim::Delay(sim, t.commit_local);
     timers->commit += t.commit_local;
   }
+  ctx_.tracer->CompleteSpan(commit_begin, sim.now(),
+                            trace::Category::kCommit, ts, node);
   for (NodeId n = 0; n < ctx_.num_nodes(); ++n) {
     ctx_.lock_manager(n).ReleaseAll(txn_id);
   }
@@ -242,9 +255,9 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
         !occ.fetched.contains(op.tuple)) {
       const SimTime t0 = sim.now();
       co_await ctx_.net->Send(self, net::Endpoint::Node(owner),
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
       co_await ctx_.net->Send(net::Endpoint::Node(owner), self,
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
       timers->remote_access += sim.now() - t0;
       occ.fetched.insert(op.tuple);
     }
@@ -267,6 +280,7 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
     for (const TupleId& t2 : to_lock) known |= (t2 == txn.ops[i].tuple);
     if (!known) to_lock.push_back(txn.ops[i].tuple);
   }
+  const SimTime validate_begin = sim.now();
   bool valid = true;
   NodeSet participants;
   for (const TupleId& tuple : to_lock) {
@@ -275,16 +289,18 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
     const SimTime t0 = sim.now();
     if (owner != node) {
       co_await ctx_.net->Send(self, net::Endpoint::Node(owner),
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
     }
     co_await sim::Delay(sim, t.lock_op);
     Status st = co_await ctx_.lock_manager(owner).Acquire(
         txn_id, ts, tuple, db::LockMode::kExclusive);
     if (owner != node) {
       co_await ctx_.net->Send(net::Endpoint::Node(owner), self,
-                              kDataRequestBytes);
+                              kDataRequestBytes, ts);
     }
     timers->lock_wait += sim.now() - t0;
+    ctx_.tracer->CompleteSpan(t0, sim.now(), trace::Category::kLockWait, ts,
+                              node);
     if (!st.ok()) {
       valid = false;
       break;
@@ -298,6 +314,10 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
       }
     }
   }
+  ctx_.tracer->CompleteSpan(validate_begin, sim.now(),
+                            trace::Category::kValidate, ts, node,
+                            /*attempt=*/0, /*pass=*/0,
+                            /*aux=*/valid ? 1u : 0u);
   if (!valid) {
     for (NodeId n = 0; n < ctx_.num_nodes(); ++n) {
       ctx_.lock_manager(n).ReleaseAll(txn_id);
@@ -311,6 +331,7 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
   auto compiled = ctx_.pm->Compile(txn, *results, node,
                                    (*ctx_.next_client_seq)[node]++);
   assert(compiled.ok() && "warm transaction's hot part must compile");
+  const SimTime wal_begin = sim.now();
   co_await sim::Delay(sim, t.wal_append);
   timers->local_work += t.wal_append;
   // Epoch stamp and intent append in one synchronous block (see
@@ -318,6 +339,8 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
   compiled->txn.epoch = ctx_.SwitchEpoch();
   const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
       compiled->txn.client_seq, compiled->txn.instrs);
+  ctx_.tracer->CompleteSpan(wal_begin, sim.now(),
+                            trace::Category::kWalAppend, ts, node);
 
   const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
   const size_t resp_bytes =
@@ -326,7 +349,7 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
 
   const SimTime t0 = sim.now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
-                          static_cast<uint32_t>(wire));
+                          static_cast<uint32_t>(wire), ts);
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
   if (!res.has_value()) {
@@ -336,6 +359,8 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
     // stay nullopt.
     txn_timeouts_->Increment();
     timers->switch_access += sim.now() - t0;
+    ctx_.tracer->CompleteSpan(t0, sim.now(),
+                              trace::Category::kSwitchAccess, ts, node);
     const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
     participants.ForEachReverse([&](NodeId p) {
       db::LockManager* lm = &ctx_.lock_manager(p);
@@ -354,9 +379,11 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
       co_await sim::Delay(sim, arrivals[node] - sim.now());
     } else {
       co_await ctx_.net->Send(net::Endpoint::Switch(), self,
-                              static_cast<uint32_t>(resp_bytes));
+                              static_cast<uint32_t>(resp_bytes), ts);
     }
     timers->switch_access += sim.now() - t0;
+    ctx_.tracer->CompleteSpan(t0, sim.now(),
+                              trace::Category::kSwitchAccess, ts, node);
     if (!(*ctx_.node_crashed)[node]) {
       ctx_.wal(node).FillSwitchResult(lsn, res->gid, res->values);
     }
@@ -387,8 +414,11 @@ sim::CoTask<bool> OptimisticCC::ExecuteWarm(
   }
   for (const TupleId& tuple : occ.write_set) ++versions_[tuple];
 
+  const SimTime commit_begin = sim.now();
   co_await sim::Delay(sim, t.commit_local);
   timers->commit += t.commit_local;
+  ctx_.tracer->CompleteSpan(commit_begin, sim.now(),
+                            trace::Category::kCommit, ts, node);
   ctx_.lock_manager(node).ReleaseAll(txn_id);
   co_return true;
 }

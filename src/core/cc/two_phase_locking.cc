@@ -48,16 +48,22 @@ sim::CoTask<bool> TwoPhaseLocking::AcquireLock(NodeId node,
                                                uint64_t txn_id, uint64_t ts,
                                                TxnTimers* timers) {
   sim::Simulator& sim = *ctx_.sim;
+  // Spans the whole acquire (including any queueing inside the lock
+  // manager); closes when the coroutine returns, at the resumed sim time.
+  trace::Tracer::Span lock_span(ctx_.tracer, trace::Category::kLockWait, ts,
+                                node);
   const net::Endpoint self = net::Endpoint::Node(node);
   if (config().mode == EngineMode::kLmSwitch && entry.hot) {
     // NetLock-style: the lock request is decided in the switch data plane
     // at half a round trip (Section 7.1 / Related Work).
     const SimTime t0 = sim.now();
-    co_await ctx_.net->Send(self, net::Endpoint::Switch(), kLockRequestBytes);
+    co_await ctx_.net->Send(self, net::Endpoint::Switch(), kLockRequestBytes,
+                            ts);
     co_await sim::Delay(sim, config().pipeline.PassLatency());
     Status st = co_await ctx_.switch_lm->Acquire(txn_id, ts, entry.tuple,
                                                  entry.mode);
-    co_await ctx_.net->Send(net::Endpoint::Switch(), self, kLockRequestBytes);
+    co_await ctx_.net->Send(net::Endpoint::Switch(), self, kLockRequestBytes,
+                            ts);
     timers->lock_wait += sim.now() - t0;
     co_return st.ok();
   }
@@ -76,14 +82,14 @@ sim::CoTask<bool> TwoPhaseLocking::AcquireLock(NodeId node,
   // trip to the owner node.
   const net::Endpoint owner = net::Endpoint::Node(entry.owner);
   const SimTime t0 = sim.now();
-  co_await ctx_.net->Send(self, owner, kLockRequestBytes);
+  co_await ctx_.net->Send(self, owner, kLockRequestBytes, ts);
   const SimTime t1 = sim.now();
   co_await sim::Delay(sim, config().timing.lock_op);
   Status st = co_await ctx_.lock_manager(entry.owner).Acquire(txn_id, ts,
                                                               entry.tuple,
                                                               entry.mode);
   const SimTime t2 = sim.now();
-  co_await ctx_.net->Send(owner, self, kDataRequestBytes);
+  co_await ctx_.net->Send(owner, self, kDataRequestBytes, ts);
   timers->lock_wait += t2 - t1;
   timers->remote_access += (t1 - t0) + (sim.now() - t2);
   co_return st.ok();
@@ -137,7 +143,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
       const net::Endpoint self = net::Endpoint::Node(node);
       const SimTime t0 = sim.now();
       co_await ctx_.net->Send(self, net::Endpoint::Switch(),
-                              static_cast<uint32_t>(48 + 16 * num_hot));
+                              static_cast<uint32_t>(48 + 16 * num_hot), ts);
       co_await sim::Delay(sim, config().pipeline.PassLatency());
       bool all_ok = true;
       for (const LockPlanEntry& e : plan) {
@@ -149,8 +155,11 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
           break;
         }
       }
-      co_await ctx_.net->Send(net::Endpoint::Switch(), self, kControlBytes);
+      co_await ctx_.net->Send(net::Endpoint::Switch(), self, kControlBytes,
+                              ts);
       timers->lock_wait += sim.now() - t0;
+      ctx_.tracer->CompleteSpan(t0, sim.now(), trace::Category::kLockWait,
+                                ts, node);
       if (!all_ok) {
         ReleaseLocks(node, txn_id, plan);
         co_await sim::Delay(sim, t.abort_cost);
@@ -185,8 +194,8 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
       const net::Endpoint owner = net::Endpoint::Node(
           ctx_.catalog->OwnerOf(op.tuple));
       const SimTime t0 = sim.now();
-      co_await ctx_.net->Send(self, owner, kDataRequestBytes);
-      co_await ctx_.net->Send(owner, self, kDataRequestBytes);
+      co_await ctx_.net->Send(self, owner, kDataRequestBytes, ts);
+      co_await ctx_.net->Send(owner, self, kDataRequestBytes, ts);
       timers->remote_access += sim.now() - t0;
     }
     (*results)[i] = ApplyHostOp(op, *results, &undo);
@@ -195,6 +204,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
   co_await sim::Delay(sim, exec_cost);
   timers->local_work += exec_cost;
 
+  const SimTime wal_begin = sim.now();
   co_await sim::Delay(sim, t.wal_append);
   timers->local_work += t.wal_append;
   SmallVector<db::HostLogOp, 8> writes;
@@ -205,6 +215,8 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
         ctx_.catalog->table(tuple.table).GetOrCreate(tuple.key)[column]});
   }
   ctx_.wal(node).AppendHostCommit(writes);
+  ctx_.tracer->CompleteSpan(wal_begin, sim.now(),
+                            trace::Category::kWalAppend, ts, node);
 
   if (config().mode == EngineMode::kChiller) {
     // Early release of the contended inner region (Figure 18b).
@@ -227,6 +239,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
   for (const LockPlanEntry& entry : plan) {
     if (entry.owner != node) has_remote = true;
   }
+  const SimTime commit_begin = sim.now();
   if (has_remote) {
     const SimTime rtt = ctx_.NodeRttEstimate();
     co_await sim::Delay(sim, rtt + t.wal_append);  // PREPARE + votes
@@ -236,6 +249,8 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
     co_await sim::Delay(sim, t.commit_local);
     timers->commit += t.commit_local;
   }
+  ctx_.tracer->CompleteSpan(commit_begin, sim.now(),
+                            trace::Category::kCommit, ts, node);
 
   ReleaseLocks(node, txn_id, plan);
   co_return true;
@@ -313,6 +328,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
                                    (*ctx_.next_client_seq)[node]++);
   assert(compiled.ok() && "warm transaction's hot part must compile");
 
+  const SimTime wal_begin = sim.now();
   co_await sim::Delay(sim, t.wal_append);
   timers->local_work += t.wal_append;
   // Epoch stamp and intent append in one synchronous block (see
@@ -320,6 +336,8 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   compiled->txn.epoch = ctx_.SwitchEpoch();
   const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
       compiled->txn.client_seq, compiled->txn.instrs);
+  ctx_.tracer->CompleteSpan(wal_begin, sim.now(),
+                            trace::Category::kWalAppend, ts, node);
 
   // Voting phase of the extended 2PC (Figure 10) — only if the cold part is
   // distributed.
@@ -344,7 +362,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
 
   const SimTime t0 = sim.now();
   co_await ctx_.net->Send(self, net::Endpoint::Switch(),
-                          static_cast<uint32_t>(wire));
+                          static_cast<uint32_t>(wire), ts);
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
 
@@ -355,6 +373,8 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     // one node-to-node hop away. Hot results stay nullopt.
     txn_timeouts_->Increment();
     timers->switch_access += sim.now() - t0;
+    ctx_.tracer->CompleteSpan(t0, sim.now(),
+                              trace::Category::kSwitchAccess, ts, node);
     const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
     participants.ForEachReverse([&](NodeId p) {
       db::LockManager* lm = &ctx_.lock_manager(p);
@@ -375,9 +395,11 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
       co_await sim::Delay(sim, arrivals[node] - sim.now());
     } else {
       co_await ctx_.net->Send(net::Endpoint::Switch(), self,
-                              static_cast<uint32_t>(resp_bytes));
+                              static_cast<uint32_t>(resp_bytes), ts);
     }
     timers->switch_access += sim.now() - t0;
+    ctx_.tracer->CompleteSpan(t0, sim.now(),
+                              trace::Category::kSwitchAccess, ts, node);
 
     if (!(*ctx_.node_crashed)[node]) {
       ctx_.wal(node).FillSwitchResult(lsn, res->gid, res->values);
@@ -400,8 +422,11 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     timers->local_work += def_cost;
   }
 
+  const SimTime commit_begin = sim.now();
   co_await sim::Delay(sim, t.commit_local);
   timers->commit += t.commit_local;
+  ctx_.tracer->CompleteSpan(commit_begin, sim.now(),
+                            trace::Category::kCommit, ts, node);
   // Local (coordinator-side) locks release now; remote ones were released
   // by the multicast above.
   ctx_.lock_manager(node).ReleaseAll(txn_id);

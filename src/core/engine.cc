@@ -77,6 +77,11 @@ Engine::Engine(const SystemConfig& config)
                        : &MetricsRegistry::NullHistogram();
   crash_record_offset_.assign(config_.num_nodes, 0);
 
+  // The flight recorder is live from the first event; EnableFull upgrades
+  // the same tracer in place for --trace runs.
+  net_.set_tracer(&tracer_);
+  pipeline_.set_tracer(&tracer_);
+
   cc::ExecutionContext ctx;
   ctx.config = &config_;
   ctx.sim = &sim_;
@@ -95,6 +100,7 @@ Engine::Engine(const SystemConfig& config)
   ctx.switch_epoch = &switch_epoch_;
   ctx.switch_draining = &switch_draining_;
   ctx.degraded_inflight = &degraded_inflight_;
+  ctx.tracer = &tracer_;
   cc_ = cc::MakeConcurrencyControl(config_.cc_protocol, ctx);
 }
 
@@ -183,11 +189,19 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
     const uint64_t ts = next_txn_id_;  // kept across retries (fairness)
     int attempt = 0;
     bool committed = true;
+    // Spans carry `ts` (stable across retries, globally unique) so every
+    // record of one transaction shares a trace lane.
+    trace::Tracer::Span txn_span(&tracer_, trace::Category::kTxn, ts, node);
     for (;;) {
       const uint64_t txn_id = next_txn_id_++;
       results.assign(txn.ops.size(), std::nullopt);
+      trace::Tracer::Span attempt_span(&tracer_, trace::Category::kAttempt,
+                                       ts, node,
+                                       static_cast<uint8_t>(
+                                           std::min(attempt + 1, 255)));
       const bool ok = co_await cc_->ExecuteAttempt(node, txn, txn_id, ts,
                                                    &results, &timers);
+      attempt_span.End();
       if (ok) break;
       if (measuring_) {
         metrics_.RecordAbort(txn.cls);
@@ -201,8 +215,13 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
       }
       const SimTime backoff = BackoffDelay(attempt, rng);
       timers.backoff += backoff;
+      const SimTime backoff_begin = sim_.now();
       co_await sim::Delay(sim_, backoff);
+      tracer_.CompleteSpan(backoff_begin, sim_.now(),
+                           trace::Category::kBackoff, ts, node,
+                           static_cast<uint8_t>(std::min(attempt, 255)));
     }
+    txn_span.End();
     if (measuring_) {
       // Attempts used: aborts plus the final success (gave-up txns spent
       // exactly `attempt` == max_attempts). Null sink unless capped.
@@ -236,6 +255,11 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   for (auto& lm : lock_managers_) lm->ResetStats();
   switch_lm_->ResetStats();
   registry_.Reset();
+  if (sampler_ != nullptr) {
+    // Baselines snapshot after the reset so the first window starts at
+    // zero; ticks cover (warmup, warmup + duration] inclusive.
+    sampler_->Begin(warmup, warmup + duration, sampler_tick_);
+  }
   measuring_ = true;
   sim_.RunUntil(warmup + duration);
   measuring_ = false;
@@ -250,6 +274,23 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   workers_.clear();
   sim_.Resume();
   return out;
+}
+
+trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
+  assert(!ran_ && "arm the sampler before Run");
+  assert(tick > 0);
+  sampler_tick_ = tick;
+  sampler_ = std::make_unique<trace::Sampler>(&sim_);
+  // The standard series every bench cares about: throughput, abort rate,
+  // how much of the mix the switch absorbed, and tail latency — all as
+  // curves over the measured window instead of end-of-run scalars.
+  sampler_->AddCounterRate("committed", committed_counter_);
+  sampler_->AddCounterRate("aborted_attempts", aborted_counter_);
+  sampler_->AddCounterRate("switch_txns",
+                           &registry_.counter("switch.txns_completed"));
+  sampler_->AddHistogramQuantile("p99_latency_ns", &metrics_.latency_all,
+                                 0.99);
+  return *sampler_;
 }
 
 sim::Task Engine::DriveOnce(db::Transaction* txn, NodeId home,

@@ -8,6 +8,7 @@
 #include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/cc/concurrency_control.h"
 #include "core/config.h"
 #include "core/layout.h"
@@ -123,6 +124,22 @@ class Engine {
     sim_.Reserve(workers * 8 + 1024, workers * 4 + 256);
   }
 
+  // -- Observability (call before Run) --
+
+  /// Arms the virtual-time sampler: counters snapshot into windowed series
+  /// every `tick` of simulated time across the measured window (throughput,
+  /// abort rate, switch txn mix, p99 latency). Read-only probes — the
+  /// simulated execution and its metric dump are unchanged. The series land
+  /// in BENCH_<name>.json via Sampler::ToJson.
+  trace::Sampler& EnableTimeSeries(SimTime tick);
+
+  /// The engine's tracer. Always-on flight recorder by default (last
+  /// Tracer::kFlightCapacity records, dumped by failing chaos runs); call
+  /// tracer().EnableFull() before Run to capture a whole run for --trace.
+  trace::Tracer& tracer() { return tracer_; }
+  /// Null until EnableTimeSeries.
+  trace::Sampler* sampler() { return sampler_.get(); }
+
   bool chaos_armed() const { return chaos_armed_; }
   bool switch_up() const { return switch_up_; }
   /// Control-plane epoch, bumped on every switch reboot; stamped (mod 256)
@@ -171,6 +188,7 @@ class Engine {
   SystemConfig config_;
   sim::Simulator sim_;
   MetricsRegistry registry_;  // before the components that register into it
+  trace::Tracer tracer_{&sim_};  // flight-recorder mode until EnableFull
   net::Network net_;
   sw::Pipeline pipeline_;
   sw::ControlPlane control_plane_;
@@ -183,6 +201,8 @@ class Engine {
 
   wl::Workload* workload_ = nullptr;
   Metrics metrics_;
+  std::unique_ptr<trace::Sampler> sampler_;
+  SimTime sampler_tick_ = 0;
   std::vector<sim::Task> workers_;
   bool ran_ = false;
   bool measuring_ = false;

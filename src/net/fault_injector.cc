@@ -84,6 +84,7 @@ FaultInjector::Perturbation FaultInjector::OnSend(Endpoint from, Endpoint to) {
   if (rng_.NextBool(lf.drop_prob)) {
     drops_->Increment();
     p.extra_delay += lf.retransmit_delay;
+    p.dropped = true;
   }
   if (rng_.NextBool(lf.dup_prob)) {
     dups_->Increment();
@@ -92,6 +93,7 @@ FaultInjector::Perturbation FaultInjector::OnSend(Endpoint from, Endpoint to) {
   if (rng_.NextBool(lf.delay_spike_prob)) {
     delay_spikes_->Increment();
     p.extra_delay += lf.delay_spike;
+    p.delay_spiked = true;
   }
   return p;
 }

@@ -103,6 +103,10 @@ class FaultInjector {
   struct Perturbation {
     SimTime extra_delay = 0;
     bool duplicate = false;
+    // What was injected, for trace annotation (extra_delay alone can't
+    // distinguish a retransmitted drop from a congestion spike).
+    bool dropped = false;
+    bool delay_spiked = false;
   };
 
   FaultInjector(const FaultSchedule& schedule, uint64_t seed,

@@ -27,10 +27,13 @@ SimTime Network::PropagationDelay(Endpoint from, Endpoint to) const {
   return hops * config_.node_to_switch_one_way;
 }
 
-SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
+SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes,
+                             uint64_t txn_id) {
   if (from == to) return sim_->now();
   messages_sent_->Increment();
   bytes_sent_->Increment(bytes);
+  const uint16_t track =
+      from.is_switch() ? trace::kSwitchTrack : from.index;
 
   // Injected link faults: a drop costs the transport one retransmit delay
   // before the frame successfully serializes, a delay spike stalls it in a
@@ -43,6 +46,18 @@ SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
     const FaultInjector::Perturbation p = fault_injector_->OnSend(from, to);
     injected_delay = p.extra_delay;
     injected_dup = p.duplicate;
+    if (tracer_->enabled()) {
+      if (p.dropped) {
+        tracer_->Instant(trace::Category::kNetDrop, txn_id, track, to.index);
+      }
+      if (p.duplicate) {
+        tracer_->Instant(trace::Category::kNetDup, txn_id, track, to.index);
+      }
+      if (p.delay_spiked) {
+        tracer_->Instant(trace::Category::kNetDelaySpike, txn_id, track,
+                         to.index);
+      }
+    }
   }
 
   const SimTime ser = static_cast<SimTime>(
@@ -74,6 +89,8 @@ SimTime Network::ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes) {
     arrive = std::max(arrive, rx) + config_.rx_service;
     rx = arrive;
   }
+  tracer_->CompleteSpan(sim_->now(), arrive, trace::Category::kNetSend,
+                        txn_id, track, 0, 0, to.index);
   return arrive;
 }
 

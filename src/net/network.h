@@ -7,6 +7,7 @@
 
 #include "common/metrics_registry.h"
 #include "common/small_vector.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -67,15 +68,19 @@ class Network {
 
   /// Computes the arrival time of a message sent now and reserves egress
   /// link capacity. Pure timing: the caller delivers the payload itself
-  /// (everything is shared memory inside the simulator).
-  SimTime ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes);
+  /// (everything is shared memory inside the simulator). `txn_id` only
+  /// labels the hop in the trace; 0 means unattributed.
+  SimTime ArrivalTime(Endpoint from, Endpoint to, uint32_t bytes,
+                      uint64_t txn_id = 0);
 
   /// Awaitable convenience: suspends the calling coroutine until the
   /// message would arrive at `to`. Rides the simulator's ScheduleResume
   /// fast path (via DelayAwaiter): one Send is one inline queue entry, no
   /// callback allocation.
-  sim::DelayAwaiter Send(Endpoint from, Endpoint to, uint32_t bytes) {
-    return sim::DelayAwaiter(sim_, ArrivalTime(from, to, bytes) - sim_->now());
+  sim::DelayAwaiter Send(Endpoint from, Endpoint to, uint32_t bytes,
+                         uint64_t txn_id = 0) {
+    return sim::DelayAwaiter(
+        sim_, ArrivalTime(from, to, bytes, txn_id) - sim_->now());
   }
 
   /// Arrival times of a switch multicast to every node (Figure 10: the
@@ -97,6 +102,12 @@ class Network {
   }
   FaultInjector* fault_injector() const { return fault_injector_; }
 
+  /// Attaches the engine's tracer: every send becomes a net_send span on
+  /// the sender's track; injected faults become instant events.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer != nullptr ? tracer : &trace::Tracer::Disabled();
+  }
+
  private:
   // Index into link_busy_until_: per node, [0] = node uplink (node->switch),
   // [1] = switch downlink (switch->node), [2] = host receive path.
@@ -113,6 +124,7 @@ class Network {
   MetricsRegistry::Counter* messages_sent_;
   MetricsRegistry::Counter* bytes_sent_;
   FaultInjector* fault_injector_ = nullptr;  // unowned; null = lossless
+  trace::Tracer* tracer_ = &trace::Tracer::Disabled();  // unowned, never null
 };
 
 }  // namespace p4db::net

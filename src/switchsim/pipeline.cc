@@ -215,6 +215,9 @@ void Pipeline::Arrive(InflightRef fl) {
   if (down_ || fl->txn.epoch != epoch_) {
     ++stats_.stale_epoch_drops;
     mirror_.stale_epoch_drops->Increment();
+    tracer_->Instant(trace::Category::kSwitchDrop, fl->result.gid,
+                     trace::kSwitchTrack, fl->txn.origin_node,
+                     trace::Tracer::kGidKeyFlag);
     return;
   }
 
@@ -243,6 +246,11 @@ void Pipeline::Arrive(InflightRef fl) {
     fl->result.gid = next_gid_++;
   }
   ++fl->result.passes;
+  tracer_->CompleteSpan(
+      sim_->now(), sim_->now() + config_.PassLatency(),
+      trace::Category::kSwitchPass, fl->result.gid, trace::kSwitchTrack, 0,
+      static_cast<uint8_t>(std::min<uint32_t>(fl->result.passes, 255)),
+      fl->txn.origin_node, trace::Tracer::kGidKeyFlag);
   const bool done = ExecutePass(*fl);
   if (!done) {
     if (fl->holds_locks) {
@@ -367,6 +375,12 @@ void Pipeline::RecirculateBlocked(InflightRef fl) {
   SimTime* port = &waiting_port_busy_[waiting_port_rr_];
   waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
   const SimTime back_at = ReserveRecircPort(port, bytes);
+  // The recirc span starts when the packet exits the pipeline and covers
+  // port queueing + the loopback wire; aux 0 = blocked, 1 = lock holder.
+  tracer_->CompleteSpan(sim_->now() + config_.PassLatency(), back_at,
+                        trace::Category::kSwitchRecirc, fl->result.gid,
+                        trace::kSwitchTrack, 0, fl->txn.nb_recircs,
+                        /*aux=*/0, trace::Tracer::kGidKeyFlag);
   sim_->ScheduleAt(back_at, [this, fl]() mutable { Arrive(std::move(fl)); });
 }
 
@@ -383,6 +397,10 @@ void Pipeline::RecirculateHolder(InflightRef fl) {
     waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
   }
   const SimTime back_at = ReserveRecircPort(port, bytes);
+  tracer_->CompleteSpan(sim_->now() + config_.PassLatency(), back_at,
+                        trace::Category::kSwitchRecirc, fl->result.gid,
+                        trace::kSwitchTrack, 0, fl->txn.nb_recircs,
+                        /*aux=*/1, trace::Tracer::kGidKeyFlag);
   sim_->ScheduleAt(back_at, [this, fl]() mutable { Arrive(std::move(fl)); });
 }
 

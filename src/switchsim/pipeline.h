@@ -12,6 +12,7 @@
 #include "common/histogram.h"
 #include "common/metrics_registry.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/future.h"
 #include "sim/simulator.h"
@@ -162,6 +163,12 @@ class Pipeline {
     mirror_.stale_epoch_drops = counter;
   }
 
+  /// Attaches the engine's tracer: every pass, recirculation, and stale
+  /// drop lands on the switch track, keyed by GID.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer != nullptr ? tracer : &trace::Tracer::Disabled();
+  }
+
  private:
   /// Handles one arrival at the pipeline ingress (fresh or recirculated).
   void Arrive(InflightRef fl);
@@ -204,6 +211,7 @@ class Pipeline {
   RegisterFile registers_;
   PipelineStats stats_;
   Mirror mirror_;
+  trace::Tracer* tracer_ = &trace::Tracer::Disabled();  // unowned, never null
 
   /// Heap-allocated and orphan-aware (see InflightPool): queued simulator
   /// events may still hold frame references after this pipeline dies.

@@ -67,9 +67,16 @@ void WriteScheduleArtifact(uint64_t seed, const net::FaultSchedule& schedule) {
   std::fclose(f);
 }
 
+struct ChaosRun {
+  std::string metrics_json;  // complete dump: counter names and values
+  std::string flight_json;   // always-on flight-recorder ring + schedule
+};
+
 /// One full chaos run: fresh workload + engine, armed schedule, fixed
-/// horizon. Returns the complete metrics dump (counter names and values).
-std::string RunChaos(uint64_t seed, const net::FaultSchedule& schedule) {
+/// horizon. Also snapshots the engine's flight recorder (the last spans
+/// before teardown, with the schedule embedded) so a later assertion
+/// failure can still dump the run's final moments.
+ChaosRun RunChaos(uint64_t seed, const net::FaultSchedule& schedule) {
   wl::Ycsb ycsb(SmallYcsb());
   Engine engine(ChaosCluster(seed));
   engine.SetWorkload(&ycsb);
@@ -77,7 +84,25 @@ std::string RunChaos(uint64_t seed, const net::FaultSchedule& schedule) {
   engine.InstallFaultSchedule(schedule);
   const Metrics m = engine.Run(kMillisecond, 4 * kMillisecond);
   EXPECT_GT(m.committed, 0u);
-  return engine.metrics_registry().ToJson();
+  ChaosRun out;
+  out.metrics_json = engine.metrics_registry().ToJson();
+  out.flight_json = engine.tracer().ToChromeJson(nullptr, schedule.ToJson());
+  return out;
+}
+
+/// If the current test has failed, writes the flight-recorder dump next to
+/// the schedule artifact so CI uploads the moments before death alongside
+/// the replay command.
+void DumpFlightRecorderIfFailed(uint64_t seed,
+                                const std::string& flight_json) {
+  if (!::testing::Test::HasFailure()) return;
+  const std::string path =
+      "flight_recorder_seed" + std::to_string(seed) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(flight_json.data(), 1, flight_json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[flight recorder] wrote %s\n", path.c_str());
 }
 
 TEST(FaultInjectorTest, SameSeedSameDrawSequence) {
@@ -124,16 +149,22 @@ TEST(ChaosDeterminismTest, SameSeedAndScheduleAreByteIdentical) {
   const uint64_t seed = ChaosSeed();
   const net::FaultSchedule schedule = StandardChaos();
   WriteScheduleArtifact(seed, schedule);
-  const std::string first = RunChaos(seed, schedule);
-  const std::string second = RunChaos(seed, schedule);
+  const ChaosRun first = RunChaos(seed, schedule);
+  const ChaosRun second = RunChaos(seed, schedule);
   // The whole dump — injected faults, timeouts, failovers, epoch fences,
   // committed work — must match byte for byte.
-  EXPECT_EQ(first, second) << "chaos run is not reproducible from (seed, "
-                              "schedule); see chaos_schedule_seed"
-                           << seed << ".json";
+  EXPECT_EQ(first.metrics_json, second.metrics_json)
+      << "chaos run is not reproducible from (seed, "
+         "schedule); see chaos_schedule_seed"
+      << seed << ".json";
+  // The flight recorder is part of the same determinism contract.
+  EXPECT_EQ(first.flight_json, second.flight_json);
   // The scripted reboot actually exercised the fencing machinery.
-  EXPECT_NE(first.find("switch.stale_epoch_drops"), std::string::npos);
-  EXPECT_NE(first.find("net.injected_drops"), std::string::npos);
+  EXPECT_NE(first.metrics_json.find("switch.stale_epoch_drops"),
+            std::string::npos);
+  EXPECT_NE(first.metrics_json.find("net.injected_drops"),
+            std::string::npos);
+  DumpFlightRecorderIfFailed(seed, second.flight_json);
 }
 
 TEST(ChaosDeterminismTest, NullScheduleIsByteIdenticalToPlainEngine) {

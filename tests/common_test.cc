@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/fixed_point.h"
@@ -265,6 +267,77 @@ TEST(HistogramTest, HandlesNonPositiveValues) {
   h.Record(-5);
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.min(), -5);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram h;
+  // Empty: every quantile is 0, including the extremes.
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Quantile(1.0), 0);
+  // Single sample: every quantile is that sample.
+  h.Record(1000);
+  EXPECT_EQ(h.Quantile(0.0), 1000);
+  EXPECT_EQ(h.Quantile(0.5), 1000);
+  EXPECT_EQ(h.Quantile(1.0), 1000);
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_EQ(h.Quantile(-0.5), 1000);
+  EXPECT_EQ(h.Quantile(2.0), 1000);
+}
+
+TEST(HistogramTest, QuantileZeroAndOneBracketTheData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_GE(h.Quantile(0.0), h.min());
+  EXPECT_LE(h.Quantile(0.0), h.max());
+  EXPECT_EQ(h.Quantile(1.0), h.max());
+}
+
+TEST(HistogramTest, QuantileClampsToRangeForNegativeValues) {
+  Histogram h;
+  h.Record(-5);
+  h.Record(-3);
+  // Non-positive values share bucket 0 (midpoint 1); the clamp keeps the
+  // answer inside the recorded range instead of inventing a positive value.
+  const int64_t q50 = h.Quantile(0.5);
+  EXPECT_GE(q50, -5);
+  EXPECT_LE(q50, -3);
+}
+
+TEST(HistogramTest, ForEachBucketVisitsAscendingDisjointNonEmptyBuckets) {
+  Histogram h;
+  h.Record(-1);
+  h.Record(1);
+  h.Record(100);
+  h.Record(1 << 20);
+  uint64_t total = 0;
+  int prev_bucket = -1;
+  int64_t prev_upper = std::numeric_limits<int64_t>::min();
+  h.ForEachBucket(
+      [&](int bucket, int64_t lower, int64_t upper, uint64_t count) {
+        EXPECT_GT(count, 0u);
+        EXPECT_GT(bucket, prev_bucket);
+        EXPECT_LT(lower, upper);
+        EXPECT_GE(lower, prev_upper);
+        prev_bucket = bucket;
+        prev_upper = upper;
+        total += count;
+      });
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(HistogramTest, AppendBucketsJsonIsExact) {
+  Histogram h;
+  h.Record(1);
+  h.Record(1);
+  std::string out;
+  h.AppendBucketsJson(&out);
+  // Bucket 0 absorbs everything <= 1; its lower bound is int64 min and its
+  // exclusive upper bound is 2.
+  EXPECT_EQ(out, "[[-9223372036854775808, 2, 2]]");
+  Histogram empty;
+  out.clear();
+  empty.AppendBucketsJson(&out);
+  EXPECT_EQ(out, "[]");
 }
 
 // ----------------------------------------------------------------- Types --

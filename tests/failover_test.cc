@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,19 @@ class HotAddWorkload : public wl::Workload {
 };
 
 constexpr uint64_t kNumKeys = 16;
+
+/// If the current test has failed, dumps the engine's always-on flight
+/// recorder (last spans before teardown, schedule embedded) for the CI
+/// artifact upload.
+void DumpFlightRecorderIfFailed(Engine& engine,
+                                const net::FaultSchedule& schedule) {
+  if (!::testing::Test::HasFailure()) return;
+  const std::string path = "flight_recorder_seed" +
+                           std::to_string(engine.config().seed) + ".json";
+  if (engine.tracer().ExportChromeTrace(path, nullptr, schedule.ToJson())) {
+    std::fprintf(stderr, "[flight recorder] wrote %s\n", path.c_str());
+  }
+}
 
 SystemConfig FailoverCluster() {
   SystemConfig cfg;
@@ -118,17 +132,12 @@ TEST(FailoverTest, SwitchRebootLosesNothingAndRecoversThroughput) {
   schedule.events.push_back(net::FaultEvent::SwitchReboot(fault_at, downtime));
   engine.InstallFaultSchedule(schedule);
 
-  // Sample the committed counter every 200us so the timeline around the
-  // fault is visible as per-bucket commit counts. Probes are read-only, so
-  // they cannot perturb the run they observe.
+  // Sample the committed counter every 200us through the engine's shared
+  // time-series sampler, so the timeline around the fault is visible as
+  // per-bucket commit counts. Ticks are read-only, so they cannot perturb
+  // the run they observe.
   const SimTime bucket = 200 * kMicrosecond;
-  MetricsRegistry::Counter* committed =
-      &engine.metrics_registry().counter("engine.committed");
-  std::vector<uint64_t> samples;
-  for (SimTime t = bucket; t < horizon; t += bucket) {
-    engine.simulator().ScheduleAt(
-        t, [committed, &samples] { samples.push_back(committed->value()); });
-  }
+  trace::Sampler& sampler = engine.EnableTimeSeries(bucket);
 
   const Metrics m = engine.Run(/*warmup=*/0, horizon);
   ASSERT_GT(m.committed, 0u);
@@ -163,30 +172,41 @@ TEST(FailoverTest, SwitchRebootLosesNothingAndRecoversThroughput) {
   EXPECT_LE(promised - m.committed, workers);
 
   // -- Throughput timeline: dip during the dark window, then recovery. --
-  ASSERT_GE(samples.size(), 30u);
-  std::vector<uint64_t> rates;  // commits per bucket
-  for (size_t i = 1; i < samples.size(); ++i) {
-    rates.push_back(samples[i] - samples[i - 1]);
-  }
+  // The sampler's "committed" rate series gives commits per bucket
+  // directly: rates[j] covers (j*bucket, (j+1)*bucket].
+  const std::vector<int64_t>* rates_ptr = sampler.Find("committed");
+  ASSERT_NE(rates_ptr, nullptr);
+  const std::vector<int64_t>& rates = *rates_ptr;
+  ASSERT_GE(rates.size(), 30u);
   const auto bucket_index = [bucket](SimTime t) {
-    return static_cast<size_t>(t / bucket) - 1;  // rates[i] ends at (i+2)*b
+    // Index of the bucket that ENDS at t.
+    return static_cast<size_t>(t / bucket) - 1;
   };
   // Baseline: steady-state rate once the closed loop has ramped, before the
-  // fault. Buckets 3..8 cover [800us, 2000us).
+  // fault. Buckets 4..9 cover (800us, 2000us].
   double baseline = 0;
-  const size_t base_lo = 3, base_hi = bucket_index(fault_at);
-  for (size_t i = base_lo; i < base_hi; ++i) baseline += rates[i];
+  const size_t base_lo = 4, base_hi = bucket_index(fault_at) + 1;
+  for (size_t i = base_lo; i < base_hi; ++i) {
+    baseline += static_cast<double>(rates[i]);
+  }
   baseline /= static_cast<double>(base_hi - base_lo);
   ASSERT_GT(baseline, 0.0);
   // Recovery: the mean rate over the back half of the run (well after
-  // failback at 2.5ms) is within 10% of the pre-fault rate.
+  // failback at 2.5ms) is within 10% of the pre-fault rate. The final
+  // bucket ends exactly at the horizon, where teardown can truncate it —
+  // leave it out.
   double recovered = 0;
-  const size_t rec_lo = bucket_index(4 * kMillisecond);
-  for (size_t i = rec_lo; i < rates.size(); ++i) recovered += rates[i];
-  recovered /= static_cast<double>(rates.size() - rec_lo);
+  const size_t rec_lo = bucket_index(4 * kMillisecond) + 1;
+  const size_t rec_hi = rates.size() - 1;
+  for (size_t i = rec_lo; i < rec_hi; ++i) {
+    recovered += static_cast<double>(rates[i]);
+  }
+  recovered /= static_cast<double>(rec_hi - rec_lo);
   EXPECT_GE(recovered, 0.9 * baseline)
       << "throughput did not recover after failback (baseline " << baseline
       << " commits/bucket, post-recovery " << recovered << ")";
+
+  DumpFlightRecorderIfFailed(engine, schedule);
 }
 
 TEST(FailoverTest, MidRunCrashLeavesRecoverableWalTail) {
@@ -218,6 +238,7 @@ TEST(FailoverTest, MidRunCrashLeavesRecoverableWalTail) {
   // exactly once on the re-provisioned registers.
   const Value64 recovered = SumHotValues(engine, wl);
   EXPECT_EQ(static_cast<uint64_t>(recovered), wal.switch_intents);
+  DumpFlightRecorderIfFailed(engine, schedule);
 }
 
 TEST(FailoverTest, NodeCrashAndRestartMidRun) {
@@ -254,6 +275,7 @@ TEST(FailoverTest, NodeCrashAndRestartMidRun) {
   // switch recovery still reconstructs a complete state.
   engine.SimulateSwitchCrash();
   EXPECT_TRUE(engine.RecoverSwitch().ok());
+  DumpFlightRecorderIfFailed(engine, schedule);
 }
 
 }  // namespace

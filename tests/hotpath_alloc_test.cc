@@ -31,7 +31,8 @@ core::SystemConfig SingleNode(core::CcProtocol cc) {
 /// every row materialized before the run, CC/WAL/simulator storage reserved
 /// past the run's high-water mark. Returns the number of operator-new calls
 /// observed inside the measured window.
-uint64_t MeasuredWindowAllocs(core::CcProtocol cc) {
+uint64_t MeasuredWindowAllocs(core::CcProtocol cc, bool trace_full = false,
+                              bool time_series = false) {
   constexpr uint64_t kKeys = 100000;
   wl::YcsbConfig wcfg;
   wcfg.variant = 'A';
@@ -41,6 +42,11 @@ uint64_t MeasuredWindowAllocs(core::CcProtocol cc) {
   core::Engine engine(SingleNode(cc));
   engine.SetWorkload(&workload);
   engine.Offload(/*sample_size=*/20000, wcfg.hot_keys_per_node);
+  // Observability must not relax the discipline: the trace ring and the
+  // sampler's series storage are allocated here, before the window, and
+  // recording/ticking inside the window must stay allocation-free.
+  if (trace_full) engine.tracer().EnableFull();
+  if (time_series) engine.EnableTimeSeries(100 * kMicrosecond);
 
   db::Catalog& catalog = engine.catalog();
   for (TableId t = 0; t < catalog.num_tables(); ++t) {
@@ -77,6 +83,12 @@ TEST(HotpathAllocTest, TwoPhaseLockingSteadyStateIsAllocationFree) {
 
 TEST(HotpathAllocTest, OccSteadyStateIsAllocationFree) {
   EXPECT_EQ(MeasuredWindowAllocs(core::CcProtocol::kOcc), 0u);
+}
+
+TEST(HotpathAllocTest, SteadyStateWithTracingAndSamplingIsAllocationFree) {
+  EXPECT_EQ(MeasuredWindowAllocs(core::CcProtocol::k2pl, /*trace_full=*/true,
+                                 /*time_series=*/true),
+            0u);
 }
 
 }  // namespace

@@ -100,6 +100,25 @@ TEST(MetricsRegistryTest, JsonEscapesSpecialCharacters) {
   EXPECT_NE(json.find("weird\\\"name\\\\here"), std::string::npos);
 }
 
+// A hostile name — embedded quote, backslash, newline, tab, and a raw
+// control byte — must come out of every dump as legal JSON via the shared
+// escaping helper.
+TEST(MetricsRegistryTest, JsonEscapesControlCharactersInNames) {
+  MetricsRegistry reg;
+  reg.counter(std::string("evil\"\\\n\t\x01name")).Set(9);
+  reg.histogram(std::string("evil\rhist")).Record(1);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("evil\\\"\\\\\\u000a\\u0009\\u0001name"),
+            std::string::npos);
+  EXPECT_NE(json.find("evil\\u000dhist"), std::string::npos);
+  // No raw control byte from the names may survive into the dump (the
+  // dump's own pretty-printing newlines are legal JSON whitespace).
+  for (char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
 // Components register into the engine-owned registry: every subsystem named
 // by the execution-layer refactor must publish at least its headline
 // counters, and running a workload must move them.

@@ -16,6 +16,11 @@ transfer across machines:
  * simcore `geomean_speedup` — the calendar-queue core measured against the
    in-binary legacy heap core in the same process on the same host, so the
    host's absolute speed cancels out. May not drop more than the tolerance.
+ * hotpath `tracing_overhead` — the wall-clock ratio of the untraced to the
+   traced figure-11 run, measured in the same process, so host speed
+   cancels out. Gated absolutely (not baseline-relative): full-run tracing
+   may not cost more than the tolerance, and the traced run must commit
+   exactly as much as the untraced one (tracing is passive).
 
 Wall-clock metrics (wall_txns_per_sec, events_per_sec) are reported for
 context but never gated: they do not transfer across CI hosts.
@@ -60,6 +65,18 @@ def gate_hotpath(failures, baseline, fresh):
         if run is None:
             print(f"  [FAIL] {scenario}: missing from fresh results")
             failures.append(f"{scenario} missing")
+            continue
+        if scenario == "tracing_overhead":
+            check(failures, "tracing_overhead overhead_ratio",
+                  run["overhead_ratio"], 1 + TOLERANCE, +1)
+            if run["traced_committed"] != run["untraced_committed"]:
+                print(f"  [FAIL] tracing_overhead: traced committed "
+                      f"{run['traced_committed']} != untraced "
+                      f"{run['untraced_committed']} (tracing not passive)")
+                failures.append("tracing_overhead not passive")
+            else:
+                print(f"  [ok  ] tracing_overhead committed: traced == "
+                      f"untraced ({run['traced_committed']})")
             continue
         base_allocs = base["window_allocs"]
         limit = 0 if base_allocs == 0 else int(

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file produced by --trace or the
+flight recorder.
+
+Checks, in order:
+  1. The file parses as JSON and has a `traceEvents` list.
+  2. Every event carries the required fields for its phase:
+       - all events: `name` (string), `ph` (one of X, i, C, M), `pid`, `tid`
+       - all but metadata (M): a numeric `ts`
+       - complete events (X): a numeric `dur` >= 0
+  3. Per (pid, tid) track, `ts` is non-decreasing in file order — the
+     exporter sorts by begin time, so any inversion means a broken export
+     (or a nondeterministic run).
+
+Exit status 0 with a one-line summary on success; 1 with every violation
+listed on failure. Run by CI against a seeded bench_fig11_ycsb --trace run.
+
+Usage: trace_check.py TRACE.json
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i", "C", "M"}
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return ["%s: cannot parse: %s" % (path, exc)], 0, 0
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["%s: no `traceEvents` list" % path], 0, 0
+
+    last_ts = {}  # (pid, tid) -> last seen ts
+    tracks = set()
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+
+        def bad(msg):
+            errors.append("%s: %s: %s" % (where, msg, json.dumps(ev)[:120]))
+
+        if not isinstance(ev, dict):
+            bad("not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            bad("missing/empty `name`")
+        ph = ev.get("ph")
+        if ph not in ALLOWED_PHASES:
+            bad("bad `ph` %r (want one of %s)" % (ph, sorted(ALLOWED_PHASES)))
+            continue
+        if "pid" not in ev or "tid" not in ev:
+            bad("missing `pid`/`tid`")
+            continue
+        track = (ev["pid"], ev["tid"])
+        tracks.add(track)
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            bad("missing/non-numeric `ts`")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                bad("complete event without numeric `dur`")
+            elif dur < 0:
+                bad("negative `dur` %r" % dur)
+        prev = last_ts.get(track)
+        if prev is not None and ts < prev:
+            bad("ts %r goes backwards on track pid=%s tid=%s (prev %r)"
+                % (ts, track[0], track[1], prev))
+        last_ts[track] = ts
+
+    return errors, len(events), len(tracks)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors, num_events, num_tracks = check(argv[1])
+    if errors:
+        for e in errors[:50]:
+            print("FAIL %s" % e, file=sys.stderr)
+        if len(errors) > 50:
+            print("... and %d more" % (len(errors) - 50), file=sys.stderr)
+        print("trace_check: %s: %d violation(s) in %d events"
+              % (argv[1], len(errors), num_events), file=sys.stderr)
+        return 1
+    print("trace_check: %s OK (%d events on %d tracks)"
+          % (argv[1], num_events, num_tracks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
