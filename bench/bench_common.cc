@@ -40,18 +40,39 @@ std::string SanitizeBenchName(const char* figure) {
 std::string g_trace_path;
 bool g_trace_consumed = false;
 
+// --threads=N state (0 = legacy runtime).
+int g_threads = 0;
+
+// Writes `content` via a temp file + rename so a reader (perf gate, another
+// bench run tailing the file) never observes a half-written JSON document.
+bool WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 void FlushBenchJson() {
   if (g_bench_name.empty()) return;
   const std::string path = "BENCH_" + g_bench_name + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return;
-  std::fprintf(f, "{\"bench\": \"%s\", \"runs\": [",
-               JsonEscape(g_bench_name).c_str());
+  std::string doc = "{\"bench\": \"" + JsonEscape(g_bench_name) +
+                    "\", \"runs\": [";
   for (size_t i = 0; i < g_run_entries.size(); ++i) {
-    std::fprintf(f, "%s\n  %s", i == 0 ? "" : ",", g_run_entries[i].c_str());
+    doc += i == 0 ? "\n  " : ",\n  ";
+    doc += g_run_entries[i];
   }
-  std::fprintf(f, "\n]}\n");
-  std::fclose(f);
+  doc += "\n]}\n";
+  WriteFileAtomic(path, doc);
 }
 
 void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
@@ -63,8 +84,15 @@ void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
   entry += JsonEscape(core::CcProtocolName(config.cc_protocol));
   entry += "\", \"workload\": \"";
   entry += JsonEscape(workload.name());
-  entry += "\", \"throughput\": ";
+  entry += "\"";
   char buf[64];
+  if (config.threads > 0) {
+    // Key present only for parallel-runtime runs so legacy entries (and
+    // their committed baselines) keep the historical shape.
+    std::snprintf(buf, sizeof(buf), ", \"threads\": %d", config.threads);
+    entry += buf;
+  }
+  entry += ", \"throughput\": ";
   std::snprintf(buf, sizeof(buf), "%.1f", out.throughput);
   entry += buf;
   entry += ", \"committed\": ";
@@ -104,25 +132,42 @@ BenchTime BenchTime::FromEnv() {
 
 void ParseBenchArgs(int argc, char** argv) {
   constexpr std::string_view kTrace = "--trace=";
+  constexpr std::string_view kThreads = "--threads=";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.substr(0, kTrace.size()) == kTrace) {
       g_trace_path = std::string(arg.substr(kTrace.size()));
+    } else if (arg.substr(0, kThreads.size()) == kThreads) {
+      g_threads = std::atoi(std::string(arg.substr(kThreads.size())).c_str());
+      if (g_threads < 0) g_threads = 0;
     }
   }
 }
 
 const std::string& TracePath() { return g_trace_path; }
 
+int BenchThreads() { return g_threads; }
+
 RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
                       size_t sample_size, size_t max_hot_items,
                       const BenchTime& time) {
-  core::Engine engine(config);
+  core::SystemConfig cfg = config;
+  // --threads=N opts every compatible run into the parallel sharded
+  // runtime; the remaining mode/protocol/workload combinations stay on the
+  // legacy runtime (an explicit config.threads is honored as-is).
+  if (cfg.threads == 0 && g_threads > 0 &&
+      cfg.cc_protocol == core::CcProtocol::k2pl &&
+      (cfg.mode == core::EngineMode::kP4db ||
+       cfg.mode == core::EngineMode::kNoSwitch) &&
+      workload->ThreadSafeGeneration()) {
+    cfg.threads = g_threads;
+  }
+  core::Engine engine(cfg);
   engine.SetWorkload(workload);
   trace::Sampler& sampler = engine.EnableTimeSeries(kSamplerTick);
   const bool capture_trace = !g_trace_path.empty() && !g_trace_consumed &&
-                             config.mode == core::EngineMode::kP4db;
-  if (capture_trace) engine.tracer().EnableFull();
+                             cfg.mode == core::EngineMode::kP4db;
+  if (capture_trace) engine.EnableFullTrace();
   RunOutput out;
   out.offload = engine.Offload(sample_size, max_hot_items);
   const auto wall_start = std::chrono::steady_clock::now();
@@ -132,7 +177,7 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
   out.throughput = out.metrics.Throughput(time.measure);
   out.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
-  out.sim_events = engine.simulator().executed_events();
+  out.sim_events = engine.TotalExecutedEvents();
   out.events_per_sec =
       out.wall_seconds > 0
           ? static_cast<double>(out.sim_events) / out.wall_seconds
@@ -150,18 +195,16 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
   out.time_series_json = sampler.ToJson();
   if (capture_trace) {
     g_trace_consumed = true;
-    if (engine.tracer().ExportChromeTrace(g_trace_path, &sampler)) {
-      std::printf("[trace] wrote %s (%llu spans, %llu dropped) — open in "
-                  "Perfetto or chrome://tracing\n",
-                  g_trace_path.c_str(),
-                  static_cast<unsigned long long>(engine.tracer().size()),
-                  static_cast<unsigned long long>(engine.tracer().dropped()));
+    if (WriteFileAtomic(g_trace_path, engine.TraceJson())) {
+      std::printf("[trace] wrote %s — open in Perfetto or "
+                  "chrome://tracing\n",
+                  g_trace_path.c_str());
     } else {
       std::fprintf(stderr, "[trace] FAILED to write %s\n",
                    g_trace_path.c_str());
     }
   }
-  RecordRun(config, *workload, out);
+  RecordRun(cfg, *workload, out);
   return out;
 }
 

@@ -41,14 +41,21 @@ struct RunOutput {
 /// "time_series" in each BENCH_<name>.json run entry.
 constexpr SimTime kSamplerTick = 100 * kMicrosecond;
 
-/// Parses harness-wide flags out of argv (currently --trace=PATH). Benches
-/// call this first in main; unrecognized arguments are ignored.
+/// Parses harness-wide flags out of argv (--trace=PATH, --threads=N).
+/// Benches call this first in main; unrecognized arguments are ignored.
 void ParseBenchArgs(int argc, char** argv);
 
 /// Path from --trace=PATH, empty when tracing was not requested. The first
 /// kP4db RunWorkload of the process captures a full trace and writes the
 /// Chrome trace_event file there (open in Perfetto / chrome://tracing).
 const std::string& TracePath();
+
+/// Worker-thread count from --threads=N (0 = legacy single-thread runtime).
+/// RunWorkload applies it to every run the parallel sharded runtime
+/// supports (2PL, P4DB / No-Switch, thread-safe workload generation) and
+/// silently keeps the rest on the legacy runtime, so `--threads=4` is safe
+/// on any figure bench.
+int BenchThreads();
 
 /// Builds an Engine for `config`, offloads `max_hot_items` detected from
 /// `sample_size` sampled transactions, runs the closed loop, and collects

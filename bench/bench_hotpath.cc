@@ -73,18 +73,21 @@ HotpathRun RunHotpath(const core::SystemConfig& config, wl::Workload* workload,
   Prepare(engine, prep);
   // Full-run tracing: the ring is the one allocation, made here, before the
   // measured window. Recording itself must stay allocation-free.
-  if (trace_full) engine.tracer().EnableFull();
+  if (trace_full) engine.EnableFullTrace();
 
   // P4DB_TRAP_ALLOCS=1 turns the first in-window allocation into a trap so
   // a debugger shows the offending stack (strict scenarios only).
+  // ScheduleGlobalAt dispatches to both runtimes; in sharded mode the
+  // snapshots run as quiescent coordinator globals, so they observe every
+  // shard's allocations at a consistent instant.
   const bool trap =
       prep.materialize_keys != 0 && std::getenv("P4DB_TRAP_ALLOCS") != nullptr;
   testing::AllocSnapshot begin, end;
-  engine.simulator().ScheduleAt(time.warmup + 1, [&begin, trap] {
+  engine.ScheduleGlobalAt(time.warmup + 1, [&begin, trap] {
     begin = testing::CaptureAllocs();
     if (trap) testing::SetAllocTrap(true);
   });
-  engine.simulator().ScheduleAt(time.warmup + time.measure, [&end] {
+  engine.ScheduleGlobalAt(time.warmup + time.measure, [&end] {
     testing::SetAllocTrap(false);
     end = testing::CaptureAllocs();
   });
@@ -251,6 +254,66 @@ void RunAll(const BenchTime& time) {
                 traced.metrics.committed == fig11_p4db.metrics.committed
                     ? "identical"
                     : "DIFFER");
+  }
+
+  // Parallel scaling: the figure-11 YCSB cluster on the sharded runtime at
+  // 1, 2, 4 and 8 worker threads. Two outputs with very different gating:
+  // wall_txns_per_sec is machine-dependent (a 1-core CI runner shows no
+  // speedup; an 8-core box should approach linear) and is only reported,
+  // while parallel_committed_parity is machine-INDEPENDENT — every thread
+  // count must commit exactly what threads=1 commits, because event
+  // delivery order is a function of the seed, never of thread scheduling.
+  {
+    const int kThreadCounts[] = {1, 2, 4, 8};
+    uint64_t committed_t1 = 0;
+    double wall_t1 = 0;
+    double wall_t8 = 0;
+    bool parity = true;
+    for (const int threads : kThreadCounts) {
+      wl::YcsbConfig wcfg;
+      wcfg.variant = 'A';
+      core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+      cfg.threads = threads;
+      wl::Ycsb workload(wcfg);
+      const HotpathRun run = RunHotpath(
+          cfg, &workload, 20000, YcsbHotItems(wcfg, cfg.num_nodes), time);
+      if (threads == 1) {
+        committed_t1 = run.metrics.committed;
+        wall_t1 = run.wall_txns_per_sec;
+      }
+      if (threads == 8) wall_t8 = run.wall_txns_per_sec;
+      const bool same = run.metrics.committed == committed_t1;
+      parity = parity && same;
+      char buf[384];
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"scenario\": \"scaling_ycsb_p4db_t%d\", \"mode\": \"%s\", "
+          "\"cc\": \"%s\", \"workload\": \"%s\", \"nodes\": %u, "
+          "\"threads\": %d, \"committed\": %" PRIu64
+          ", \"wall_seconds\": %.6f, \"wall_txns_per_sec\": %.0f, "
+          "\"parallel_committed_parity\": %s}",
+          threads, core::EngineModeName(cfg.mode),
+          core::CcProtocolName(cfg.cc_protocol), workload.name().c_str(),
+          cfg.num_nodes, threads, run.metrics.committed, run.wall_seconds,
+          run.wall_txns_per_sec, same ? "true" : "false");
+      AppendRunEntry(buf);
+      std::printf("scaling_ycsb_p4db_t%-5d P4DB      2PL  YCSB-A     "
+                  "%10" PRIu64 " %12.0f   parity=%s\n",
+                  threads, run.metrics.committed, run.wall_txns_per_sec,
+                  same ? "yes" : "NO");
+    }
+    const double speedup_t8 = wall_t1 > 0 ? wall_t8 / wall_t1 : 0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"scenario\": \"scaling_summary\", "
+                  "\"parallel_committed_parity\": %s, "
+                  "\"committed_t1\": %" PRIu64 ", \"speedup_t8\": %.3f}",
+                  parity ? "true" : "false", committed_t1, speedup_t8);
+    AppendRunEntry(buf);
+    std::printf("%-24s threads=8 vs threads=1 wall speedup %.2fx "
+                "(committed %s across thread counts)\n",
+                "scaling_summary", speedup_t8,
+                parity ? "identical" : "DIFFER");
   }
 }
 

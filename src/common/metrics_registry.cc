@@ -41,6 +41,15 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).Increment(c->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).Merge(*h);
+  }
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::string out = "{\n  \"counters\": {";
   char buf[160];

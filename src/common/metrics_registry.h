@@ -69,6 +69,13 @@ class MetricsRegistry {
   /// window so dumps cover exactly the measurement interval.
   void Reset();
 
+  /// Folds `other` into this registry: counters add, histograms merge,
+  /// names absent here are created. The parallel runtime merges the
+  /// per-shard registries into the engine's dump registry with this, in
+  /// fixed shard order; since std::map keeps names sorted, the resulting
+  /// ToJson is a pure function of the merged values.
+  void MergeFrom(const MetricsRegistry& other);
+
   size_t num_counters() const { return counters_.size(); }
   size_t num_histograms() const { return histograms_.size(); }
 

@@ -16,7 +16,15 @@ namespace p4db {
 /// A 16-byte header in front of the payload records the class, keeping the
 /// payload max_align_t-aligned. Freed blocks are retained for the process
 /// lifetime (they stay reachable through the static free lists, so leak
-/// checkers see them). Single-threaded by design, like the simulator.
+/// checkers see them).
+///
+/// The free lists are thread-local: each simulation thread recycles through
+/// its own lists with zero synchronization, exactly as fast as the old
+/// single-threaded globals. A block allocated on one thread and freed on
+/// another (a coroutine frame that migrated shards and died elsewhere)
+/// simply joins the freeing thread's list — safe, because every cross-shard
+/// handoff in the parallel runtime is separated by a window barrier, which
+/// orders the owning thread's writes before any reuse.
 class FreePool {
  public:
   static void* Allocate(size_t bytes) {
@@ -56,7 +64,7 @@ class FreePool {
   static constexpr size_t kNumClasses = 65;  // classes 1..64 => up to 4 KiB
 
  private:
-  static inline void* free_lists_[kNumClasses] = {};
+  static inline thread_local void* free_lists_[kNumClasses] = {};
 };
 
 /// Minimal std-compatible allocator over FreePool, for

@@ -17,6 +17,11 @@ void Rng::Seed(uint64_t seed) {
 }
 
 uint64_t Rng::Next() {
+  // Ownership check: a stream bound to a shard may only be drawn while that
+  // shard's token is installed. Unbound streams (legacy mode, offline
+  // sampling) and unattributed threads (token null) always pass.
+  assert(owner_ == nullptr || RngOwnership::Current() == nullptr ||
+         RngOwnership::Current() == owner_);
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

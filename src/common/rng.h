@@ -5,14 +5,46 @@
 
 namespace p4db {
 
+/// Thread-local "who is executing" token for RNG ownership checks. The
+/// parallel runtime installs the owning shard's token while that shard's
+/// events execute; an Rng bound to a shard asserts (debug builds) that it
+/// is only ever drawn from under that token. Legacy single-thread runs
+/// leave the token null and every check passes — zero behavior change.
+class RngOwnership {
+ public:
+  static const void*& Current() {
+    static thread_local const void* current = nullptr;
+    return current;
+  }
+};
+
+/// Derives the seed for a shard-owned stream from the master seed: every
+/// shard gets a statistically independent stream that is a pure function of
+/// (seed, shard_id), so parallel runs stay reproducible.
+inline uint64_t ShardSeed(uint64_t seed, uint64_t shard_id) {
+  uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (shard_id + 1));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Deterministic xoshiro256** PRNG. Every simulated entity owns its own
 /// stream (seeded from a master seed + entity id) so that experiments are
-/// bit-reproducible regardless of event interleaving.
+/// bit-reproducible regardless of event interleaving. In the parallel
+/// runtime streams are additionally bound to their owning shard
+/// (BindOwner) and drawing from another shard's stream trips an assert.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
 
   void Seed(uint64_t seed);
+
+  /// Tags this stream as owned by `owner` (the shard token installed via
+  /// RngOwnership while that shard executes). Passing nullptr unbinds.
+  void BindOwner(const void* owner) { owner_ = owner; }
 
   /// Uniform 64-bit value.
   uint64_t Next();
@@ -36,6 +68,7 @@ class Rng {
   }
 
   uint64_t s_[4];
+  const void* owner_ = nullptr;  // null = unowned (legacy / private streams)
 };
 
 }  // namespace p4db

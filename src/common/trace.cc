@@ -92,7 +92,13 @@ std::vector<Record> Tracer::Snapshot() const {
 
 std::string Tracer::ToChromeJson(const Sampler* sampler,
                                  std::string_view fault_schedule_json) const {
-  std::vector<Record> recs = Snapshot();
+  return ChromeJsonFromRecords(Snapshot(), mode_, size_, dropped_, sampler,
+                               fault_schedule_json);
+}
+
+std::string Tracer::ChromeJsonFromRecords(
+    std::vector<Record> recs, Mode mode, size_t recorded, uint64_t dropped,
+    const Sampler* sampler, std::string_view fault_schedule_json) {
   // Global begin-time order gives per-(pid,tid) monotonic ts; ties break
   // longest-first so containing spans precede nested ones in the file.
   std::stable_sort(recs.begin(), recs.end(),
@@ -228,11 +234,11 @@ std::string Tracer::ToChromeJson(const Sampler* sampler,
   }
 
   out += "\n],\n\"metadata\":{\"mode\":\"";
-  out += mode_ == Mode::kFull         ? "full"
-         : mode_ == Mode::kFlightRecorder ? "flight_recorder"
-                                          : "disabled";
+  out += mode == Mode::kFull          ? "full"
+         : mode == Mode::kFlightRecorder ? "flight_recorder"
+                                         : "disabled";
   std::snprintf(buf, sizeof(buf),
-                "\",\"recorded\":%zu,\"dropped\":%" PRIu64, size_, dropped_);
+                "\",\"recorded\":%zu,\"dropped\":%" PRIu64, recorded, dropped);
   out += buf;
   if (!fault_schedule_json.empty()) {
     out += ",\"fault_schedule\":";
@@ -252,35 +258,71 @@ bool Tracer::ExportChromeTrace(const std::string& path, const Sampler* sampler,
   return ok;
 }
 
+uint64_t Sampler::Series::CounterSum() const {
+  uint64_t v = 0;
+  for (const MetricsRegistry::Counter* c : counters) v += c->value();
+  return v;
+}
+
+uint64_t Sampler::Series::HistCount() const {
+  uint64_t v = 0;
+  for (const Histogram* h : hists) v += h->count();
+  return v;
+}
+
+uint64_t Sampler::Series::HistBucket(int i) const {
+  uint64_t v = 0;
+  for (const Histogram* h : hists) v += h->bucket_count(i);
+  return v;
+}
+
 void Sampler::AddCounterRate(std::string name,
                              const MetricsRegistry::Counter* c) {
-  Series s;
-  s.name = std::move(name);
-  s.kind = Kind::kRate;
-  s.counter = c;
-  series_.push_back(std::move(s));
+  AddCounterRate(std::move(name),
+                 std::vector<const MetricsRegistry::Counter*>{c});
 }
 
 void Sampler::AddCounterLevel(std::string name,
                               const MetricsRegistry::Counter* c) {
-  Series s;
-  s.name = std::move(name);
-  s.kind = Kind::kLevel;
-  s.counter = c;
-  series_.push_back(std::move(s));
+  AddCounterLevel(std::move(name),
+                  std::vector<const MetricsRegistry::Counter*>{c});
 }
 
 void Sampler::AddHistogramQuantile(std::string name, const Histogram* h,
                                    double q) {
+  AddHistogramQuantile(std::move(name), std::vector<const Histogram*>{h}, q);
+}
+
+void Sampler::AddCounterRate(std::string name,
+                             std::vector<const MetricsRegistry::Counter*> cs) {
+  Series s;
+  s.name = std::move(name);
+  s.kind = Kind::kRate;
+  s.counters = std::move(cs);
+  series_.push_back(std::move(s));
+}
+
+void Sampler::AddCounterLevel(std::string name,
+                              std::vector<const MetricsRegistry::Counter*> cs) {
+  Series s;
+  s.name = std::move(name);
+  s.kind = Kind::kLevel;
+  s.counters = std::move(cs);
+  series_.push_back(std::move(s));
+}
+
+void Sampler::AddHistogramQuantile(std::string name,
+                                   std::vector<const Histogram*> hs,
+                                   double q) {
   Series s;
   s.name = std::move(name);
   s.kind = Kind::kQuantile;
-  s.hist = h;
+  s.hists = std::move(hs);
   s.q = std::clamp(q, 0.0, 1.0);
   series_.push_back(std::move(s));
 }
 
-void Sampler::Begin(SimTime start, SimTime horizon, SimTime tick) {
+void Sampler::BeginCommon(SimTime start, SimTime horizon, SimTime tick) {
   assert(tick > 0);
   start_ = start;
   horizon_ = horizon;
@@ -293,39 +335,54 @@ void Sampler::Begin(SimTime start, SimTime horizon, SimTime tick) {
     s.samples.reserve(expected);
     switch (s.kind) {
       case Kind::kRate:
-        s.last_value = s.counter->value();
+        s.last_value = s.CounterSum();
         break;
       case Kind::kLevel:
         break;
       case Kind::kQuantile:
         s.prev_buckets.assign(Histogram::kNumBuckets, 0);
         for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-          s.prev_buckets[static_cast<size_t>(i)] = s.hist->bucket_count(i);
+          s.prev_buckets[static_cast<size_t>(i)] = s.HistBucket(i);
         }
-        s.prev_count = s.hist->count();
+        s.prev_count = s.HistCount();
         break;
     }
   }
   next_ = start_ + tick_;
+}
+
+void Sampler::Begin(SimTime start, SimTime horizon, SimTime tick) {
+  external_ = false;
+  BeginCommon(start, horizon, tick);
   if (next_ <= horizon_) {
     sim_->ScheduleAt(next_, [this] { Tick(); });
   }
 }
 
-void Sampler::Tick() {
+void Sampler::BeginExternal(SimTime start, SimTime horizon, SimTime tick) {
+  external_ = true;
+  BeginCommon(start, horizon, tick);
+}
+
+void Sampler::TickExternal() {
+  assert(begun_ && external_);
+  SampleOnce();
+}
+
+void Sampler::SampleOnce() {
   for (Series& s : series_) {
     switch (s.kind) {
       case Kind::kRate: {
-        const uint64_t cur = s.counter->value();
+        const uint64_t cur = s.CounterSum();
         s.samples.push_back(static_cast<int64_t>(cur - s.last_value));
         s.last_value = cur;
         break;
       }
       case Kind::kLevel:
-        s.samples.push_back(static_cast<int64_t>(s.counter->value()));
+        s.samples.push_back(static_cast<int64_t>(s.CounterSum()));
         break;
       case Kind::kQuantile: {
-        const uint64_t total = s.hist->count() - s.prev_count;
+        const uint64_t total = s.HistCount() - s.prev_count;
         int64_t value = 0;
         if (total > 0) {
           uint64_t target = static_cast<uint64_t>(
@@ -333,8 +390,8 @@ void Sampler::Tick() {
           target = std::clamp<uint64_t>(target, 1, total);
           uint64_t seen = 0;
           for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-            const uint64_t w = s.hist->bucket_count(i) -
-                               s.prev_buckets[static_cast<size_t>(i)];
+            const uint64_t w =
+                s.HistBucket(i) - s.prev_buckets[static_cast<size_t>(i)];
             seen += w;
             if (w > 0 && seen >= target) {
               value = Histogram::BucketMid(i);
@@ -343,14 +400,18 @@ void Sampler::Tick() {
           }
         }
         for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-          s.prev_buckets[static_cast<size_t>(i)] = s.hist->bucket_count(i);
+          s.prev_buckets[static_cast<size_t>(i)] = s.HistBucket(i);
         }
-        s.prev_count = s.hist->count();
+        s.prev_count = s.HistCount();
         s.samples.push_back(value);
         break;
       }
     }
   }
+}
+
+void Sampler::Tick() {
+  SampleOnce();
   next_ += tick_;
   if (next_ <= horizon_) {
     sim_->ScheduleAt(next_, [this] { Tick(); });

@@ -187,6 +187,18 @@ class Tracer {
   std::string ToChromeJson(const Sampler* sampler = nullptr,
                            std::string_view fault_schedule_json = {}) const;
 
+  /// Chrome trace_event JSON for an arbitrary record list. This is the
+  /// merged multi-ring export path: the parallel runtime concatenates the
+  /// per-shard Snapshot()s in fixed shard order and passes the summed
+  /// recorded/dropped totals; records are globally re-sorted inside, so the
+  /// output is a pure function of the record set — identical regardless of
+  /// how many rings (or threads) produced it. ToChromeJson is this applied
+  /// to a single ring.
+  static std::string ChromeJsonFromRecords(
+      std::vector<Record> recs, Mode mode, size_t recorded, uint64_t dropped,
+      const Sampler* sampler = nullptr,
+      std::string_view fault_schedule_json = {});
+
   /// Writes ToChromeJson to `path`. Returns false on I/O failure.
   bool ExportChromeTrace(const std::string& path,
                          const Sampler* sampler = nullptr,
@@ -220,10 +232,31 @@ class Sampler {
   /// histogram; q in [0, 1]. Values are bucket midpoints (~4.6% error).
   void AddHistogramQuantile(std::string name, const Histogram* h, double q);
 
+  /// Summed-source variants: each tick observes the sum over all sources,
+  /// as if they were one counter/histogram. The parallel runtime registers
+  /// one logical series backed by the per-shard instances of a metric; with
+  /// a single source the samples are byte-identical to the overloads above.
+  void AddCounterRate(std::string name,
+                      std::vector<const MetricsRegistry::Counter*> cs);
+  void AddCounterLevel(std::string name,
+                       std::vector<const MetricsRegistry::Counter*> cs);
+  void AddHistogramQuantile(std::string name,
+                            std::vector<const Histogram*> hs, double q);
+
   /// Arms the sampler: baselines every source now and schedules ticks at
   /// start + k*tick for k = 1 .. while <= horizon. Call with the simulator
   /// clock at `start` (Engine::Run does, right after the warmup reset).
   void Begin(SimTime start, SimTime horizon, SimTime tick);
+
+  /// Arms the sampler without scheduling anything: the owner drives the
+  /// ticks by calling TickExternal() exactly at start + k*tick. The sharded
+  /// coordinator uses this (its ticks are quiescent barrier-phase globals,
+  /// outside any one shard's event queue); at the same tick times the
+  /// sampled values match Begin()-driven runs.
+  void BeginExternal(SimTime start, SimTime horizon, SimTime tick);
+
+  /// Takes one sample now. Only call after BeginExternal().
+  void TickExternal();
 
   bool begun() const { return begun_; }
   SimTime start() const { return start_; }
@@ -246,15 +279,21 @@ class Sampler {
   struct Series {
     std::string name;
     Kind kind;
-    const MetricsRegistry::Counter* counter = nullptr;
-    const Histogram* hist = nullptr;
+    std::vector<const MetricsRegistry::Counter*> counters;
+    std::vector<const Histogram*> hists;
     double q = 0.0;
     uint64_t last_value = 0;                // kRate baseline
     uint64_t prev_count = 0;                // kQuantile window baseline
     std::vector<uint64_t> prev_buckets;     // kQuantile bucket baseline
     std::vector<int64_t> samples;
+
+    uint64_t CounterSum() const;
+    uint64_t HistCount() const;
+    uint64_t HistBucket(int i) const;
   };
 
+  void BeginCommon(SimTime start, SimTime horizon, SimTime tick);
+  void SampleOnce();
   void Tick();
 
   sim::Simulator* sim_;
@@ -264,6 +303,7 @@ class Sampler {
   SimTime horizon_ = 0;
   SimTime next_ = 0;
   bool begun_ = false;
+  bool external_ = false;
 };
 
 }  // namespace p4db::trace

@@ -11,6 +11,12 @@ namespace p4db {
 /// Zipfian generator over [0, n) with parameter theta, using the
 /// Gray et al. rejection-free method popularized by YCSB. Rank 0 is the most
 /// popular item.
+///
+/// Multi-shard note: the generator itself is immutable after construction
+/// (Next is const and draws only from the caller's Rng), so one instance is
+/// safely shared by all shards. All mutable randomness state lives in the
+/// per-shard Rng streams, whose ownership asserts (Rng::BindOwner) catch
+/// any shard drawing from another shard's stream.
 class ZipfGenerator {
  public:
   ZipfGenerator(uint64_t n, double theta);

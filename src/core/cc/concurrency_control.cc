@@ -22,16 +22,16 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteAttempt(
       // would race the register re-install), so abort and let the worker's
       // backoff carry the transaction past the drain window.
       if (ctx_.SwitchDraining()) {
-        co_await sim::Delay(*ctx_.sim, ctx_.timing().abort_cost);
+        co_await sim::Delay(ctx_.Sim(), ctx_.timing().abort_cost);
         timers->backoff += ctx_.timing().abort_cost;
         co_return false;
       }
-      failovers_->Increment();
-      ctx_.tracer->Instant(trace::Category::kDegraded, ts, node);
-      ++*ctx_.degraded_inflight;
+      failovers_[node]->Increment();
+      ctx_.Trace().Instant(trace::Category::kDegraded, ts, node);
+      ++ctx_.degraded_inflight[node];
       const bool ok =
           co_await ExecuteCold(node, txn, txn_id, ts, results, timers);
-      --*ctx_.degraded_inflight;
+      --ctx_.degraded_inflight[node];
       co_return ok;
     }
     switch (txn.cls) {
@@ -68,7 +68,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   // maintenance (Section 6.1) — the host-side cost of a switch txn.
   const SimTime host_cost =
       t.txn_setup + 2 * t.op_local * static_cast<SimTime>(txn.ops.size());
-  co_await sim::Delay(*ctx_.sim, host_cost);
+  co_await sim::Delay(ctx_.Sim(), host_cost);
   timers->local_work += host_cost;
 
   auto compiled = ctx_.pm->Compile(txn, *results, node,
@@ -80,13 +80,13 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   // share one synchronous block (no co_await between them) so the packet
   // carries exactly the epoch current when the intent landed — the fence's
   // exactly-once argument needs that equality.
-  const SimTime wal_begin = ctx_.sim->now();
-  co_await sim::Delay(*ctx_.sim, t.wal_append);
+  const SimTime wal_begin = ctx_.Now();
+  co_await sim::Delay(ctx_.Sim(), t.wal_append);
   timers->local_work += t.wal_append;
   compiled->txn.epoch = ctx_.SwitchEpoch();
   const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
       compiled->txn.client_seq, compiled->txn.instrs);
-  ctx_.tracer->CompleteSpan(wal_begin, ctx_.sim->now(),
+  ctx_.Trace().CompleteSpan(wal_begin, ctx_.Now(),
                             trace::Category::kWalAppend, ts, node);
 
   const net::Endpoint self = net::Endpoint::Node(node);
@@ -95,9 +95,9 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
       compiled->txn.instrs.size());
   const auto& op_index = compiled->op_index;
 
-  const SimTime t0 = ctx_.sim->now();
-  co_await ctx_.net->Send(self, net::Endpoint::Switch(),
-                          static_cast<uint32_t>(wire), ts);
+  const SimTime t0 = ctx_.Now();
+  co_await ctx_.SendMsg(self, net::Endpoint::Switch(),
+                        static_cast<uint32_t>(wire), ts);
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
   if (!res.has_value()) {
@@ -107,20 +107,23 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
     // exactly once. No result values land in `results`; downstream
     // consumers see nullopt, exactly like a reader on a crashed node.
     txn_timeouts_->Increment();
-    timers->switch_access += ctx_.sim->now() - t0;
-    ctx_.tracer->CompleteSpan(t0, ctx_.sim->now(),
+    timers->switch_access += ctx_.Now() - t0;
+    ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                               trace::Category::kSwitchAccess, ts, node);
-    const SimTime c0 = ctx_.sim->now();
-    co_await sim::Delay(*ctx_.sim, t.commit_local);
+    // The deadline observer lives on the home node; hop back there (no-op
+    // in legacy mode) before running the host-side local commit.
+    co_await ctx_.ReturnHome(node);
+    const SimTime c0 = ctx_.Now();
+    co_await sim::Delay(ctx_.Sim(), t.commit_local);
     timers->commit += t.commit_local;
-    ctx_.tracer->CompleteSpan(c0, ctx_.sim->now(), trace::Category::kCommit,
+    ctx_.Trace().CompleteSpan(c0, ctx_.Now(), trace::Category::kCommit,
                               ts, node);
     co_return true;
   }
-  co_await ctx_.net->Send(net::Endpoint::Switch(), self,
-                          static_cast<uint32_t>(resp), ts);
-  timers->switch_access += ctx_.sim->now() - t0;
-  ctx_.tracer->CompleteSpan(t0, ctx_.sim->now(),
+  co_await ctx_.SendMsg(net::Endpoint::Switch(), self,
+                        static_cast<uint32_t>(resp), ts);
+  timers->switch_access += ctx_.Now() - t0;
+  ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                             trace::Category::kSwitchAccess, ts, node);
 
   if (!(*ctx_.node_crashed)[node]) {
@@ -130,10 +133,10 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
     (*results)[op_index[i]] = res->values[i];
   }
 
-  const SimTime c0 = ctx_.sim->now();
-  co_await sim::Delay(*ctx_.sim, t.commit_local);
+  const SimTime c0 = ctx_.Now();
+  co_await sim::Delay(ctx_.Sim(), t.commit_local);
   timers->commit += t.commit_local;
-  ctx_.tracer->CompleteSpan(c0, ctx_.sim->now(), trace::Category::kCommit, ts,
+  ctx_.Trace().CompleteSpan(c0, ctx_.Now(), trace::Category::kCommit, ts,
                             node);
   co_return true;
 }

@@ -34,7 +34,9 @@ constexpr uint32_t kControlBytes = 64;       // 2PC control messages
 /// variants of Appendix A.4). Outside kP4db mode everything is cold.
 class ConcurrencyControl {
  public:
-  explicit ConcurrencyControl(const ExecutionContext& ctx) : ctx_(ctx) {}
+  explicit ConcurrencyControl(const ExecutionContext& ctx)
+      : ctx_(ctx),
+        failovers_(ctx.num_nodes(), &MetricsRegistry::NullCounter()) {}
   virtual ~ConcurrencyControl() = default;
 
   ConcurrencyControl(const ConcurrencyControl&) = delete;
@@ -53,10 +55,25 @@ class ConcurrencyControl {
   /// Points the chaos-event counters at the real registry series. Called by
   /// the Engine when a fault schedule arms; until then both stay on the
   /// process-wide discard sink so fault-free runs never register (and never
-  /// dump) the chaos-only keys.
+  /// dump) the chaos-only keys. In legacy mode every node shares the one
+  /// cluster-wide failover counter.
   void BindChaosCounters(MetricsRegistry* metrics) {
     txn_timeouts_ = &metrics->counter("engine.txn_timeouts");
-    failovers_ = &metrics->counter("engine.failovers");
+    MetricsRegistry::Counter* f = &metrics->counter("engine.failovers");
+    for (auto& entry : failovers_) entry = f;
+  }
+
+  /// Sharded-mode variant: timeouts fire while the coroutine is parked at
+  /// the switch (they count into the switch shard's registry), failovers
+  /// fire on the home shard (each node counts into its own shard's
+  /// registry). The merged dump sums them back into the same series names.
+  void BindChaosCountersSharded(
+      MetricsRegistry* switch_metrics,
+      const std::vector<MetricsRegistry*>& node_metrics) {
+    txn_timeouts_ = &switch_metrics->counter("engine.txn_timeouts");
+    for (size_t n = 0; n < failovers_.size(); ++n) {
+      failovers_[n] = &node_metrics[n]->counter("engine.failovers");
+    }
   }
 
   /// Pre-sizes per-tuple bookkeeping (OCC version table) for a bounded
@@ -112,9 +129,10 @@ class ConcurrencyControl {
 
   ExecutionContext ctx_;
   /// Hot-path chaos counters, cached once instead of a registry string
-  /// lookup per timeout/failover (see BindChaosCounters).
+  /// lookup per timeout/failover (see BindChaosCounters). Failovers are
+  /// per home node so each entry is written only by its owning shard.
   MetricsRegistry::Counter* txn_timeouts_ = &MetricsRegistry::NullCounter();
-  MetricsRegistry::Counter* failovers_ = &MetricsRegistry::NullCounter();
+  std::vector<MetricsRegistry::Counter*> failovers_;
 };
 
 /// Factory keyed by SystemConfig::cc_protocol.

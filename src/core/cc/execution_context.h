@@ -9,6 +9,7 @@
 #include "common/types.h"
 #include "core/config.h"
 #include "core/partition_manager.h"
+#include "core/shard_router.h"
 #include "db/lock_manager.h"
 #include "db/table.h"
 #include "db/wal.h"
@@ -67,9 +68,17 @@ struct ExecutionContext {
   /// retry rather than start more degraded host writes the install would
   /// miss.
   const bool* switch_draining = nullptr;
-  /// Count of degraded (switch-down fallback) transactions currently in
-  /// flight; the failback drain polls this down to zero.
+  /// Per-node counts of degraded (switch-down fallback) transactions
+  /// currently in flight, indexed by home node; the failback drain polls
+  /// the sum down to zero. Per-node so each entry is only ever touched by
+  /// its home shard in parallel runs.
   uint32_t* degraded_inflight = nullptr;
+
+  /// Cross-shard router; non-null exactly when the engine runs the parallel
+  /// sharded runtime. Strategy code must go through the Sim()/Trace()/
+  /// SendMsg()/... helpers below, which dispatch between the legacy
+  /// single-simulator world and shard-aware routing.
+  ShardRouter* router = nullptr;
 
   bool ChaosArmed() const { return chaos_armed != nullptr && *chaos_armed; }
   bool SwitchUp() const { return switch_up == nullptr || *switch_up; }
@@ -92,6 +101,110 @@ struct ExecutionContext {
   SimTime NodeRttEstimate() const {
     return 2 * (2 * config->network.node_to_switch_one_way +
                 config->network.send_overhead);
+  }
+
+  /// The simulator the calling coroutine currently lives on: the engine's
+  /// single simulator in legacy mode, the executing shard's simulator in
+  /// sharded mode. Strategy code must re-resolve this after every SendMsg
+  /// (a send migrates the coroutine to the destination's shard) instead of
+  /// caching a Simulator& across awaits.
+  sim::Simulator& Sim() const {
+    return router != nullptr ? router->CurrentSim() : *sim;
+  }
+  SimTime Now() const { return Sim().now(); }
+
+  /// The trace ring to emit into from the current shard (the engine's
+  /// single tracer in legacy mode). Like Sim(), re-resolve after awaits.
+  trace::Tracer& Trace() const {
+    return router != nullptr ? router->CurrentTracer() : *tracer;
+  }
+
+  /// Awaitable network send. Legacy mode reproduces co_await net->Send
+  /// exactly (one ArrivalTime call, DelayAwaiter semantics); sharded mode
+  /// migrates the coroutine to the destination's shard, resuming it there
+  /// at the arrival time.
+  struct SendAwaiter {
+    const ExecutionContext* ctx;
+    net::Endpoint from;
+    net::Endpoint to;
+    uint32_t bytes;
+    uint64_t txn_id;
+    SimTime legacy_delay = 0;
+
+    bool await_ready() {
+      if (ctx->router != nullptr) return false;
+      legacy_delay =
+          ctx->net->ArrivalTime(from, to, bytes, txn_id) - ctx->sim->now();
+      return legacy_delay <= 0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      if (ctx->router != nullptr) {
+        ctx->router->SendAndMigrate(from, to, bytes, txn_id, h);
+      } else {
+        ctx->sim->ScheduleResume(legacy_delay, h);
+      }
+    }
+    void await_resume() const noexcept {}
+  };
+  SendAwaiter SendMsg(net::Endpoint from, net::Endpoint to, uint32_t bytes,
+                      uint64_t txn_id = 0) const {
+    return SendAwaiter{this, from, to, bytes, txn_id};
+  }
+
+  /// Awaitable no-op in legacy mode (the coroutine never left home). In
+  /// sharded mode, if the coroutine is away from `node`'s shard (e.g. it
+  /// timed out while parked at the switch), hops it home one propagation
+  /// delay later so the rest of the attempt runs on the home shard.
+  struct HomeAwaiter {
+    const ExecutionContext* ctx;
+    NodeId node;
+
+    bool await_ready() const {
+      return ctx->router == nullptr || ctx->router->OnShardOf(node);
+    }
+    void await_suspend(std::coroutine_handle<> h) const {
+      ctx->router->MigrateHome(node, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  HomeAwaiter ReturnHome(NodeId node) const { return HomeAwaiter{this, node}; }
+
+  /// Fire-and-forget remote lock release, `delay` from now at `owner`'s
+  /// lock manager (the legacy path is a plain simulator Schedule; the
+  /// sharded path posts to the owner's shard). `delay` must be at least the
+  /// propagation delay, which every release fan-out already models.
+  void ScheduleRelease(NodeId owner, SimTime delay, uint64_t txn_id) const {
+    db::LockManager* lm = &lock_manager(owner);
+    if (router != nullptr) {
+      router->PostRelease(owner, Now() + delay, lm, txn_id);
+    } else {
+      sim->Schedule(delay, [lm, txn_id] { lm->ReleaseAll(txn_id); });
+    }
+  }
+
+  /// Awaitable sharded-mode switch multicast: releases `txn_id` on every
+  /// participant at that node's arrival time and resumes the caller on
+  /// `self`'s shard at its own arrival. Caller must be on the switch shard
+  /// and must only use this when router != nullptr (the legacy path keeps
+  /// the original MulticastFromSwitch + ScheduleAt sequence).
+  struct MulticastAwaiter {
+    const ExecutionContext* ctx;
+    NodeId self;
+    uint32_t bytes;
+    uint64_t txn_id;
+    uint64_t participant_mask;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      ctx->router->MulticastCommit(self, bytes, txn_id, participant_mask,
+                                   *ctx->lock_managers, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  MulticastAwaiter CommitMulticast(NodeId self, uint32_t bytes,
+                                   uint64_t txn_id,
+                                   uint64_t participant_mask) const {
+    return MulticastAwaiter{this, self, bytes, txn_id, participant_mask};
   }
 };
 

@@ -7,6 +7,15 @@
 #include "core/cc/node_set.h"
 #include "switchsim/packet.h"
 
+// Sharded-mode note: a co_await on ctx_.SendMsg migrates the coroutine to
+// the destination's shard, so this file never caches a Simulator& across
+// awaits — every timestamp and delay goes through ctx_.Sim()/ctx_.Now(),
+// which resolve to the shard the coroutine is currently executing on (and
+// to the engine's single simulator in legacy mode, where the sequence of
+// events is unchanged). The LmSwitch and Chiller branches below are
+// legacy-only (the engine rejects them with threads > 0): they touch
+// cross-shard state without migrating.
+
 namespace p4db::core::cc {
 
 TwoPhaseLocking::LockPlan TwoPhaseLocking::BuildLockPlan(
@@ -47,51 +56,54 @@ sim::CoTask<bool> TwoPhaseLocking::AcquireLock(NodeId node,
                                                const LockPlanEntry& entry,
                                                uint64_t txn_id, uint64_t ts,
                                                TxnTimers* timers) {
-  sim::Simulator& sim = *ctx_.sim;
   // Spans the whole acquire (including any queueing inside the lock
   // manager); closes when the coroutine returns, at the resumed sim time.
-  trace::Tracer::Span lock_span(ctx_.tracer, trace::Category::kLockWait, ts,
+  // Every return path below ends on the home shard, where it began.
+  trace::Tracer::Span lock_span(&ctx_.Trace(), trace::Category::kLockWait, ts,
                                 node);
   const net::Endpoint self = net::Endpoint::Node(node);
   if (config().mode == EngineMode::kLmSwitch && entry.hot) {
     // NetLock-style: the lock request is decided in the switch data plane
     // at half a round trip (Section 7.1 / Related Work).
-    const SimTime t0 = sim.now();
-    co_await ctx_.net->Send(self, net::Endpoint::Switch(), kLockRequestBytes,
-                            ts);
-    co_await sim::Delay(sim, config().pipeline.PassLatency());
+    const SimTime t0 = ctx_.Now();
+    co_await ctx_.SendMsg(self, net::Endpoint::Switch(), kLockRequestBytes,
+                          ts);
+    co_await sim::Delay(ctx_.Sim(), config().pipeline.PassLatency());
     Status st = co_await ctx_.switch_lm->Acquire(txn_id, ts, entry.tuple,
                                                  entry.mode);
-    co_await ctx_.net->Send(net::Endpoint::Switch(), self, kLockRequestBytes,
-                            ts);
-    timers->lock_wait += sim.now() - t0;
+    co_await ctx_.SendMsg(net::Endpoint::Switch(), self, kLockRequestBytes,
+                          ts);
+    timers->lock_wait += ctx_.Now() - t0;
     co_return st.ok();
   }
 
   if (entry.owner == node) {
-    const SimTime t0 = sim.now();
-    co_await sim::Delay(sim, config().timing.lock_op);
+    const SimTime t0 = ctx_.Now();
+    co_await sim::Delay(ctx_.Sim(), config().timing.lock_op);
     Status st = co_await ctx_.lock_manager(node).Acquire(txn_id, ts,
                                                          entry.tuple,
                                                          entry.mode);
-    timers->lock_wait += sim.now() - t0;
+    timers->lock_wait += ctx_.Now() - t0;
     co_return st.ok();
   }
 
   // Remote partition: lock request + piggybacked data access in one round
-  // trip to the owner node.
+  // trip to the owner node. In sharded mode the first send migrates this
+  // coroutine to the owner's shard, so the Acquire (and the wait for its
+  // grant) runs where the lock manager lives; the reply send brings it
+  // home.
   const net::Endpoint owner = net::Endpoint::Node(entry.owner);
-  const SimTime t0 = sim.now();
-  co_await ctx_.net->Send(self, owner, kLockRequestBytes, ts);
-  const SimTime t1 = sim.now();
-  co_await sim::Delay(sim, config().timing.lock_op);
+  const SimTime t0 = ctx_.Now();
+  co_await ctx_.SendMsg(self, owner, kLockRequestBytes, ts);
+  const SimTime t1 = ctx_.Now();
+  co_await sim::Delay(ctx_.Sim(), config().timing.lock_op);
   Status st = co_await ctx_.lock_manager(entry.owner).Acquire(txn_id, ts,
                                                               entry.tuple,
                                                               entry.mode);
-  const SimTime t2 = sim.now();
-  co_await ctx_.net->Send(owner, self, kDataRequestBytes, ts);
+  const SimTime t2 = ctx_.Now();
+  co_await ctx_.SendMsg(owner, self, kDataRequestBytes, ts);
   timers->lock_wait += t2 - t1;
-  timers->remote_access += (t1 - t0) + (sim.now() - t2);
+  timers->remote_access += (t1 - t0) + (ctx_.Now() - t2);
   co_return st.ok();
 }
 
@@ -108,27 +120,24 @@ void TwoPhaseLocking::ReleaseLocks(NodeId node, uint64_t txn_id,
   }
   const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
   owners.ForEachReverse([&](NodeId owner) {
-    db::LockManager* lm = &ctx_.lock_manager(owner);
     if (owner == node) {
-      lm->ReleaseAll(txn_id);
+      ctx_.lock_manager(owner).ReleaseAll(txn_id);
     } else {
-      ctx_.sim->Schedule(one_way_node,
-                         [lm, txn_id] { lm->ReleaseAll(txn_id); });
+      ctx_.ScheduleRelease(owner, one_way_node, txn_id);
     }
   });
   if (any_switch_lock) {
     db::LockManager* lm = ctx_.switch_lm;
-    ctx_.sim->Schedule(config().network.node_to_switch_one_way,
-                       [lm, txn_id] { lm->ReleaseAll(txn_id); });
+    ctx_.Sim().Schedule(config().network.node_to_switch_one_way,
+                        [lm, txn_id] { lm->ReleaseAll(txn_id); });
   }
 }
 
 sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
     NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
     std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
-  sim::Simulator& sim = *ctx_.sim;
   const TimingConfig& t = config().timing;
-  co_await sim::Delay(sim, t.txn_setup);
+  co_await sim::Delay(ctx_.Sim(), t.txn_setup);
   timers->local_work += t.txn_setup;
 
   const LockPlan plan = BuildLockPlan(txn, /*only_cold_ops=*/false);
@@ -141,10 +150,10 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
     for (const LockPlanEntry& e : plan) num_hot += e.hot ? 1 : 0;
     if (num_hot > 0) {
       const net::Endpoint self = net::Endpoint::Node(node);
-      const SimTime t0 = sim.now();
-      co_await ctx_.net->Send(self, net::Endpoint::Switch(),
-                              static_cast<uint32_t>(48 + 16 * num_hot), ts);
-      co_await sim::Delay(sim, config().pipeline.PassLatency());
+      const SimTime t0 = ctx_.Now();
+      co_await ctx_.SendMsg(self, net::Endpoint::Switch(),
+                            static_cast<uint32_t>(48 + 16 * num_hot), ts);
+      co_await sim::Delay(ctx_.Sim(), config().pipeline.PassLatency());
       bool all_ok = true;
       for (const LockPlanEntry& e : plan) {
         if (!e.hot) continue;
@@ -155,14 +164,14 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
           break;
         }
       }
-      co_await ctx_.net->Send(net::Endpoint::Switch(), self, kControlBytes,
-                              ts);
-      timers->lock_wait += sim.now() - t0;
-      ctx_.tracer->CompleteSpan(t0, sim.now(), trace::Category::kLockWait,
+      co_await ctx_.SendMsg(net::Endpoint::Switch(), self, kControlBytes,
+                            ts);
+      timers->lock_wait += ctx_.Now() - t0;
+      ctx_.Trace().CompleteSpan(t0, ctx_.Now(), trace::Category::kLockWait,
                                 ts, node);
       if (!all_ok) {
         ReleaseLocks(node, txn_id, plan);
-        co_await sim::Delay(sim, t.abort_cost);
+        co_await sim::Delay(ctx_.Sim(), t.abort_cost);
         timers->backoff += t.abort_cost;
         co_return false;
       }
@@ -174,7 +183,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
     const bool ok = co_await AcquireLock(node, entry, txn_id, ts, timers);
     if (!ok) {
       ReleaseLocks(node, txn_id, plan);
-      co_await sim::Delay(sim, t.abort_cost);
+      co_await sim::Delay(ctx_.Sim(), t.abort_cost);
       timers->backoff += t.abort_cost;
       co_return false;
     }
@@ -193,19 +202,19 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
       const net::Endpoint self = net::Endpoint::Node(node);
       const net::Endpoint owner = net::Endpoint::Node(
           ctx_.catalog->OwnerOf(op.tuple));
-      const SimTime t0 = sim.now();
-      co_await ctx_.net->Send(self, owner, kDataRequestBytes, ts);
-      co_await ctx_.net->Send(owner, self, kDataRequestBytes, ts);
-      timers->remote_access += sim.now() - t0;
+      const SimTime t0 = ctx_.Now();
+      co_await ctx_.SendMsg(self, owner, kDataRequestBytes, ts);
+      co_await ctx_.SendMsg(owner, self, kDataRequestBytes, ts);
+      timers->remote_access += ctx_.Now() - t0;
     }
     (*results)[i] = ApplyHostOp(op, *results, &undo);
   }
   const SimTime exec_cost = t.op_local * static_cast<SimTime>(txn.ops.size());
-  co_await sim::Delay(sim, exec_cost);
+  co_await sim::Delay(ctx_.Sim(), exec_cost);
   timers->local_work += exec_cost;
 
-  const SimTime wal_begin = sim.now();
-  co_await sim::Delay(sim, t.wal_append);
+  const SimTime wal_begin = ctx_.Now();
+  co_await sim::Delay(ctx_.Sim(), t.wal_append);
   timers->local_work += t.wal_append;
   SmallVector<db::HostLogOp, 8> writes;
   for (const auto& [tuple, column, old_value] : undo) {
@@ -215,7 +224,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
         ctx_.catalog->table(tuple.table).GetOrCreate(tuple.key)[column]});
   }
   ctx_.wal(node).AppendHostCommit(writes);
-  ctx_.tracer->CompleteSpan(wal_begin, sim.now(),
+  ctx_.Trace().CompleteSpan(wal_begin, ctx_.Now(),
                             trace::Category::kWalAppend, ts, node);
 
   if (config().mode == EngineMode::kChiller) {
@@ -228,7 +237,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
       } else {
         const SimTime one_way = 2 * config().network.node_to_switch_one_way;
         const TupleId tuple = entry.tuple;
-        ctx_.sim->Schedule(
+        ctx_.Sim().Schedule(
             one_way, [lm, txn_id, tuple] { lm->ReleaseOne(txn_id, tuple); });
       }
     }
@@ -239,17 +248,17 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
   for (const LockPlanEntry& entry : plan) {
     if (entry.owner != node) has_remote = true;
   }
-  const SimTime commit_begin = sim.now();
+  const SimTime commit_begin = ctx_.Now();
   if (has_remote) {
     const SimTime rtt = ctx_.NodeRttEstimate();
-    co_await sim::Delay(sim, rtt + t.wal_append);  // PREPARE + votes
-    co_await sim::Delay(sim, rtt);                 // COMMIT + acks
+    co_await sim::Delay(ctx_.Sim(), rtt + t.wal_append);  // PREPARE + votes
+    co_await sim::Delay(ctx_.Sim(), rtt);                 // COMMIT + acks
     timers->commit += 2 * rtt + t.wal_append;
   } else {
-    co_await sim::Delay(sim, t.commit_local);
+    co_await sim::Delay(ctx_.Sim(), t.commit_local);
     timers->commit += t.commit_local;
   }
-  ctx_.tracer->CompleteSpan(commit_begin, sim.now(),
+  ctx_.Trace().CompleteSpan(commit_begin, ctx_.Now(),
                             trace::Category::kCommit, ts, node);
 
   ReleaseLocks(node, txn_id, plan);
@@ -259,9 +268,8 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteCold(
 sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     NodeId node, db::Transaction& txn, uint64_t txn_id, uint64_t ts,
     std::vector<std::optional<Value64>>* results, TxnTimers* timers) {
-  sim::Simulator& sim = *ctx_.sim;
   const TimingConfig& t = config().timing;
-  co_await sim::Delay(sim, t.txn_setup);
+  co_await sim::Delay(ctx_.Sim(), t.txn_setup);
   timers->local_work += t.txn_setup;
 
   // Phase 1: cold sub-transaction — acquire all cold locks and execute the
@@ -271,7 +279,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     const bool ok = co_await AcquireLock(node, entry, txn_id, ts, timers);
     if (!ok) {
       ReleaseLocks(node, txn_id, plan);
-      co_await sim::Delay(sim, t.abort_cost);
+      co_await sim::Delay(ctx_.Sim(), t.abort_cost);
       timers->backoff += t.abort_cost;
       co_return false;
     }
@@ -319,7 +327,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   }
   const SimTime exec_cost = t.op_local * static_cast<SimTime>(cold_ops);
   if (exec_cost > 0) {
-    co_await sim::Delay(sim, exec_cost);
+    co_await sim::Delay(ctx_.Sim(), exec_cost);
     timers->local_work += exec_cost;
   }
 
@@ -328,15 +336,15 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
                                    (*ctx_.next_client_seq)[node]++);
   assert(compiled.ok() && "warm transaction's hot part must compile");
 
-  const SimTime wal_begin = sim.now();
-  co_await sim::Delay(sim, t.wal_append);
+  const SimTime wal_begin = ctx_.Now();
+  co_await sim::Delay(ctx_.Sim(), t.wal_append);
   timers->local_work += t.wal_append;
   // Epoch stamp and intent append in one synchronous block (see
   // SubmitToSwitch's contract).
   compiled->txn.epoch = ctx_.SwitchEpoch();
   const db::Lsn lsn = ctx_.wal(node).AppendSwitchIntent(
       compiled->txn.client_seq, compiled->txn.instrs);
-  ctx_.tracer->CompleteSpan(wal_begin, sim.now(),
+  ctx_.Trace().CompleteSpan(wal_begin, ctx_.Now(),
                             trace::Category::kWalAppend, ts, node);
 
   // Voting phase of the extended 2PC (Figure 10) — only if the cold part is
@@ -347,7 +355,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   }
   if (!participants.empty()) {
     const SimTime rtt = ctx_.NodeRttEstimate();
-    co_await sim::Delay(sim, rtt + t.wal_append);  // PREPARE + votes
+    co_await sim::Delay(ctx_.Sim(), rtt + t.wal_append);  // PREPARE + votes
     timers->commit += rtt + t.wal_append;
   }
 
@@ -360,9 +368,9 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
       compiled->txn.instrs.size());
   const auto& op_index = compiled->op_index;
 
-  const SimTime t0 = sim.now();
-  co_await ctx_.net->Send(self, net::Endpoint::Switch(),
-                          static_cast<uint32_t>(wire), ts);
+  const SimTime t0 = ctx_.Now();
+  co_await ctx_.SendMsg(self, net::Endpoint::Switch(),
+                        static_cast<uint32_t>(wire), ts);
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
 
@@ -372,33 +380,48 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     // coordinator itself tells remote participants to commit & release —
     // one node-to-node hop away. Hot results stay nullopt.
     txn_timeouts_->Increment();
-    timers->switch_access += sim.now() - t0;
-    ctx_.tracer->CompleteSpan(t0, sim.now(),
+    timers->switch_access += ctx_.Now() - t0;
+    ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                               trace::Category::kSwitchAccess, ts, node);
     const SimTime one_way_node = 2 * config().network.node_to_switch_one_way;
     participants.ForEachReverse([&](NodeId p) {
-      db::LockManager* lm = &ctx_.lock_manager(p);
-      ctx_.sim->Schedule(one_way_node,
-                         [lm, txn_id] { lm->ReleaseAll(txn_id); });
+      ctx_.ScheduleRelease(p, one_way_node, txn_id);
     });
+    // The deadline observer lives on the home node; hop back (no-op in
+    // legacy mode) before the host-side phases below.
+    co_await ctx_.ReturnHome(node);
   } else {
     if (!participants.empty()) {
-      const auto arrivals =
-          ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
-      // Remote participants commit & release when the multicast reaches
-      // them.
-      participants.ForEachReverse([&](NodeId p) {
-        db::LockManager* lm = &ctx_.lock_manager(p);
-        ctx_.sim->ScheduleAt(arrivals[p],
-                             [lm, txn_id] { lm->ReleaseAll(txn_id); });
-      });
-      co_await sim::Delay(sim, arrivals[node] - sim.now());
+      if (ctx_.router != nullptr) {
+        // Sharded: the router reserves the per-node downlinks on the switch
+        // shard, releases each participant at its own arrival, and resumes
+        // this coroutine on the home shard at node's arrival — the same
+        // protocol as the legacy block below, computed where each piece of
+        // state lives.
+        uint64_t mask = 0;
+        participants.ForEachReverse(
+            [&](NodeId p) { mask |= uint64_t{1} << p; });
+        co_await ctx_.CommitMulticast(node,
+                                      static_cast<uint32_t>(resp_bytes),
+                                      txn_id, mask);
+      } else {
+        const auto arrivals =
+            ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
+        // Remote participants commit & release when the multicast reaches
+        // them.
+        participants.ForEachReverse([&](NodeId p) {
+          db::LockManager* lm = &ctx_.lock_manager(p);
+          ctx_.sim->ScheduleAt(arrivals[p],
+                               [lm, txn_id] { lm->ReleaseAll(txn_id); });
+        });
+        co_await sim::Delay(*ctx_.sim, arrivals[node] - ctx_.sim->now());
+      }
     } else {
-      co_await ctx_.net->Send(net::Endpoint::Switch(), self,
-                              static_cast<uint32_t>(resp_bytes), ts);
+      co_await ctx_.SendMsg(net::Endpoint::Switch(), self,
+                            static_cast<uint32_t>(resp_bytes), ts);
     }
-    timers->switch_access += sim.now() - t0;
-    ctx_.tracer->CompleteSpan(t0, sim.now(),
+    timers->switch_access += ctx_.Now() - t0;
+    ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                               trace::Category::kSwitchAccess, ts, node);
 
     if (!(*ctx_.node_crashed)[node]) {
@@ -418,14 +441,14 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     }
     const SimTime def_cost =
         t.op_local * static_cast<SimTime>(deferred_ops);
-    co_await sim::Delay(sim, def_cost);
+    co_await sim::Delay(ctx_.Sim(), def_cost);
     timers->local_work += def_cost;
   }
 
-  const SimTime commit_begin = sim.now();
-  co_await sim::Delay(sim, t.commit_local);
+  const SimTime commit_begin = ctx_.Now();
+  co_await sim::Delay(ctx_.Sim(), t.commit_local);
   timers->commit += t.commit_local;
-  ctx_.tracer->CompleteSpan(commit_begin, sim.now(),
+  ctx_.Trace().CompleteSpan(commit_begin, ctx_.Now(),
                             trace::Category::kCommit, ts, node);
   // Local (coordinator-side) locks release now; remote ones were released
   // by the multicast above.

@@ -75,6 +75,17 @@ struct SystemConfig {
   /// histogram.
   uint32_t max_attempts = 0;
 
+  /// Execution runtime. 0 (default) = the legacy single event queue, the
+  /// reference for all historical seeded baselines. >= 1 = the sharded
+  /// parallel runtime: one shard per node plus a switch shard, executed by
+  /// min(threads, num_nodes + 1) OS threads over conservative lookahead
+  /// windows. Because the shard structure is fixed by num_nodes, every
+  /// threads >= 1 value produces bit-identical results for a given seed —
+  /// threads only buys wall-clock speed. Sharded mode supports
+  /// kP4db/kNoSwitch with the 2PL protocol (the modes every figure
+  /// benchmark scales); the engine rejects other combinations.
+  int threads = 0;
+
   TimingConfig timing;
   net::NetworkConfig network;
   sw::PipelineConfig pipeline;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "core/cc/execution_context.h"
 #include "core/hotset.h"
@@ -46,25 +47,69 @@ const char* CcProtocolName(CcProtocol protocol) {
 
 Engine::Engine(const SystemConfig& config)
     : config_(Normalize(config)),
+      sharded_(config_.threads > 0),
       net_(&sim_, config_.network, &registry_),
-      pipeline_(&sim_, config_.pipeline, &registry_),
-      control_plane_(&pipeline_),
       catalog_(std::make_unique<db::Catalog>(config_.num_nodes)),
       pm_(catalog_.get(), &config_.pipeline),
       node_crashed_(config_.num_nodes, false),
-      next_client_seq_(config_.num_nodes, 1) {
+      next_client_seq_(config_.num_nodes, 1),
+      degraded_inflight_(config_.num_nodes, 0) {
+  if (sharded_) {
+    // The sharded runtime covers the configurations every figure benchmark
+    // scales (P4DB and the No-Switch baseline under 2PL); the remaining
+    // mode/protocol combinations stay on the legacy reference runtime.
+    assert(config_.cc_protocol == CcProtocol::k2pl &&
+           "sharded runtime supports the 2PL protocol only");
+    assert((config_.mode == EngineMode::kP4db ||
+            config_.mode == EngineMode::kNoSwitch) &&
+           "sharded runtime supports kP4db / kNoSwitch modes only");
+    const uint32_t shard_count = static_cast<uint32_t>(config_.num_nodes) + 1;
+    // Lookahead = the minimum cross-shard latency: every network leg
+    // crosses node<->switch at least once, so no cross-shard effect can
+    // land earlier than one propagation delay after its cause.
+    ssim_ = std::make_unique<sim::ShardedSimulator>(
+        shard_count, config_.network.node_to_switch_one_way);
+    std::vector<trace::Tracer*> shard_tracers;
+    std::vector<MetricsRegistry*> shard_registries;
+    shard_tracers.reserve(shard_count);
+    shard_registries.reserve(shard_count);
+    eshards_.reserve(shard_count);
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      auto es = std::make_unique<EngineShard>();
+      es->tracer = std::make_unique<trace::Tracer>(&ssim_->shard(s));
+      shard_tracers.push_back(es->tracer.get());
+      shard_registries.push_back(&es->registry);
+      eshards_.push_back(std::move(es));
+    }
+    router_ = std::make_unique<ShardRouter>(ssim_.get(), config_.network,
+                                            std::move(shard_tracers),
+                                            shard_registries);
+  }
+
   // Under OCC the lock manager only serves short validation-phase locks;
   // a denied request is an immediate validation failure (NO_WAIT).
   const db::CcScheme scheme = config_.cc_protocol == CcProtocol::kOcc
                                   ? db::CcScheme::kNoWait
                                   : config_.cc_scheme;
   for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    // Sharded mode binds each node's lock manager and WAL to its home
+    // shard: the simulator that resumes its waiters and the registry its
+    // series merge from are both shard-local.
     lock_managers_.push_back(std::make_unique<db::LockManager>(
-        &sim_, scheme, &registry_, "lock.node"));
-    wals_.push_back(std::make_unique<db::Wal>(&registry_));
+        sharded_ ? &ssim_->shard(n) : &sim_, scheme,
+        sharded_ ? &eshards_[n]->registry : &registry_, "lock.node"));
+    wals_.push_back(std::make_unique<db::Wal>(
+        sharded_ ? &eshards_[n]->registry : &registry_));
   }
-  switch_lm_ = std::make_unique<db::LockManager>(&sim_, scheme, &registry_,
-                                                 "lock.switch");
+  switch_lm_ = std::make_unique<db::LockManager>(
+      sharded_ ? &ssim_->shard(switch_shard()) : &sim_, scheme,
+      sharded_ ? &eshards_[switch_shard()]->registry : &registry_,
+      "lock.switch");
+  pipeline_ = std::make_unique<sw::Pipeline>(
+      sharded_ ? &ssim_->shard(switch_shard()) : &sim_, config_.pipeline,
+      sharded_ ? &eshards_[switch_shard()]->registry : &registry_);
+  control_plane_ = std::make_unique<sw::ControlPlane>(pipeline_.get());
+
   committed_counter_ = &registry_.counter("engine.committed");
   aborted_counter_ = &registry_.counter("engine.aborted_attempts");
   // Retry-cap series exist only when the cap is on, so unbounded-retry runs
@@ -75,18 +120,34 @@ Engine::Engine(const SystemConfig& config)
   attempts_hist_ = config_.max_attempts > 0
                        ? &registry_.histogram("engine.txn_attempts")
                        : &MetricsRegistry::NullHistogram();
+  if (sharded_) {
+    for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+      EngineShard& es = *eshards_[n];
+      es.committed = &es.registry.counter("engine.committed");
+      es.aborted = &es.registry.counter("engine.aborted_attempts");
+      es.gaveup = config_.max_attempts > 0
+                      ? &es.registry.counter("engine.txn_gaveup")
+                      : &es.discard_counter;
+      es.attempts_hist = config_.max_attempts > 0
+                             ? &es.registry.histogram("engine.txn_attempts")
+                             : &es.discard_hist;
+    }
+  }
   crash_record_offset_.assign(config_.num_nodes, 0);
 
   // The flight recorder is live from the first event; EnableFull upgrades
-  // the same tracer in place for --trace runs.
+  // the same tracer in place for --trace runs. In sharded mode the switch
+  // pipeline emits into the switch shard's ring; network spans are the
+  // router's job (each leg lands on the shard that models it).
   net_.set_tracer(&tracer_);
-  pipeline_.set_tracer(&tracer_);
+  pipeline_->set_tracer(sharded_ ? eshards_[switch_shard()]->tracer.get()
+                                 : &tracer_);
 
   cc::ExecutionContext ctx;
   ctx.config = &config_;
   ctx.sim = &sim_;
   ctx.net = &net_;
-  ctx.pipeline = &pipeline_;
+  ctx.pipeline = pipeline_.get();
   ctx.catalog = catalog_.get();
   ctx.pm = &pm_;
   ctx.lock_managers = &lock_managers_;
@@ -99,13 +160,21 @@ Engine::Engine(const SystemConfig& config)
   ctx.switch_up = &switch_up_;
   ctx.switch_epoch = &switch_epoch_;
   ctx.switch_draining = &switch_draining_;
-  ctx.degraded_inflight = &degraded_inflight_;
+  ctx.degraded_inflight = degraded_inflight_.data();
   ctx.tracer = &tracer_;
+  ctx.router = router_.get();
   cc_ = cc::MakeConcurrencyControl(config_.cc_protocol, ctx);
 }
 
 Engine::~Engine() {
   // Teardown protocol: no queued event may outlive a coroutine frame.
+  if (sharded_) {
+    ssim_->DiscardMailboxes();
+    for (uint32_t s = 0; s < ssim_->num_shards(); ++s) {
+      ssim_->shard(s).Stop();
+      ssim_->shard(s).DiscardPending();
+    }
+  }
   sim_.Stop();
   sim_.DiscardPending();
   workers_.clear();
@@ -152,12 +221,12 @@ OffloadReport Engine::Offload(size_t sample_size, size_t max_hot_items) {
   for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
     const HotItem& item = graph.item(v);
     const LayoutPlan::ArrayRef arr = report.plan.arrays.at(item);
-    auto addr = control_plane_.AllocateSlot(arr.stage, arr.reg);
+    auto addr = control_plane_->AllocateSlot(arr.stage, arr.reg);
     assert(addr.ok());
     db::Row& row = catalog_->table(item.tuple.table).GetOrCreate(
         item.tuple.key);
     const Value64 value = row[item.column];
-    Status st = control_plane_.InstallValue(*addr, value);
+    Status st = control_plane_->InstallValue(*addr, value);
     assert(st.ok());
     (void)st;
     pm_.RegisterHotItem(item, *addr, value);
@@ -176,26 +245,47 @@ SimTime Engine::BackoffDelay(int attempt, Rng& rng) {
 
 sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
                             uint64_t seed_salt) {
-  Rng rng(config_.seed ^ seed_salt ^
+  // Sharded workers derive their stream from the home shard's seed and bind
+  // it to the shard, so a draw from any other shard trips the RNG ownership
+  // assert. Legacy workers keep the historical seed formula byte-for-byte.
+  const uint64_t base_seed =
+      sharded_ ? ShardSeed(config_.seed, node) : config_.seed;
+  Rng rng(base_seed ^ seed_salt ^
           (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(node) * 1024 +
                                     worker + 1)));
+  if (sharded_) rng.BindOwner(ssim_->RngToken(node));
+  // Home-shard bindings. Every ExecuteAttempt path ends back on the home
+  // shard (sends migrate the coroutine out and back; timeout paths hop home
+  // explicitly), so the loop's bookkeeping below always runs there and
+  // these references never go stale.
+  sim::Simulator& hsim = HomeSim(node);
+  trace::Tracer& htracer = HomeTracer(node);
+  Metrics& wmetrics = sharded_ ? eshards_[node]->metrics : metrics_;
+  MetricsRegistry::Counter& committed_c =
+      sharded_ ? *eshards_[node]->committed : *committed_counter_;
+  MetricsRegistry::Counter& aborted_c =
+      sharded_ ? *eshards_[node]->aborted : *aborted_counter_;
+  MetricsRegistry::Counter& gaveup_c =
+      sharded_ ? *eshards_[node]->gaveup : *gaveup_counter_;
+  Histogram& attempts_h =
+      sharded_ ? *eshards_[node]->attempts_hist : *attempts_hist_;
   std::vector<std::optional<Value64>> results;
-  while (!sim_.stopped()) {
+  while (!hsim.stopped()) {
     if (node_crashed_[node]) co_return;  // crashed nodes issue nothing
     db::Transaction txn = workload_->Next(rng, node);
     pm_.Classify(&txn, node);
-    const SimTime start = sim_.now();
+    const SimTime start = hsim.now();
     TxnTimers timers;
-    const uint64_t ts = next_txn_id_;  // kept across retries (fairness)
+    const uint64_t ts = PeekTxnId(node);  // kept across retries (fairness)
     int attempt = 0;
     bool committed = true;
     // Spans carry `ts` (stable across retries, globally unique) so every
     // record of one transaction shares a trace lane.
-    trace::Tracer::Span txn_span(&tracer_, trace::Category::kTxn, ts, node);
+    trace::Tracer::Span txn_span(&htracer, trace::Category::kTxn, ts, node);
     for (;;) {
-      const uint64_t txn_id = next_txn_id_++;
+      const uint64_t txn_id = TakeTxnId(node);
       results.assign(txn.ops.size(), std::nullopt);
-      trace::Tracer::Span attempt_span(&tracer_, trace::Category::kAttempt,
+      trace::Tracer::Span attempt_span(&htracer, trace::Category::kAttempt,
                                        ts, node,
                                        static_cast<uint8_t>(
                                            std::min(attempt + 1, 255)));
@@ -204,8 +294,8 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
       attempt_span.End();
       if (ok) break;
       if (measuring_) {
-        metrics_.RecordAbort(txn.cls);
-        aborted_counter_->Increment();
+        wmetrics.RecordAbort(txn.cls);
+        aborted_c.Increment();
       }
       ++attempt;
       if (config_.max_attempts > 0 &&
@@ -215,9 +305,9 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
       }
       const SimTime backoff = BackoffDelay(attempt, rng);
       timers.backoff += backoff;
-      const SimTime backoff_begin = sim_.now();
-      co_await sim::Delay(sim_, backoff);
-      tracer_.CompleteSpan(backoff_begin, sim_.now(),
+      const SimTime backoff_begin = hsim.now();
+      co_await sim::Delay(hsim, backoff);
+      htracer.CompleteSpan(backoff_begin, hsim.now(),
                            trace::Category::kBackoff, ts, node,
                            static_cast<uint8_t>(std::min(attempt, 255)));
     }
@@ -225,13 +315,13 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
     if (measuring_) {
       // Attempts used: aborts plus the final success (gave-up txns spent
       // exactly `attempt` == max_attempts). Null sink unless capped.
-      attempts_hist_->Record(attempt + (committed ? 1 : 0));
+      attempts_h.Record(attempt + (committed ? 1 : 0));
       if (committed) {
-        metrics_.RecordCommit(txn.cls, txn.distributed, sim_.now() - start,
+        wmetrics.RecordCommit(txn.cls, txn.distributed, hsim.now() - start,
                               timers);
-        committed_counter_->Increment();
+        committed_c.Increment();
       } else {
-        gaveup_counter_->Increment();
+        gaveup_c.Increment();
       }
     }
   }
@@ -240,6 +330,7 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
 Metrics Engine::Run(SimTime warmup, SimTime duration) {
   assert(!ran_ && "Engine::Run is single-shot");
   assert(workload_ != nullptr);
+  if (sharded_) return RunSharded(warmup, duration);
   ran_ = true;
 
   measuring_ = false;
@@ -251,7 +342,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   }
   sim_.RunUntil(warmup);
   metrics_ = Metrics();
-  pipeline_.ResetStats();
+  pipeline_->ResetStats();
   for (auto& lm : lock_managers_) lm->ResetStats();
   switch_lm_->ResetStats();
   registry_.Reset();
@@ -276,6 +367,84 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   return out;
 }
 
+Metrics Engine::RunSharded(SimTime warmup, SimTime duration) {
+  ran_ = true;
+  assert(workload_->ThreadSafeGeneration() &&
+         "sharded runtime requires a thread-safe workload generator");
+  // Rows materialize lazily from several shards at once mid-run.
+  catalog_->EnableConcurrentAccess();
+
+  measuring_ = false;
+  running_ = true;
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    // Tasks start eagerly; the worker's first synchronous section (and any
+    // cross-shard posts it makes) must run under the home shard's context.
+    sim::ShardedSimulator::ScopedShard guard(ssim_.get(), n);
+    for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
+      workers_.push_back(RunWorker(n, w));
+    }
+  }
+
+  // Coordinator-phase globals. Scheduling order fixes the sequence numbers,
+  // which break same-time ties: at t == warmup the reset runs before any
+  // tick, and at t == warmup + duration the last tick runs before the stop.
+  ssim_->ScheduleGlobal(warmup, [this, warmup, duration] {
+    metrics_ = Metrics();
+    pipeline_->ResetStats();
+    for (auto& lm : lock_managers_) lm->ResetStats();
+    switch_lm_->ResetStats();
+    registry_.Reset();
+    for (auto& es : eshards_) {
+      es->registry.Reset();
+      es->metrics = Metrics();
+    }
+    if (sampler_ != nullptr) {
+      sampler_->BeginExternal(warmup, warmup + duration, sampler_tick_);
+    }
+    measuring_ = true;
+  });
+  if (sampler_ != nullptr) {
+    // Sampler ticks are quiescent barrier-phase snapshots of the summed
+    // per-shard sources — same tick times as a legacy Begin()-driven run.
+    for (SimTime t = warmup + sampler_tick_; t <= warmup + duration;
+         t += sampler_tick_) {
+      ssim_->ScheduleGlobal(t, [this] { sampler_->TickExternal(); });
+    }
+  }
+  ssim_->ScheduleGlobal(warmup + duration, [this] {
+    measuring_ = false;
+    ssim_->RequestStop();
+  });
+
+  ssim_->Run(config_.threads);
+  measuring_ = false;
+  running_ = false;
+
+  // Teardown mirrors the legacy path: drop undelivered cross-shard records
+  // and pending events before destroying worker frames, then resume the
+  // idle shard simulators for post-run inspection.
+  ssim_->DiscardMailboxes();
+  for (uint32_t s = 0; s < ssim_->num_shards(); ++s) {
+    ssim_->shard(s).Stop();
+    ssim_->shard(s).DiscardPending();
+  }
+  workers_.clear();
+  for (uint32_t s = 0; s < ssim_->num_shards(); ++s) {
+    ssim_->shard(s).Resume();
+  }
+
+  // Deterministic merges in fixed shard order: per-shard metrics fold into
+  // the engine Metrics, per-shard registries into the engine registry (the
+  // merged dump reproduces the legacy series names with summed values).
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    metrics_.Merge(eshards_[n]->metrics);
+  }
+  for (auto& es : eshards_) {
+    registry_.MergeFrom(es->registry);
+  }
+  return metrics_;
+}
+
 trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
   assert(!ran_ && "arm the sampler before Run");
   assert(tick > 0);
@@ -284,13 +453,61 @@ trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
   // The standard series every bench cares about: throughput, abort rate,
   // how much of the mix the switch absorbed, and tail latency — all as
   // curves over the measured window instead of end-of-run scalars.
-  sampler_->AddCounterRate("committed", committed_counter_);
-  sampler_->AddCounterRate("aborted_attempts", aborted_counter_);
-  sampler_->AddCounterRate("switch_txns",
-                           &registry_.counter("switch.txns_completed"));
-  sampler_->AddHistogramQuantile("p99_latency_ns", &metrics_.latency_all,
-                                 0.99);
+  if (sharded_) {
+    // One logical series per metric, backed by the per-shard instances.
+    std::vector<const MetricsRegistry::Counter*> committed;
+    std::vector<const MetricsRegistry::Counter*> aborted;
+    std::vector<const Histogram*> latency;
+    for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+      committed.push_back(eshards_[n]->committed);
+      aborted.push_back(eshards_[n]->aborted);
+      latency.push_back(&eshards_[n]->metrics.latency_all);
+    }
+    sampler_->AddCounterRate("committed", std::move(committed));
+    sampler_->AddCounterRate("aborted_attempts", std::move(aborted));
+    std::vector<const MetricsRegistry::Counter*> switch_txns;
+    switch_txns.push_back(&eshards_[switch_shard()]->registry.counter(
+        "switch.txns_completed"));
+    sampler_->AddCounterRate("switch_txns", std::move(switch_txns));
+    sampler_->AddHistogramQuantile("p99_latency_ns", std::move(latency),
+                                   0.99);
+  } else {
+    sampler_->AddCounterRate("committed", committed_counter_);
+    sampler_->AddCounterRate("aborted_attempts", aborted_counter_);
+    sampler_->AddCounterRate("switch_txns",
+                             &registry_.counter("switch.txns_completed"));
+    sampler_->AddHistogramQuantile("p99_latency_ns", &metrics_.latency_all,
+                                   0.99);
+  }
   return *sampler_;
+}
+
+void Engine::EnableFullTrace() {
+  if (sharded_) {
+    for (auto& es : eshards_) es->tracer->EnableFull();
+  } else {
+    tracer_.EnableFull();
+  }
+}
+
+std::string Engine::TraceJson(std::string_view fault_schedule_json) {
+  if (!sharded_) {
+    return tracer_.ToChromeJson(sampler_.get(), fault_schedule_json);
+  }
+  // Concatenate the per-shard rings in fixed shard order; the exporter
+  // re-sorts globally, so the output is a pure function of the record set.
+  std::vector<trace::Record> records;
+  size_t recorded = 0;
+  uint64_t dropped = 0;
+  for (auto& es : eshards_) {
+    std::vector<trace::Record> snap = es->tracer->Snapshot();
+    recorded += snap.size();
+    dropped += es->tracer->dropped();
+    records.insert(records.end(), snap.begin(), snap.end());
+  }
+  return trace::Tracer::ChromeJsonFromRecords(
+      std::move(records), eshards_[0]->tracer->mode(), recorded, dropped,
+      sampler_.get(), fault_schedule_json);
 }
 
 sim::Task Engine::DriveOnce(db::Transaction* txn, NodeId home,
@@ -314,6 +531,7 @@ sim::Task Engine::DriveOnce(db::Transaction* txn, NodeId home,
 
 StatusOr<std::vector<Value64>> Engine::ExecuteOnce(db::Transaction txn,
                                                    NodeId home) {
+  assert(!sharded_ && "ExecuteOnce drives the legacy runtime only");
   assert(workload_ != nullptr || !txn.ops.empty());
   pm_.Classify(&txn, home);
   std::vector<std::optional<Value64>> results;
@@ -338,14 +556,14 @@ StatusOr<std::vector<Value64>> Engine::ExecuteOnce(db::Transaction txn,
   return out;
 }
 
-void Engine::SimulateSwitchCrash() { control_plane_.Reset(); }
+void Engine::SimulateSwitchCrash() { control_plane_->Reset(); }
 
 void Engine::SimulateNodeCrash(NodeId node) { node_crashed_[node] = true; }
 
 Status Engine::RecoverSwitch() {
   std::vector<const db::Wal*> logs;
   for (const auto& w : wals_) logs.push_back(w.get());
-  return RecoverSwitchState(pm_, logs, &control_plane_);
+  return RecoverSwitchState(pm_, logs, control_plane_.get());
 }
 
 Status Engine::RecoverNode(NodeId node) {
@@ -376,8 +594,17 @@ Status Engine::RecoverNode(NodeId node) {
     // transactions the node already issued.
     ++recover_generation_;
     const uint64_t salt = 0xa0761d6478bd642fULL * recover_generation_;
-    for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
-      workers_.push_back(RunWorker(node, w, salt));
+    if (sharded_) {
+      // Restart events run as quiescent globals; the respawned workers'
+      // eager first sections need the home shard's context installed.
+      sim::ShardedSimulator::ScopedShard guard(ssim_.get(), node);
+      for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
+        workers_.push_back(RunWorker(node, w, salt));
+      }
+    } else {
+      for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
+        workers_.push_back(RunWorker(node, w, salt));
+      }
     }
   }
   return Status::Ok();
@@ -389,28 +616,51 @@ void Engine::InstallFaultSchedule(const net::FaultSchedule& schedule) {
   if (schedule.empty()) return;  // null schedule: nothing arms, zero overhead
   fault_schedule_ = schedule;
   chaos_armed_ = true;
-  fault_injector_ = std::make_unique<net::FaultInjector>(
-      fault_schedule_, config_.seed, &registry_);
-  net_.set_fault_injector(fault_injector_.get());
-  // Chaos-only series are registered at arming (not first use) so two runs
-  // with the same (seed, schedule) dump identical key sets even when an
-  // event never fires.
-  registry_.counter("engine.txn_timeouts");
-  registry_.counter("engine.failovers");
-  cc_->BindChaosCounters(&registry_);
-  pipeline_.BindStaleEpochCounter(
-      &registry_.counter("switch.stale_epoch_drops"));
+  if (sharded_) {
+    // One injector per shard: link faults are drawn on the SENDER's shard
+    // in its deterministic send order, from a stream that is a pure
+    // function of (seed, shard).
+    std::vector<MetricsRegistry*> node_registries;
+    node_registries.reserve(config_.num_nodes);
+    for (uint32_t s = 0; s < ssim_->num_shards(); ++s) {
+      EngineShard& es = *eshards_[s];
+      es.injector = std::make_unique<net::FaultInjector>(
+          fault_schedule_, ShardSeed(config_.seed, s), &es.registry);
+      es.injector->BindRngOwner(ssim_->RngToken(s));
+      router_->set_fault_injector(s, es.injector.get());
+      if (s < config_.num_nodes) node_registries.push_back(&es.registry);
+    }
+    cc_->BindChaosCountersSharded(&eshards_[switch_shard()]->registry,
+                                  node_registries);
+    pipeline_->BindStaleEpochCounter(
+        &eshards_[switch_shard()]->registry.counter(
+            "switch.stale_epoch_drops"));
+  } else {
+    fault_injector_ = std::make_unique<net::FaultInjector>(
+        fault_schedule_, config_.seed, &registry_);
+    net_.set_fault_injector(fault_injector_.get());
+    // Chaos-only series are registered at arming (not first use) so two
+    // runs with the same (seed, schedule) dump identical key sets even when
+    // an event never fires.
+    registry_.counter("engine.txn_timeouts");
+    registry_.counter("engine.failovers");
+    cc_->BindChaosCounters(&registry_);
+    pipeline_->BindStaleEpochCounter(
+        &registry_.counter("switch.stale_epoch_drops"));
+  }
   for (const net::FaultEvent& ev : fault_schedule_.events) {
+    // Scripted events are cluster-scope state changes; the sharded runtime
+    // runs them as quiescent coordinator-phase globals.
     switch (ev.kind) {
       case net::FaultEvent::Kind::kSwitchReboot:
-        sim_.ScheduleAt(ev.at, [this] { OnSwitchCrash(); });
-        sim_.ScheduleAt(ev.at + ev.downtime, [this] { BeginFailback(); });
+        ScheduleGlobalAt(ev.at, [this] { OnSwitchCrash(); });
+        ScheduleGlobalAt(ev.at + ev.downtime, [this] { BeginFailback(); });
         break;
       case net::FaultEvent::Kind::kNodeCrash:
-        sim_.ScheduleAt(ev.at, [this, n = ev.node] { SimulateNodeCrash(n); });
+        ScheduleGlobalAt(ev.at, [this, n = ev.node] { SimulateNodeCrash(n); });
         break;
       case net::FaultEvent::Kind::kNodeRestart:
-        sim_.ScheduleAt(ev.at, [this, n = ev.node] { (void)RecoverNode(n); });
+        ScheduleGlobalAt(ev.at, [this, n = ev.node] { (void)RecoverNode(n); });
         break;
     }
   }
@@ -450,8 +700,8 @@ void Engine::OnSwitchCrash() {
   // packet until failback powers it back on. The GID counter survives in
   // the control plane (the paper restarts it above everything recovered;
   // keeping it monotonic models that without re-deriving it here).
-  control_plane_.Reset();
-  pipeline_.Reboot();
+  control_plane_->Reset();
+  pipeline_->Reboot();
 }
 
 void Engine::BeginFailback() {
@@ -461,12 +711,20 @@ void Engine::BeginFailback() {
 }
 
 void Engine::FinalizeFailback() {
-  if (degraded_inflight_ > 0) {
+  uint32_t degraded = 0;
+  for (uint32_t d : degraded_inflight_) degraded += d;
+  if (degraded > 0) {
     // Degraded transactions are still mutating the hot items' host rows;
     // installing register values mid-flight would lose their writes. The
     // draining flag keeps new degraded work from starting; poll until the
-    // last one commits.
-    sim_.Schedule(5 * kMicrosecond, [this] { FinalizeFailback(); });
+    // last one commits. The sharded poll is a coordinator global (reading
+    // the per-node counts is only safe with every shard quiescent).
+    if (sharded_) {
+      ssim_->ScheduleGlobal(ssim_->global_now() + 5 * kMicrosecond,
+                            [this] { FinalizeFailback(); });
+    } else {
+      sim_.Schedule(5 * kMicrosecond, [this] { FinalizeFailback(); });
+    }
     return;
   }
   // Baseline = the host rows (crash-time seed + every degraded write),
@@ -493,11 +751,11 @@ void Engine::FinalizeFailback() {
   for (size_t i = 0; i < entries.size(); ++i) {
     const PartitionManager::HotEntry& e = entries[i];
     StatusOr<sw::RegisterAddress> addr =
-        control_plane_.AllocateSlot(e.addr.stage, e.addr.reg);
+        control_plane_->AllocateSlot(e.addr.stage, e.addr.reg);
     assert(addr.ok() && *addr == e.addr);
     (void)addr;
     const Value64 value = replay->state[PackAddr(e.addr)];
-    Status st = control_plane_.InstallValue(e.addr, value);
+    Status st = control_plane_->InstallValue(e.addr, value);
     assert(st.ok());
     (void)st;
     // Installed values become the new recovery baseline, and the host rows
@@ -514,15 +772,15 @@ void Engine::FinalizeFailback() {
   }
   pm_.set_recovery_watermarks(std::move(watermarks));
   // GID counter restarts above everything recovered (Section 6.1).
-  pipeline_.set_next_gid(
-      std::max(pipeline_.next_gid(), replay->max_gid + 1) +
+  pipeline_->set_next_gid(
+      std::max(pipeline_->next_gid(), replay->max_gid + 1) +
       static_cast<Gid>(replay->num_inflight));
   // Epoch advances exactly when the watermark is cut: packets stamped
   // before it (epoch N-1, intent < watermark) are fenced and their intents
   // replayed above; packets stamped after carry the new epoch and execute
   // on the switch. Each intent thus has exactly one applier.
   ++switch_epoch_;
-  pipeline_.PowerOn(static_cast<uint8_t>(switch_epoch_));
+  pipeline_->PowerOn(static_cast<uint8_t>(switch_epoch_));
   switch_draining_ = false;
   switch_up_ = true;
 }

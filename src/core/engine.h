@@ -1,8 +1,11 @@
 #ifndef P4DB_CORE_ENGINE_H_
 #define P4DB_CORE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics_registry.h"
@@ -14,6 +17,7 @@
 #include "core/layout.h"
 #include "core/metrics.h"
 #include "core/partition_manager.h"
+#include "core/shard_router.h"
 #include "db/lock_manager.h"
 #include "db/table.h"
 #include "db/txn.h"
@@ -22,6 +26,7 @@
 #include "net/network.h"
 #include "sim/co_task.h"
 #include "sim/future.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 #include "switchsim/control_plane.h"
@@ -50,6 +55,17 @@ struct OffloadReport {
 /// OptimisticCC, selected by SystemConfig::cc_protocol) that sees the
 /// cluster through a cc::ExecutionContext.
 ///
+/// Execution runtimes (SystemConfig::threads):
+///  - threads == 0 (legacy): one Simulator drives the whole cluster. The
+///    reference runtime for every historical seeded baseline; untouched by
+///    the parallel work.
+///  - threads >= 1 (sharded): one shard per node plus a switch shard, each
+///    with its own Simulator, event-synchronized by a ShardedSimulator over
+///    conservative lookahead windows and connected by a ShardRouter. All
+///    mutable engine state is partitioned by shard (EngineShard); the
+///    merged metrics/trace outputs are a pure function of (seed, schedule),
+///    so any threads >= 1 run is bit-identical to threads == 1.
+///
 /// Lifecycle: construct -> SetWorkload -> Offload -> Run (once) -> inspect
 /// metrics / state. Crash-recovery experiments use SimulateSwitchCrash +
 /// RecoverSwitch between runs of the recovery tests.
@@ -76,7 +92,8 @@ class Engine {
   Metrics Run(SimTime warmup, SimTime duration);
 
   /// Executes a single transaction to completion on an otherwise idle
-  /// cluster (for tests and examples). Returns per-op results.
+  /// cluster (for tests and examples). Returns per-op results. Legacy
+  /// runtime only.
   StatusOr<std::vector<Value64>> ExecuteOnce(db::Transaction txn,
                                              NodeId home);
 
@@ -109,7 +126,9 @@ class Engine {
   /// Pre-sizes per-tuple/per-record bookkeeping (CC version tables, WAL
   /// record indexes and payload arenas) for a bounded run so the measured
   /// window executes without growing any of them — the allocation-free
-  /// steady state the hot-path benchmarks assert.
+  /// steady state the hot-path benchmarks assert. In sharded mode every
+  /// shard simulator, the cross-shard mailboxes and the global-event heap
+  /// are pre-sized too.
   void ReserveSteadyState(size_t tuples_per_node, size_t wal_records_per_node,
                           size_t wal_payload_bytes_per_node) {
     cc_->ReserveTupleCapacity(tuples_per_node * config_.num_nodes);
@@ -121,7 +140,18 @@ class Engine {
     // once plus the harness marks).
     const size_t workers =
         size_t{config_.num_nodes} * config_.workers_per_node;
-    sim_.Reserve(workers * 8 + 1024, workers * 4 + 256);
+    if (sharded_) {
+      // Every shard gets the full-cluster budget: the switch shard parks
+      // most in-flight coroutines at peak, and memory is cheap next to a
+      // realloc inside the measured window.
+      for (uint32_t s = 0; s < ssim_->num_shards(); ++s) {
+        ssim_->shard(s).Reserve(workers * 8 + 1024, workers * 4 + 256);
+      }
+      ssim_->Reserve(/*global_events=*/workers * 4 + 4096,
+                     /*mailbox_records_per_pair=*/workers * 4 + 256);
+    } else {
+      sim_.Reserve(workers * 8 + 1024, workers * 4 + 256);
+    }
   }
 
   // -- Observability (call before Run) --
@@ -133,12 +163,21 @@ class Engine {
   /// in BENCH_<name>.json via Sampler::ToJson.
   trace::Sampler& EnableTimeSeries(SimTime tick);
 
-  /// The engine's tracer. Always-on flight recorder by default (last
-  /// Tracer::kFlightCapacity records, dumped by failing chaos runs); call
-  /// tracer().EnableFull() before Run to capture a whole run for --trace.
+  /// The engine's tracer (legacy runtime). Always-on flight recorder by
+  /// default; sharded runs record into per-shard tracers instead — use
+  /// EnableFullTrace()/TraceJson() for runtime-agnostic capture/export.
   trace::Tracer& tracer() { return tracer_; }
   /// Null until EnableTimeSeries.
   trace::Sampler* sampler() { return sampler_.get(); }
+
+  /// Upgrades the flight recorder(s) to full-run capture for --trace runs;
+  /// in sharded mode every shard tracer is upgraded.
+  void EnableFullTrace();
+  /// Chrome-trace JSON export: the engine tracer's ring in legacy mode; in
+  /// sharded mode the per-shard rings concatenated in fixed shard order and
+  /// re-sorted inside the exporter, so the bytes are a pure function of
+  /// (seed, schedule) — identical for every thread count.
+  std::string TraceJson(std::string_view fault_schedule_json = {});
 
   bool chaos_armed() const { return chaos_armed_; }
   bool switch_up() const { return switch_up_; }
@@ -148,10 +187,14 @@ class Engine {
 
   // -- Accessors --
   const SystemConfig& config() const { return config_; }
+  /// True when SystemConfig::threads selected the parallel runtime.
+  bool sharded() const { return sharded_; }
   sim::Simulator& simulator() { return sim_; }
+  /// Non-null in sharded mode only.
+  sim::ShardedSimulator* sharded_simulator() { return ssim_.get(); }
   net::Network& network() { return net_; }
-  sw::Pipeline& pipeline() { return pipeline_; }
-  sw::ControlPlane& control_plane() { return control_plane_; }
+  sw::Pipeline& pipeline() { return *pipeline_; }
+  sw::ControlPlane& control_plane() { return *control_plane_; }
   db::Catalog& catalog() { return *catalog_; }
   PartitionManager& partition_manager() { return pm_; }
   db::LockManager& lock_manager(NodeId node) { return *lock_managers_[node]; }
@@ -162,18 +205,88 @@ class Engine {
   cc::ConcurrencyControl& concurrency_control() { return *cc_; }
   /// Cluster-wide named counters/histograms published by Network, Pipeline,
   /// LockManager, Wal and the engine itself; reset at the start of the
-  /// measured window; dumped as JSON by the bench harness.
+  /// measured window; dumped as JSON by the bench harness. In sharded mode
+  /// the per-shard registries are merged into this one (fixed shard order)
+  /// when Run finishes.
   MetricsRegistry& metrics_registry() { return registry_; }
   const MetricsRegistry& metrics_registry() const { return registry_; }
 
+  /// Total simulator events executed (summed over shards when sharded) —
+  /// the bench harness's events/txn statistic.
+  uint64_t TotalExecutedEvents() const {
+    return sharded_ ? ssim_->TotalExecutedEvents() : sim_.executed_events();
+  }
+
+  /// Schedules `fn` at absolute simulated time `t`: a coordinator-phase
+  /// global in sharded mode (runs with every shard quiescent), a plain
+  /// simulator event in legacy mode. Test harness hook (e.g. allocation
+  /// window brackets).
+  void ScheduleGlobalAt(SimTime t, std::function<void()> fn) {
+    if (sharded_) {
+      ssim_->ScheduleGlobal(t, std::move(fn));
+    } else {
+      sim_.ScheduleAt(t, std::move(fn));
+    }
+  }
+
  private:
+  /// Per-shard engine state for the parallel runtime: one slot per node
+  /// shard plus one for the switch shard (last index). Everything a
+  /// worker's hot path touches lives here so no two shards share mutable
+  /// state; the mergeable pieces fold into the engine-level registry /
+  /// metrics / trace in fixed shard order when Run finishes.
+  struct EngineShard {
+    MetricsRegistry registry;
+    std::unique_ptr<trace::Tracer> tracer;
+    Metrics metrics;        // node shards only (written by workers)
+    uint64_t next_txn_id = 0;  // per-node id counter (see TakeTxnId)
+    MetricsRegistry::Counter* committed = nullptr;
+    MetricsRegistry::Counter* aborted = nullptr;
+    MetricsRegistry::Counter* gaveup = nullptr;
+    Histogram* attempts_hist = nullptr;
+    /// Shard-private discard sinks for the retry-cap series when the cap
+    /// is off: the process-wide null sinks would be written from several
+    /// shards at once, and registering real per-shard series would change
+    /// the dumped key set relative to legacy uncapped runs.
+    MetricsRegistry::Counter discard_counter;
+    Histogram discard_hist;
+    /// Chaos only: this shard's deterministic fault stream, seeded
+    /// ShardSeed(config.seed, shard).
+    std::unique_ptr<net::FaultInjector> injector;
+  };
+
   sim::Task RunWorker(NodeId node, WorkerId worker, uint64_t seed_salt = 0);
   /// Driver for ExecuteOnce: retries one transaction to completion.
   sim::Task DriveOnce(db::Transaction* txn, NodeId home,
                       std::vector<std::optional<Value64>>* results,
                       bool* done);
 
+  /// Sharded-mode Run: spawns workers under their shard contexts, drives
+  /// the window protocol, then merges per-shard state deterministically.
+  Metrics RunSharded(SimTime warmup, SimTime duration);
+
   SimTime BackoffDelay(int attempt, Rng& rng);
+
+  uint32_t switch_shard() const { return config_.num_nodes; }
+  sim::Simulator& HomeSim(NodeId node) {
+    return sharded_ ? ssim_->shard(node) : sim_;
+  }
+  trace::Tracer& HomeTracer(NodeId node) {
+    return sharded_ ? *eshards_[node]->tracer : tracer_;
+  }
+  /// Transaction ids. Legacy: one global counter. Sharded: per-node
+  /// counters interleaved as c * num_nodes + node + 1, so ids stay globally
+  /// unique and nodes keep comparable WAIT_DIE priorities without sharing a
+  /// counter across shards.
+  uint64_t PeekTxnId(NodeId node) const {
+    if (!sharded_) return next_txn_id_;
+    return eshards_[node]->next_txn_id * config_.num_nodes + node + 1;
+  }
+  uint64_t TakeTxnId(NodeId node) {
+    if (!sharded_) return next_txn_id_++;
+    const uint64_t c = eshards_[node]->next_txn_id++;
+    return c * config_.num_nodes + node + 1;
+  }
 
   // Chaos-harness event handlers (scheduled by InstallFaultSchedule).
   /// Crash instant: seed host rows for all hot items from the WAL replay,
@@ -186,12 +299,19 @@ class Engine {
   void FinalizeFailback();
 
   SystemConfig config_;
+  const bool sharded_;
   sim::Simulator sim_;
   MetricsRegistry registry_;  // before the components that register into it
   trace::Tracer tracer_{&sim_};  // flight-recorder mode until EnableFull
+  /// Parallel runtime (sharded_ only; all null/empty in legacy mode).
+  /// Declared before the components so shard sims/registries/tracers exist
+  /// when lock managers, WALs, the pipeline and the router bind to them.
+  std::unique_ptr<sim::ShardedSimulator> ssim_;
+  std::vector<std::unique_ptr<EngineShard>> eshards_;
+  std::unique_ptr<ShardRouter> router_;
   net::Network net_;
-  sw::Pipeline pipeline_;
-  sw::ControlPlane control_plane_;
+  std::unique_ptr<sw::Pipeline> pipeline_;
+  std::unique_ptr<sw::ControlPlane> control_plane_;
   std::unique_ptr<db::Catalog> catalog_;
   PartitionManager pm_;
   std::vector<std::unique_ptr<db::LockManager>> lock_managers_;
@@ -209,7 +329,7 @@ class Engine {
   /// True while Run's workers are live — RecoverNode only respawns then.
   bool running_ = false;
 
-  uint64_t next_txn_id_ = 1;
+  uint64_t next_txn_id_ = 1;  // legacy runtime only (see TakeTxnId)
   std::vector<uint32_t> next_client_seq_;
 
   // Chaos-harness state. All inert (and the counters unregistered) until
@@ -221,7 +341,10 @@ class Engine {
   bool switch_up_ = true;
   bool switch_draining_ = false;
   uint32_t switch_epoch_ = 0;
-  uint32_t degraded_inflight_ = 0;
+  /// Per home node, each entry only ever touched by its owning shard (the
+  /// legacy runtime simply uses all entries from its one thread); the
+  /// failback drain sums them at a quiescent point.
+  std::vector<uint32_t> degraded_inflight_;
   /// Per-node WAL record count captured at the crash instant; records at or
   /// after it are stragglers (intent appended after the host rows were
   /// seeded) and are replayed onto the host-row baseline at failback.
@@ -230,7 +353,8 @@ class Engine {
   uint64_t recover_generation_ = 0;
 
   /// Engine-level registry counters (committed / aborted attempts over the
-  /// measured window).
+  /// measured window). Legacy runtime; sharded workers use their
+  /// EngineShard's counters and the dump merge reproduces these series.
   MetricsRegistry::Counter* committed_counter_ = nullptr;
   MetricsRegistry::Counter* aborted_counter_ = nullptr;
   /// Bound to real series only when config.max_attempts > 0 (else the

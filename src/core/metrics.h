@@ -83,6 +83,26 @@ struct Metrics {
                          : static_cast<double>(aborted_attempts) /
                                static_cast<double>(attempts);
   }
+
+  /// Folds another shard's metrics into this one (counts add, histograms
+  /// merge). All fields are order-independent sums, so merging the shards
+  /// in fixed shard order yields the same aggregate regardless of how many
+  /// threads executed them.
+  void Merge(const Metrics& other) {
+    committed += other.committed;
+    aborted_attempts += other.aborted_attempts;
+    for (int i = 0; i < 3; ++i) {
+      committed_by_class[i] += other.committed_by_class[i];
+      attempts_by_class[i] += other.attempts_by_class[i];
+      aborts_by_class[i] += other.aborts_by_class[i];
+    }
+    committed_distributed += other.committed_distributed;
+    latency_all.Merge(other.latency_all);
+    for (int i = 0; i < 3; ++i) {
+      latency_by_class[i].Merge(other.latency_by_class[i]);
+    }
+    breakdown += other.breakdown;
+  }
 };
 
 }  // namespace p4db::core

@@ -1,0 +1,263 @@
+#ifndef P4DB_CORE_SHARD_ROUTER_H_
+#define P4DB_CORE_SHARD_ROUTER_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "db/lock_manager.h"
+#include "net/fault_injector.h"
+#include "net/network.h"
+#include "sim/sharded_simulator.h"
+
+namespace p4db::core {
+
+/// Cross-shard message router for the parallel runtime.
+///
+/// In sharded mode every database node (and the switch) is one
+/// ShardedSimulator shard, and a coroutine always executes on the shard
+/// whose state it is touching. A network send therefore does two things at
+/// once: it models the wire (link occupancy, serialization, propagation,
+/// injected faults — mirroring net::Network::ArrivalTime) and it MIGRATES
+/// the sending coroutine to the destination shard, resuming it there at the
+/// arrival time. Awaiting a lock grant or a switch-pipeline future then
+/// resolves on the shard that owns the lock manager / pipeline, which is
+/// exactly where the promise's ScheduleResume lands.
+///
+/// Link-state ownership follows the shard map: node n's uplink and host
+/// receive path live on shard n; the per-node switch downlinks live on the
+/// switch shard. The sender leg (egress link + flight) is computed on the
+/// sending shard; the receiver leg (rx service) is computed by the mailbox
+/// record when it executes on the destination shard. Timing matches the
+/// legacy single-simulator Network except for one documented deviation:
+/// node->node messages fly point to point in 2x one_way without contending
+/// for the switch downlink (routing them through the switch shard would
+/// add a third hop the legacy model doesn't have).
+///
+/// All mailbox-record lambdas must fit InlineEvent's inline capacity; the
+/// capture sets below are sized for that (<= 40 bytes).
+class ShardRouter {
+ public:
+  /// `injectors` / `tracers` / `registries` are per-shard, indexed by shard
+  /// id (node id, switch last); injector entries may be null (lossless).
+  ShardRouter(sim::ShardedSimulator* ssim, const net::NetworkConfig& config,
+              std::vector<trace::Tracer*> tracers,
+              const std::vector<MetricsRegistry*>& registries)
+      : ssim_(ssim),
+        config_(config),
+        tracers_(std::move(tracers)),
+        injectors_(ssim->num_shards(), nullptr),
+        uplink_busy_(config.num_nodes, 0),
+        rx_busy_(config.num_nodes, 0),
+        downlink_busy_(config.num_nodes, 0) {
+    assert(ssim_->num_shards() == uint32_t{config_.num_nodes} + 1);
+    assert(tracers_.size() == ssim_->num_shards());
+    assert(registries.size() == ssim_->num_shards());
+    messages_sent_.reserve(registries.size());
+    bytes_sent_.reserve(registries.size());
+    for (MetricsRegistry* reg : registries) {
+      messages_sent_.push_back(&reg->counter("net.messages_sent"));
+      bytes_sent_.push_back(&reg->counter("net.bytes_sent"));
+    }
+  }
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  uint32_t switch_shard() const { return config_.num_nodes; }
+  uint32_t ShardOf(net::Endpoint ep) const {
+    return ep.is_switch() ? switch_shard() : ep.index;
+  }
+
+  sim::Simulator& CurrentSim() { return ssim_->CurrentSim(); }
+  trace::Tracer& CurrentTracer() {
+    return *tracers_[ssim_->current_shard()];
+  }
+  bool OnShardOf(NodeId node) const {
+    return ssim_->current_shard() == node;
+  }
+
+  void set_fault_injector(uint32_t shard, net::FaultInjector* injector) {
+    injectors_[shard] = injector;
+  }
+
+  /// Suspends the caller and resumes it on `to`'s shard at the message's
+  /// arrival time (sharded equivalent of co_await Network::Send).
+  void SendAndMigrate(net::Endpoint from, net::Endpoint to, uint32_t bytes,
+                      uint64_t txn_id, std::coroutine_handle<> h) {
+    const SimTime begin = CurrentSim().now();
+    const uint16_t track =
+        from.is_switch() ? trace::kSwitchTrack : from.index;
+    const SimTime flight_arrive = Depart(from, to, bytes, txn_id, track);
+    ssim_->Post(ShardOf(to), flight_arrive,
+                [this, ha = h.address(), begin, txn_id, track,
+                 dst = to.index] {
+                  DeliverResume(ha, begin, txn_id, track, dst);
+                });
+  }
+
+  /// Suspends the caller and resumes it on `node`'s shard one propagation
+  /// delay later. Models the home-node observer side of a timeout: no link
+  /// occupancy, no trace span — the legacy runtime's equivalent is simply
+  /// "the coroutine was already at home", a no-op.
+  void MigrateHome(NodeId node, std::coroutine_handle<> h) {
+    ssim_->Post(node, CurrentSim().now() + ssim_->lookahead(),
+                [ha = h.address()] {
+                  std::coroutine_handle<>::from_address(ha).resume();
+                });
+  }
+
+  /// Runs lm->ReleaseAll(txn_id) on `owner`'s shard at absolute time `at`
+  /// (sharded equivalent of the legacy fire-and-forget
+  /// sim->Schedule(one_way, release) used by ReleaseLocks; like it, this
+  /// models no link occupancy). `at` must respect the lookahead.
+  void PostRelease(NodeId owner, SimTime at, db::LockManager* lm,
+                   uint64_t txn_id) {
+    ssim_->Post(owner, at, [lm, txn_id] { lm->ReleaseAll(txn_id); });
+  }
+
+  /// Switch multicast of the commit decision (Figure 10): reserves each
+  /// node's downlink on the switch shard in ascending node order (exactly
+  /// like Network::MulticastFromSwitch), then posts one record per node.
+  /// At its arrival (after the rx leg, computed on the node's shard) the
+  /// record releases `txn_id`'s locks when the node's bit is set in
+  /// `participant_mask`, and resumes `h` on node `self`. Must be called
+  /// from the switch shard; num_nodes must fit the mask.
+  void MulticastCommit(
+      NodeId self, uint32_t bytes, uint64_t txn_id, uint64_t participant_mask,
+      const std::vector<std::unique_ptr<db::LockManager>>& lock_managers,
+      std::coroutine_handle<> h) {
+    assert(ssim_->current_shard() == switch_shard());
+    assert(config_.num_nodes <= 64);
+    const SimTime begin = CurrentSim().now();
+    for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+      // Legacy MulticastFromSwitch labels every hop txn 0 (unattributed).
+      const SimTime flight = Depart(net::Endpoint::Switch(),
+                                    net::Endpoint::Node(n), bytes, 0,
+                                    trace::kSwitchTrack);
+      if (n == self) {
+        ssim_->Post(n, flight, [this, ha = h.address(), begin, n] {
+          const SimTime arrive = RxLeg(n, begin);
+          CurrentSim().ScheduleResume(arrive - CurrentSim().now(),
+                                      std::coroutine_handle<>::from_address(
+                                          ha));
+        });
+      } else if ((participant_mask >> n) & 1) {
+        db::LockManager* lm = lock_managers[n].get();
+        ssim_->Post(n, flight, [this, lm, txn_id, begin, n] {
+          const SimTime arrive = RxLeg(n, begin);
+          CurrentSim().Schedule(arrive - CurrentSim().now(),
+                                [lm, txn_id] { lm->ReleaseAll(txn_id); });
+        });
+      } else {
+        // Non-participants still absorb the broadcast frame: the rx path
+        // is reserved so later messages queue behind it, as in the legacy
+        // model where every multicast leg runs the full ArrivalTime.
+        ssim_->Post(n, flight,
+                    [this, begin, n] { RxLeg(n, begin); });
+      }
+    }
+  }
+
+ private:
+  /// Sender-side half of Network::ArrivalTime: counters, injected faults,
+  /// egress-link reservation, serialization, propagation. Returns the
+  /// flight arrival time at the destination (before any rx leg). Runs on
+  /// the sending shard.
+  SimTime Depart(net::Endpoint from, net::Endpoint to, uint32_t bytes,
+                 uint64_t txn_id, uint16_t track) {
+    const uint32_t s = ssim_->current_shard();
+    assert(s == ShardOf(from));
+    sim::Simulator& sim = ssim_->shard(s);
+    messages_sent_[s]->Increment();
+    bytes_sent_[s]->Increment(bytes);
+
+    SimTime injected_delay = 0;
+    bool injected_dup = false;
+    if (net::FaultInjector* inj = injectors_[s]; inj != nullptr) {
+      const net::FaultInjector::Perturbation p = inj->OnSend(from, to);
+      injected_delay = p.extra_delay;
+      injected_dup = p.duplicate;
+      trace::Tracer* tracer = tracers_[s];
+      if (tracer->enabled()) {
+        if (p.dropped) {
+          tracer->Instant(trace::Category::kNetDrop, txn_id, track,
+                          to.index);
+        }
+        if (p.duplicate) {
+          tracer->Instant(trace::Category::kNetDup, txn_id, track,
+                          to.index);
+        }
+        if (p.delay_spiked) {
+          tracer->Instant(trace::Category::kNetDelaySpike, txn_id, track,
+                          to.index);
+        }
+      }
+    }
+
+    const SimTime ser = static_cast<SimTime>(
+        std::llround(static_cast<double>(bytes) * config_.ns_per_byte));
+    const SimTime start = sim.now() + config_.send_overhead + injected_delay;
+    SimTime* link = from.is_switch() ? &downlink_busy_[to.index]
+                                     : &uplink_busy_[from.index];
+    const SimTime depart = std::max(start, *link) + ser;
+    *link = depart + (injected_dup ? ser : 0);
+    // Direct point-to-point flight; node->node skips the switch shard (see
+    // class comment) but still pays both propagation hops.
+    const int hops = (from.is_switch() || to.is_switch()) ? 1 : 2;
+    return depart + hops * config_.node_to_switch_one_way;
+  }
+
+  /// Receiver-side rx-path reservation for node `n`; runs on shard n at the
+  /// flight arrival time. Emits the net_send span (receiver-shard ring, the
+  /// original sender's track) and returns the post-rx arrival time.
+  SimTime RxLeg(uint16_t n, SimTime begin, uint64_t txn_id = 0,
+                uint16_t track = trace::kSwitchTrack) {
+    sim::Simulator& sim = CurrentSim();
+    SimTime& rx = rx_busy_[n];
+    const SimTime arrive = std::max(sim.now(), rx) + config_.rx_service;
+    rx = arrive;
+    tracers_[n]->CompleteSpan(begin, arrive, trace::Category::kNetSend,
+                              txn_id, track, 0, 0, n);
+    return arrive;
+  }
+
+  void DeliverResume(void* ha, SimTime begin, uint64_t txn_id,
+                     uint16_t track, uint16_t dst) {
+    sim::Simulator& sim = CurrentSim();
+    const auto h = std::coroutine_handle<>::from_address(ha);
+    if (dst == net::Endpoint::kSwitchIndex) {
+      // The switch receives at line rate: arrival == flight arrival.
+      tracers_[switch_shard()]->CompleteSpan(begin, sim.now(),
+                                             trace::Category::kNetSend,
+                                             txn_id, track, 0, 0, dst);
+      h.resume();
+      return;
+    }
+    const SimTime arrive = RxLeg(dst, begin, txn_id, track);
+    sim.ScheduleResume(arrive - sim.now(), h);
+  }
+
+  sim::ShardedSimulator* ssim_;
+  const net::NetworkConfig config_;
+  std::vector<trace::Tracer*> tracers_;             // per shard
+  std::vector<net::FaultInjector*> injectors_;      // per shard, may be null
+  std::vector<MetricsRegistry::Counter*> messages_sent_;  // per shard
+  std::vector<MetricsRegistry::Counter*> bytes_sent_;     // per shard
+  // Link state, touched only by the owning shard's thread (or by globals
+  // with every shard quiescent): uplink/rx of node n on shard n, the
+  // per-node switch downlinks on the switch shard.
+  std::vector<SimTime> uplink_busy_;
+  std::vector<SimTime> rx_busy_;
+  std::vector<SimTime> downlink_busy_;
+};
+
+}  // namespace p4db::core
+
+#endif  // P4DB_CORE_SHARD_ROUTER_H_

@@ -17,17 +17,41 @@ Table::Table(TableId id, std::string name, uint16_t num_columns,
 }
 
 Row& Table::GetOrCreate(Key key) {
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = rows_.try_emplace(key, default_row_);
+    return it->second;
+  }
   auto [it, inserted] = rows_.try_emplace(key, default_row_);
   return it->second;
 }
 
 const Row* Table::Find(Key key) const {
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rows_.find(key);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
   auto it = rows_.find(key);
   return it == rows_.end() ? nullptr : &it->second;
 }
 
+bool Table::Contains(Key key) const {
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_.contains(key);
+  }
+  return rows_.contains(key);
+}
+
 Status Table::Insert(Key key, Row row) {
   assert(row.size() == num_columns_);
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = rows_.try_emplace(key, std::move(row));
+    if (!inserted) return Status::InvalidArgument("duplicate primary key");
+    return Status::Ok();
+  }
   auto [it, inserted] = rows_.try_emplace(key, std::move(row));
   if (!inserted) return Status::InvalidArgument("duplicate primary key");
   return Status::Ok();

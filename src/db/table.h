@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -63,9 +64,19 @@ class Table {
   Row& GetOrCreate(Key key);
   /// Read-only lookup; kNotFound if the row was never materialized.
   const Row* Find(Key key) const;
-  bool Contains(Key key) const { return rows_.contains(key); }
+  bool Contains(Key key) const;
   /// Explicit insert (kInsert op); fails if the key already exists.
   Status Insert(Key key, Row row);
+
+  /// Switches the accessors to mutex-guarded mode for the parallel sharded
+  /// runtime: rows materialize lazily, so several shards can race the hash
+  /// map itself mid-run. Only the MAP structure is guarded — references
+  /// returned by GetOrCreate stay valid across rehashes (node-based map)
+  /// and row CONTENT synchronization remains the lock managers' job
+  /// (conflicting accesses are serialized by 2PL, and the lock handoff
+  /// always crosses a window barrier between shards). Legacy single-thread
+  /// runs never take the mutex.
+  void EnableConcurrentAccess() { concurrent_ = true; }
 
   size_t materialized_rows() const { return rows_.size(); }
 
@@ -76,6 +87,8 @@ class Table {
   PartitionSpec partition_;
   Row default_row_;
   std::unordered_map<Key, Row> rows_;
+  bool concurrent_ = false;
+  mutable std::mutex mu_;
 };
 
 /// Secondary index mapping an alternate key to a primary key. Kept on the
@@ -113,6 +126,13 @@ class Catalog {
   size_t num_tables() const { return tables_.size(); }
 
   SecondaryIndex& CreateSecondaryIndex(std::string name);
+
+  /// Arms mutex-guarded access on every table (see
+  /// Table::EnableConcurrentAccess). Called by the engine when the parallel
+  /// sharded runtime starts.
+  void EnableConcurrentAccess() {
+    for (auto& t : tables_) t->EnableConcurrentAccess();
+  }
 
   NodeId OwnerOf(const TupleId& t) const {
     return tables_[t.table]->partition().OwnerOf(t.key, num_nodes_);

@@ -115,6 +115,13 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
+  /// Binds the injector's RNG stream to a shard ownership token (see
+  /// Rng::BindOwner). The sharded runtime gives each shard its own injector
+  /// seeded ShardSeed(seed, shard) and binds it here, so a draw from the
+  /// wrong shard trips the ownership assert instead of silently perturbing
+  /// another shard's fault sequence.
+  void BindRngOwner(const void* owner) { rng_.BindOwner(owner); }
+
   const FaultSchedule& schedule() const { return schedule_; }
 
   /// Called by the Network once per message send. Draws from the RNG only

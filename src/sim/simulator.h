@@ -79,6 +79,18 @@ class Simulator {
     if (!stopped_ && now_ < t) now_ = t;
   }
 
+  /// Sentinel returned by NextEventTime() when the queue is empty.
+  static constexpr SimTime kNoEvent = INT64_MAX;
+
+  /// Timestamp of the earliest pending event, or kNoEvent when the queue is
+  /// empty. Non-const (the calendar queue may advance its cursor while
+  /// peeking); callers must be the owning thread or hold the shard barrier
+  /// (ShardedSimulator's coordinator peeks only while every shard is
+  /// quiescent).
+  SimTime NextEventTime() {
+    return queue_.empty() ? kNoEvent : queue_.MinTime();
+  }
+
   /// Stops the event loop; no further events execute.
   void Stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }

@@ -43,6 +43,8 @@ class SmallBank : public Workload {
   std::string name() const override { return "SmallBank"; }
   void Setup(db::Catalog* catalog) override;
   db::Transaction Next(Rng& rng, NodeId home) override;
+  /// Next() reads only the config and Setup-frozen layout state.
+  bool ThreadSafeGeneration() const override { return true; }
 
   /// Builds one transaction of an explicit type (tests drive this).
   db::Transaction Make(TxnType type, Key account_a, Key account_b,

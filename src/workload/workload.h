@@ -31,6 +31,13 @@ class Workload {
   /// items such as the replicated item table stay on the nodes.
   virtual bool OffloadWrittenOnly() const { return false; }
 
+  /// True when Next() is a pure function of (rng, home) over state frozen
+  /// at Setup — i.e. callable concurrently from several shards, each with
+  /// its own Rng stream. The parallel sharded runtime requires this;
+  /// workloads with mutable generation state must keep the default false
+  /// and run on the legacy single-thread runtime.
+  virtual bool ThreadSafeGeneration() const { return false; }
+
   /// Representative sample for offline hot-set detection and access-graph
   /// construction (Section 3.1). Default: draw `n` transactions round-robin
   /// across nodes with a private RNG.

@@ -45,6 +45,8 @@ class Ycsb : public Workload {
   }
   void Setup(db::Catalog* catalog) override;
   db::Transaction Next(Rng& rng, NodeId home) override;
+  /// Next() reads only the config and Setup-frozen layout state.
+  bool ThreadSafeGeneration() const override { return true; }
 
   /// Hot key j (0-based) of node n: keys are laid out so that
   /// key % num_nodes == n (round-robin partitioning).

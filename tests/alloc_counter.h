@@ -10,10 +10,12 @@
 // pays for the counting. Including it twice in one binary is a link error
 // (duplicate definitions) — that is intentional.
 //
-// The counters are plain integers: everything in this repository runs on
-// one thread (the discrete-event simulator), and gtest drives tests
-// serially.
+// The counters are relaxed atomics: the parallel sharded runtime allocates
+// from several OS threads, and the tests only ever read the counters at
+// quiescent points (before/after a run window), so relaxed ordering gives
+// exact totals without fencing the allocator hot path.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -25,18 +27,18 @@
 namespace p4db::testing {
 
 namespace alloc_internal {
-inline uint64_t g_allocs = 0;
-inline uint64_t g_frees = 0;
-inline uint64_t g_bytes = 0;
+inline std::atomic<uint64_t> g_allocs{0};
+inline std::atomic<uint64_t> g_frees{0};
+inline std::atomic<uint64_t> g_bytes{0};
 /// Debug aid: when set, the next counted allocation traps so a debugger
 /// shows who allocated inside a window that is supposed to be silent.
-inline bool g_trap = false;
+inline std::atomic<bool> g_trap{false};
 
 /// Dumps the current stack (raw addresses, decodable with addr2line) to
 /// stderr and aborts. backtrace_symbols_fd writes straight to the fd and
 /// never allocates, so it is safe to call from inside operator new.
 [[noreturn]] inline void TrapWithBacktrace() {
-  g_trap = false;
+  g_trap.store(false, std::memory_order_relaxed);
   void* frames[48];
   const int n = ::backtrace(frames, 48);
   ::backtrace_symbols_fd(frames, n, STDERR_FILENO);
@@ -44,16 +46,16 @@ inline bool g_trap = false;
 }
 
 inline void* CountedAlloc(std::size_t size) {
-  if (g_trap) TrapWithBacktrace();
-  ++g_allocs;
-  g_bytes += size;
+  if (g_trap.load(std::memory_order_relaxed)) TrapWithBacktrace();
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size != 0 ? size : 1);
 }
 
 inline void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
-  if (g_trap) TrapWithBacktrace();
-  ++g_allocs;
-  g_bytes += size;
+  if (g_trap.load(std::memory_order_relaxed)) TrapWithBacktrace();
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
   // aligned_alloc requires size to be a multiple of the alignment.
   const std::size_t rounded = (size + align - 1) / align * align;
   return std::aligned_alloc(align, rounded != 0 ? rounded : align);
@@ -61,7 +63,7 @@ inline void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
 
 inline void CountedFree(void* p) {
   if (p == nullptr) return;
-  ++g_frees;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 }  // namespace alloc_internal
@@ -73,12 +75,16 @@ struct AllocSnapshot {
 };
 
 inline AllocSnapshot CaptureAllocs() {
-  return AllocSnapshot{alloc_internal::g_allocs, alloc_internal::g_frees,
-                       alloc_internal::g_bytes};
+  return AllocSnapshot{
+      alloc_internal::g_allocs.load(std::memory_order_relaxed),
+      alloc_internal::g_frees.load(std::memory_order_relaxed),
+      alloc_internal::g_bytes.load(std::memory_order_relaxed)};
 }
 
 /// Arms/disarms the trap-on-allocation debug aid (see g_trap).
-inline void SetAllocTrap(bool on) { alloc_internal::g_trap = on; }
+inline void SetAllocTrap(bool on) {
+  alloc_internal::g_trap.store(on, std::memory_order_relaxed);
+}
 
 }  // namespace p4db::testing
 

@@ -66,6 +66,35 @@ def gate_hotpath(failures, baseline, fresh):
             print(f"  [FAIL] {scenario}: missing from fresh results")
             failures.append(f"{scenario} missing")
             continue
+        if scenario == "scaling_summary":
+            # Parity is machine-independent and gated absolutely; the wall
+            # speedup depends entirely on the runner's core count.
+            if not run.get("parallel_committed_parity", False):
+                print("  [FAIL] scaling_summary: committed counts differ "
+                      "across thread counts (parallel run not deterministic)")
+                failures.append("scaling parity broken")
+            else:
+                print("  [ok  ] scaling_summary parallel_committed_parity")
+            print(f"         scaling_summary speedup_t8: "
+                  f"{run.get('speedup_t8', float('nan')):g}x "
+                  f"(baseline {base.get('speedup_t8', float('nan')):g}x, "
+                  f"machine-dependent, not gated)")
+            continue
+        if scenario.startswith("scaling_"):
+            if not run.get("parallel_committed_parity", False):
+                print(f"  [FAIL] {scenario}: committed differs from the "
+                      f"threads=1 run of the same process")
+                failures.append(f"{scenario} parity broken")
+            else:
+                print(f"  [ok  ] {scenario} parallel_committed_parity")
+            check(failures, f"{scenario} committed", run["committed"],
+                  base["committed"] * (1 - TOLERANCE), -1)
+            check(failures, f"{scenario} committed", run["committed"],
+                  base["committed"] * (1 + TOLERANCE), +1)
+            print(f"         {scenario} wall_txns_per_sec: "
+                  f"{run['wall_txns_per_sec']:g} "
+                  f"(baseline {base['wall_txns_per_sec']:g}, not gated)")
+            continue
         if scenario == "tracing_overhead":
             check(failures, "tracing_overhead overhead_ratio",
                   run["overhead_ratio"], 1 + TOLERANCE, +1)
