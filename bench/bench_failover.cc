@@ -1,9 +1,19 @@
 // Robustness experiment (Section 6.1, Appendix A.3): throughput timeline
-// around a scripted mid-run switch reboot. The switch goes dark for a fixed
-// window, traffic degrades to host-side execution, and the control plane
-// re-provisions the registers from the WALs while the cluster keeps
-// running. Reported: steady-state baseline, dip depth during the dark
-// window, and time-to-recover back to 90% of baseline.
+// around a scripted mid-run switch reboot, in two configurations.
+//
+//  * failover_dark (1 switch): the switch goes dark for a fixed window,
+//    traffic degrades to host-side execution, and the control plane
+//    re-provisions the registers from the WALs while the cluster keeps
+//    running — the deep historical dip.
+//  * failover_replicated (2 switches): the same reboot hits the PRIMARY of
+//    a replicated pair; the backup promotes through an epoch-fenced view
+//    change after view_change_delay, so the dip collapses to a brief
+//    fenced pause.
+//
+// Reported per scenario: steady-state baseline, dip depth during the
+// fault window, and time-to-recover back to 90% of baseline. Both runs
+// are seeded and fully deterministic, so committed counts and dip depths
+// are gated by tools/perf_gate.py.
 
 #include "bench_common.h"
 
@@ -24,8 +34,10 @@ double RatePerSecond(uint64_t commits) {
          (static_cast<double>(kSecond) / static_cast<double>(kBucket));
 }
 
-void RunFailover(const BenchTime& time) {
+void RunFailover(const BenchTime& time, uint16_t num_switches,
+                 const char* scenario) {
   core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+  cfg.num_switches = num_switches;
   wl::YcsbConfig wcfg;
   wcfg.variant = 'A';
   wcfg.distributed_fraction = 0.2;
@@ -47,7 +59,7 @@ void RunFailover(const BenchTime& time) {
   // run is the run.
   trace::Sampler& sampler = engine.EnableTimeSeries(kBucket);
 
-  engine.Run(time.warmup, time.measure);
+  const core::Metrics metrics = engine.Run(time.warmup, time.measure);
 
   // Bucket i covers (warmup + i*b, warmup + (i+1)*b]: the "committed" rate
   // series is the per-tick delta of the commit counter.
@@ -86,6 +98,9 @@ void RunFailover(const BenchTime& time) {
     }
   }
 
+  const bool replicated = num_switches > 1;
+  std::printf("\n-- scenario: %s (%u switch%s) --\n", scenario, num_switches,
+              num_switches == 1 ? "" : "es");
   PrintSectionHeader("Throughput timeline around the reboot (100us buckets)");
   std::printf("%12s %14s %s\n", "t-fault(us)", "rate(tx/s)", "phase");
   const size_t show_lo = fault_idx >= 3 ? fault_idx - 3 : 0;
@@ -93,9 +108,10 @@ void RunFailover(const BenchTime& time) {
   for (size_t i = show_lo; i < show_hi; ++i) {
     const SimTime rel =
         static_cast<SimTime>(i) * kBucket + time.warmup - fault_at;
-    const char* phase = rel < 0              ? "pre-fault"
-                        : rel < kDowntime    ? "switch dark"
-                                             : "failed back";
+    const char* phase =
+        rel < 0           ? "pre-fault"
+        : rel < kDowntime ? (replicated ? "view change" : "switch dark")
+                          : (replicated ? "rejoined" : "failed back");
     std::printf("%12lld %14.0f %s\n", static_cast<long long>(rel / 1000),
                 RatePerSecond(rates[i]), phase);
   }
@@ -106,6 +122,10 @@ void RunFailover(const BenchTime& time) {
       engine.metrics_registry().counter("engine.txn_timeouts").value();
   const uint64_t failovers =
       engine.metrics_registry().counter("engine.failovers").value();
+  const uint64_t view_changes =
+      engine.metrics_registry().counter("engine.view_changes").value();
+  const uint64_t rep_applied =
+      engine.metrics_registry().counter("switch.rep_records_applied").value();
 
   PrintSectionHeader("Failover summary");
   const double baseline_tps =
@@ -122,19 +142,31 @@ void RunFailover(const BenchTime& time) {
               static_cast<unsigned long long>(timeouts));
   std::printf("  degraded (failover) %14llu txns\n",
               static_cast<unsigned long long>(failovers));
+  if (replicated) {
+    std::printf("  view changes        %14llu\n",
+                static_cast<unsigned long long>(view_changes));
+    std::printf("  rep records applied %14llu\n",
+                static_cast<unsigned long long>(rep_applied));
+  }
 
-  std::string entry = "{\"mode\": \"P4DB\", \"workload\": \"ycsb-A\"";
-  char buf[256];
+  std::string entry = "{\"scenario\": \"";
+  entry += scenario;
+  entry += "\", \"mode\": \"P4DB\", \"workload\": \"ycsb-A\"";
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
-                ", \"fault_at_ns\": %lld, \"downtime_ns\": %lld, "
-                "\"bucket_ns\": %lld, \"baseline_tps\": %.0f, "
+                ", \"num_switches\": %u, \"fault_at_ns\": %lld, "
+                "\"downtime_ns\": %lld, "
+                "\"bucket_ns\": %lld, \"committed\": %llu, "
+                "\"baseline_tps\": %.0f, "
                 "\"min_tps\": %.0f, \"dip_depth\": %.4f, "
-                "\"time_to_recover_ns\": %lld",
-                static_cast<long long>(fault_at),
+                "\"time_to_recover_ns\": %lld, \"view_changes\": %llu",
+                num_switches, static_cast<long long>(fault_at),
                 static_cast<long long>(kDowntime),
-                static_cast<long long>(kBucket), baseline_tps,
-                RatePerSecond(min_rate), dip_depth,
-                static_cast<long long>(time_to_recover));
+                static_cast<long long>(kBucket),
+                static_cast<unsigned long long>(metrics.committed),
+                baseline_tps, RatePerSecond(min_rate), dip_depth,
+                static_cast<long long>(time_to_recover),
+                static_cast<unsigned long long>(view_changes));
   entry += buf;
   entry += ", \"bucket_commits\": [";
   for (size_t i = 0; i < rates.size(); ++i) {
@@ -157,7 +189,9 @@ int main(int argc, char** argv) {
   ParseBenchArgs(argc, argv);
   const BenchTime time = BenchTime::FromEnv();
   PrintBanner("failover",
-              "online failover: switch reboot mid-run, WAL re-provisioning");
-  RunFailover(time);
+              "online failover: switch reboot mid-run, WAL re-provisioning "
+              "vs in-network replication");
+  RunFailover(time, /*num_switches=*/1, "failover_dark");
+  RunFailover(time, /*num_switches=*/2, "failover_replicated");
   return 0;
 }

@@ -183,6 +183,13 @@ std::string Tracer::ChromeJsonFromRecords(
                     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
                     "\"tid\":0,\"args\":{\"name\":\"switch\"}}",
                     track);
+    } else if (track >= 0xFF00u) {
+      // Replica switches (switch 0 keeps the bare "switch" name above, so
+      // single-switch traces are byte-identical to the historical output).
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"tid\":0,\"args\":{\"name\":\"switch %u\"}}",
+                    track, 0xFFFFu - track);
     } else {
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"

@@ -53,9 +53,9 @@ sim::CoTask<std::optional<sw::SwitchResult>> ConcurrencyControl::SubmitToSwitch(
     // Fault-free runs take the historical deadline-free await; this path
     // produces the identical simulator event sequence as calling Submit
     // directly (the nested CoTask resumes by symmetric transfer).
-    co_return co_await ctx_.pipeline->Submit(std::move(txn));
+    co_return co_await ctx_.Primary()->Submit(std::move(txn));
   }
-  sim::Future<sw::SwitchResult> fut = ctx_.pipeline->Submit(std::move(txn));
+  sim::Future<sw::SwitchResult> fut = ctx_.Primary()->Submit(std::move(txn));
   co_return co_await fut.WithTimeout(ctx_.timing().switch_timeout);
 }
 
@@ -96,8 +96,8 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   const auto& op_index = compiled->op_index;
 
   const SimTime t0 = ctx_.Now();
-  co_await ctx_.SendMsg(self, net::Endpoint::Switch(),
-                        static_cast<uint32_t>(wire), ts);
+  co_await ctx_.SendMsg(self, ctx_.SwitchEp(), static_cast<uint32_t>(wire),
+                        ts);
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
   if (!res.has_value()) {
@@ -120,8 +120,8 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
                               ts, node);
     co_return true;
   }
-  co_await ctx_.SendMsg(net::Endpoint::Switch(), self,
-                        static_cast<uint32_t>(resp), ts);
+  co_await ctx_.SendMsg(ctx_.SwitchEp(), self, static_cast<uint32_t>(resp),
+                        ts);
   timers->switch_access += ctx_.Now() - t0;
   ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                             trace::Category::kSwitchAccess, ts, node);

@@ -34,6 +34,11 @@ struct ExecutionContext {
   sim::Simulator* sim = nullptr;
   net::Network* net = nullptr;
   sw::Pipeline* pipeline = nullptr;
+  /// All switch pipelines (index == switch id) and the engine's live
+  /// primary designation. Null in standalone/test contexts that wire only
+  /// `pipeline`; the Primary()/SwitchEp() helpers fall back accordingly.
+  const std::vector<std::unique_ptr<sw::Pipeline>>* pipelines = nullptr;
+  const uint16_t* primary_switch = nullptr;
   db::Catalog* catalog = nullptr;
   PartitionManager* pm = nullptr;
   const std::vector<std::unique_ptr<db::LockManager>>* lock_managers = nullptr;
@@ -88,6 +93,18 @@ struct ExecutionContext {
   uint8_t SwitchEpoch() const {
     return switch_epoch == nullptr ? 0 : static_cast<uint8_t>(*switch_epoch);
   }
+
+  /// The switch currently serving hot/warm traffic (0 unless a replicated
+  /// cluster has promoted a backup). Strategies address all switch traffic
+  /// through these, so a view change re-aims every node atomically at the
+  /// promotion instant.
+  uint16_t PrimaryId() const {
+    return primary_switch != nullptr ? *primary_switch : 0;
+  }
+  sw::Pipeline* Primary() const {
+    return pipelines != nullptr ? (*pipelines)[PrimaryId()].get() : pipeline;
+  }
+  net::Endpoint SwitchEp() const { return net::Endpoint::Switch(PrimaryId()); }
 
   db::LockManager& lock_manager(NodeId node) const {
     return *(*lock_managers)[node];

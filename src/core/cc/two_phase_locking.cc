@@ -369,7 +369,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   const auto& op_index = compiled->op_index;
 
   const SimTime t0 = ctx_.Now();
-  co_await ctx_.SendMsg(self, net::Endpoint::Switch(),
+  co_await ctx_.SendMsg(self, ctx_.SwitchEp(),
                         static_cast<uint32_t>(wire), ts);
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
@@ -406,7 +406,8 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
                                       txn_id, mask);
       } else {
         const auto arrivals =
-            ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes));
+            ctx_.net->MulticastFromSwitch(static_cast<uint32_t>(resp_bytes),
+                                          ctx_.PrimaryId());
         // Remote participants commit & release when the multicast reaches
         // them.
         participants.ForEachReverse([&](NodeId p) {
@@ -417,7 +418,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
         co_await sim::Delay(*ctx_.sim, arrivals[node] - ctx_.sim->now());
       }
     } else {
-      co_await ctx_.SendMsg(net::Endpoint::Switch(), self,
+      co_await ctx_.SendMsg(ctx_.SwitchEp(), self,
                             static_cast<uint32_t>(resp_bytes), ts);
     }
     timers->switch_access += ctx_.Now() - t0;

@@ -1,0 +1,54 @@
+#include "core/config.h"
+
+#include <string>
+
+#include "net/topology.h"
+
+namespace p4db::core {
+
+Status ValidateConfig(const SystemConfig& config) {
+  if (config.num_switches == 0) {
+    return Status::InvalidArgument(
+        "num_switches must be >= 1: the cluster needs a ToR switch even "
+        "when the pipeline is unused");
+  }
+  if (config.num_switches > 8) {
+    return Status::InvalidArgument(
+        "num_switches > 8 exceeds the modeled rack (one replication chain "
+        "of at most 8 programmable switches)");
+  }
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (config.num_switches > 1) {
+    if (config.mode != EngineMode::kP4db) {
+      return Status::Unsupported(
+          std::string("replication (num_switches >= 2) requires the P4DB "
+                      "mode; ") +
+          EngineModeName(config.mode) +
+          " has no in-switch hot-tuple state to replicate");
+    }
+    if (config.cc_protocol != CcProtocol::k2pl) {
+      return Status::Unsupported(
+          "replication (num_switches >= 2) supports the 2PL protocol only; "
+          "OCC's validation-phase switch access is not replication-aware");
+    }
+    if (config.timing.view_change_delay <= 0) {
+      return Status::InvalidArgument(
+          "view_change_delay must be positive when replication is enabled");
+    }
+  }
+  if (config.network.num_switches != 1 &&
+      config.network.num_switches != config.num_switches) {
+    return Status::InvalidArgument(
+        "network.num_switches disagrees with num_switches; leave the "
+        "network field at 1 and let the Engine mirror the top-level knob");
+  }
+  // Cross-check the implied wiring itself.
+  net::NetworkConfig net = config.network;
+  net.num_nodes = config.num_nodes;
+  net.num_switches = config.num_switches;
+  return net::Topology::Star(net).Validate();
+}
+
+}  // namespace p4db::core

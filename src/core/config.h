@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "db/lock_manager.h"
 #include "net/network.h"
@@ -58,6 +59,11 @@ struct TimingConfig {
   /// packet was fenced. With no fault schedule installed the await is
   /// deadline-free, exactly as before this knob existed.
   SimTime switch_timeout = 100 * kMicrosecond;
+  /// Fenced pause of a replicated view change: the gap between detecting a
+  /// dead primary and promoting the backup (control-plane round trips to
+  /// re-aim the nodes). Orders of magnitude below the WAL re-provisioning
+  /// downtime — that asymmetry is the whole point of replication.
+  SimTime view_change_delay = 40 * kMicrosecond;
 };
 
 /// Complete configuration of one simulated cluster run.
@@ -74,6 +80,14 @@ struct SystemConfig {
   /// per-transaction attempt counts land in the "engine.txn_attempts"
   /// histogram.
   uint32_t max_attempts = 0;
+
+  /// Number of programmable switches (replicas of the hot-tuple pipeline).
+  /// 1 = the classic single-ToR cluster, byte-identical to every committed
+  /// baseline. >= 2 enables primary-backup replication: the primary
+  /// forwards per-slot replication records to its chain successor, and a
+  /// primary crash costs an epoch-fenced view change instead of a dark
+  /// period. Mirrored into network.num_switches by the Engine.
+  uint16_t num_switches = 1;
 
   /// Execution runtime. 0 (default) = the legacy single event queue, the
   /// reference for all historical seeded baselines. >= 1 = the sharded
@@ -94,6 +108,13 @@ struct SystemConfig {
   /// items are placed randomly ("worst case" layout of Figure 16).
   bool optimal_layout = true;
 };
+
+/// Startup-time validation of topology/replication knobs. Returns a clear
+/// InvalidArgument/Unsupported Status for inconsistent combinations (zero
+/// switches, replication under a mode or protocol that cannot use it)
+/// instead of letting the engine assert mid-run. Benches and tests call it
+/// before constructing an Engine; the Engine constructor re-checks it.
+Status ValidateConfig(const SystemConfig& config);
 
 }  // namespace p4db::core
 

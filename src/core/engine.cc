@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -16,6 +17,7 @@ namespace {
 
 SystemConfig Normalize(SystemConfig config) {
   config.network.num_nodes = config.num_nodes;
+  config.network.num_switches = config.num_switches;
   return config;
 }
 
@@ -53,7 +55,13 @@ Engine::Engine(const SystemConfig& config)
       pm_(catalog_.get(), &config_.pipeline),
       node_crashed_(config_.num_nodes, false),
       next_client_seq_(config_.num_nodes, 1),
-      degraded_inflight_(config_.num_nodes, 0) {
+      degraded_inflight_(config_.num_nodes, 0),
+      switch_alive_(config_.num_switches, true) {
+  {
+    const Status valid = ValidateConfig(config_);
+    assert(valid.ok() && "invalid SystemConfig — see ValidateConfig()");
+    (void)valid;
+  }
   if (sharded_) {
     // The sharded runtime covers the configurations every figure benchmark
     // scales (P4DB and the No-Switch baseline under 2PL); the remaining
@@ -63,12 +71,18 @@ Engine::Engine(const SystemConfig& config)
     assert((config_.mode == EngineMode::kP4db ||
             config_.mode == EngineMode::kNoSwitch) &&
            "sharded runtime supports kP4db / kNoSwitch modes only");
-    const uint32_t shard_count = static_cast<uint32_t>(config_.num_nodes) + 1;
+    const uint32_t shard_count =
+        static_cast<uint32_t>(config_.num_nodes) + config_.num_switches;
     // Lookahead = the minimum cross-shard latency: every network leg
-    // crosses node<->switch at least once, so no cross-shard effect can
-    // land earlier than one propagation delay after its cause.
-    ssim_ = std::make_unique<sim::ShardedSimulator>(
-        shard_count, config_.network.node_to_switch_one_way);
+    // crosses node<->switch (or, with replication, switch<->switch) at
+    // least once, so no cross-shard effect can land earlier than one
+    // propagation delay after its cause.
+    const SimTime lookahead =
+        config_.num_switches > 1
+            ? std::min(config_.network.node_to_switch_one_way,
+                       config_.network.switch_to_switch_one_way)
+            : config_.network.node_to_switch_one_way;
+    ssim_ = std::make_unique<sim::ShardedSimulator>(shard_count, lookahead);
     std::vector<trace::Tracer*> shard_tracers;
     std::vector<MetricsRegistry*> shard_registries;
     shard_tracers.reserve(shard_count);
@@ -105,10 +119,17 @@ Engine::Engine(const SystemConfig& config)
       sharded_ ? &ssim_->shard(switch_shard()) : &sim_, scheme,
       sharded_ ? &eshards_[switch_shard()]->registry : &registry_,
       "lock.switch");
-  pipeline_ = std::make_unique<sw::Pipeline>(
-      sharded_ ? &ssim_->shard(switch_shard()) : &sim_, config_.pipeline,
-      sharded_ ? &eshards_[switch_shard()]->registry : &registry_);
-  control_plane_ = std::make_unique<sw::ControlPlane>(pipeline_.get());
+  for (uint16_t k = 0; k < config_.num_switches; ++k) {
+    // Pipeline k lives on shard num_nodes + k when sharded; with one switch
+    // this is exactly the historical switch shard.
+    const uint32_t shard = switch_shard() + k;
+    pipelines_.push_back(std::make_unique<sw::Pipeline>(
+        sharded_ ? &ssim_->shard(shard) : &sim_, config_.pipeline,
+        sharded_ ? &eshards_[shard]->registry : &registry_));
+    pipelines_.back()->set_trace_track(net::Endpoint::Switch(k).index);
+    control_planes_.push_back(
+        std::make_unique<sw::ControlPlane>(pipelines_.back().get()));
+  }
 
   committed_counter_ = &registry_.counter("engine.committed");
   aborted_counter_ = &registry_.counter("engine.aborted_attempts");
@@ -140,14 +161,38 @@ Engine::Engine(const SystemConfig& config)
   // pipeline emits into the switch shard's ring; network spans are the
   // router's job (each leg lands on the shard that models it).
   net_.set_tracer(&tracer_);
-  pipeline_->set_tracer(sharded_ ? eshards_[switch_shard()]->tracer.get()
-                                 : &tracer_);
+  for (uint16_t k = 0; k < config_.num_switches; ++k) {
+    pipelines_[k]->set_tracer(
+        sharded_ ? eshards_[switch_shard() + k]->tracer.get() : &tracer_);
+  }
+
+  if (config_.num_switches > 1) {
+    // Primary-backup replication: every pipeline gets a sink (only the
+    // primary's ever fires — backups receive no packets), its own
+    // ReplicaState, and shard-local "switch.rep_*" counters. Registered at
+    // construction so the dumped key set is fixed per configuration.
+    replica_states_.resize(config_.num_switches);
+    for (auto& rs : replica_states_) rs.Reset(config_.num_nodes);
+    rep_link_busy_.assign(config_.num_switches, 0);
+    rep_target_ = 1;
+    for (uint16_t k = 0; k < config_.num_switches; ++k) {
+      MetricsRegistry& reg =
+          sharded_ ? eshards_[switch_shard() + k]->registry : registry_;
+      rep_sent_.push_back(&reg.counter("switch.rep_records_sent"));
+      rep_applied_.push_back(&reg.counter("switch.rep_records_applied"));
+      rep_stale_.push_back(&reg.counter("switch.rep_stale_drops"));
+      rep_channels_.push_back(std::make_unique<RepChannel>(this, k));
+      pipelines_[k]->set_replication_sink(rep_channels_.back().get());
+    }
+  }
 
   cc::ExecutionContext ctx;
   ctx.config = &config_;
   ctx.sim = &sim_;
   ctx.net = &net_;
-  ctx.pipeline = pipeline_.get();
+  ctx.pipeline = pipelines_[0].get();
+  ctx.pipelines = &pipelines_;
+  ctx.primary_switch = &primary_switch_;
   ctx.catalog = catalog_.get();
   ctx.pm = &pm_;
   ctx.lock_managers = &lock_managers_;
@@ -221,15 +266,22 @@ OffloadReport Engine::Offload(size_t sample_size, size_t max_hot_items) {
   for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
     const HotItem& item = graph.item(v);
     const LayoutPlan::ArrayRef arr = report.plan.arrays.at(item);
-    auto addr = control_plane_->AllocateSlot(arr.stage, arr.reg);
-    assert(addr.ok());
     db::Row& row = catalog_->table(item.tuple.table).GetOrCreate(
         item.tuple.key);
     const Value64 value = row[item.column];
-    Status st = control_plane_->InstallValue(*addr, value);
-    assert(st.ok());
-    (void)st;
-    pm_.RegisterHotItem(item, *addr, value);
+    // Every switch provisions the identical layout (same allocator state,
+    // same order => same addresses); backups start as exact replicas.
+    sw::RegisterAddress primary_addr{};
+    for (uint16_t k = 0; k < config_.num_switches; ++k) {
+      auto addr = control_planes_[k]->AllocateSlot(arr.stage, arr.reg);
+      assert(addr.ok());
+      Status st = control_planes_[k]->InstallValue(*addr, value);
+      assert(st.ok());
+      (void)st;
+      if (k == 0) primary_addr = *addr;
+      assert(*addr == primary_addr && "replica layout diverged");
+    }
+    pm_.RegisterHotItem(item, primary_addr, value);
   }
   report.offloaded_hot_items = pm_.num_hot_items();
   return report;
@@ -342,7 +394,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   }
   sim_.RunUntil(warmup);
   metrics_ = Metrics();
-  pipeline_->ResetStats();
+  for (auto& p : pipelines_) p->ResetStats();
   for (auto& lm : lock_managers_) lm->ResetStats();
   switch_lm_->ResetStats();
   registry_.Reset();
@@ -390,7 +442,7 @@ Metrics Engine::RunSharded(SimTime warmup, SimTime duration) {
   // tick, and at t == warmup + duration the last tick runs before the stop.
   ssim_->ScheduleGlobal(warmup, [this, warmup, duration] {
     metrics_ = Metrics();
-    pipeline_->ResetStats();
+    for (auto& p : pipelines_) p->ResetStats();
     for (auto& lm : lock_managers_) lm->ResetStats();
     switch_lm_->ResetStats();
     registry_.Reset();
@@ -466,8 +518,10 @@ trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
     sampler_->AddCounterRate("committed", std::move(committed));
     sampler_->AddCounterRate("aborted_attempts", std::move(aborted));
     std::vector<const MetricsRegistry::Counter*> switch_txns;
-    switch_txns.push_back(&eshards_[switch_shard()]->registry.counter(
-        "switch.txns_completed"));
+    for (uint16_t k = 0; k < config_.num_switches; ++k) {
+      switch_txns.push_back(&eshards_[switch_shard() + k]->registry.counter(
+          "switch.txns_completed"));
+    }
     sampler_->AddCounterRate("switch_txns", std::move(switch_txns));
     sampler_->AddHistogramQuantile("p99_latency_ns", std::move(latency),
                                    0.99);
@@ -556,14 +610,16 @@ StatusOr<std::vector<Value64>> Engine::ExecuteOnce(db::Transaction txn,
   return out;
 }
 
-void Engine::SimulateSwitchCrash() { control_plane_->Reset(); }
+void Engine::SimulateSwitchCrash() {
+  control_planes_[primary_switch_]->Reset();
+}
 
 void Engine::SimulateNodeCrash(NodeId node) { node_crashed_[node] = true; }
 
 Status Engine::RecoverSwitch() {
   std::vector<const db::Wal*> logs;
   for (const auto& w : wals_) logs.push_back(w.get());
-  return RecoverSwitchState(pm_, logs, control_plane_.get());
+  return RecoverSwitchState(pm_, logs, control_planes_[primary_switch_].get());
 }
 
 Status Engine::RecoverNode(NodeId node) {
@@ -632,9 +688,11 @@ void Engine::InstallFaultSchedule(const net::FaultSchedule& schedule) {
     }
     cc_->BindChaosCountersSharded(&eshards_[switch_shard()]->registry,
                                   node_registries);
-    pipeline_->BindStaleEpochCounter(
-        &eshards_[switch_shard()]->registry.counter(
-            "switch.stale_epoch_drops"));
+    for (uint16_t k = 0; k < config_.num_switches; ++k) {
+      pipelines_[k]->BindStaleEpochCounter(
+          &eshards_[switch_shard() + k]->registry.counter(
+              "switch.stale_epoch_drops"));
+    }
   } else {
     fault_injector_ = std::make_unique<net::FaultInjector>(
         fault_schedule_, config_.seed, &registry_);
@@ -645,16 +703,22 @@ void Engine::InstallFaultSchedule(const net::FaultSchedule& schedule) {
     registry_.counter("engine.txn_timeouts");
     registry_.counter("engine.failovers");
     cc_->BindChaosCounters(&registry_);
-    pipeline_->BindStaleEpochCounter(
-        &registry_.counter("switch.stale_epoch_drops"));
+    for (auto& p : pipelines_) {
+      p->BindStaleEpochCounter(
+          &registry_.counter("switch.stale_epoch_drops"));
+    }
   }
   for (const net::FaultEvent& ev : fault_schedule_.events) {
     // Scripted events are cluster-scope state changes; the sharded runtime
     // runs them as quiescent coordinator-phase globals.
     switch (ev.kind) {
       case net::FaultEvent::Kind::kSwitchReboot:
-        ScheduleGlobalAt(ev.at, [this] { OnSwitchCrash(); });
-        ScheduleGlobalAt(ev.at + ev.downtime, [this] { BeginFailback(); });
+        assert(ev.switch_id < config_.num_switches &&
+               "fault event targets an unknown switch");
+        ScheduleGlobalAt(ev.at,
+                         [this, s = ev.switch_id] { OnSwitchCrash(s); });
+        ScheduleGlobalAt(ev.at + ev.downtime,
+                         [this, s = ev.switch_id] { BeginFailback(s); });
         break;
       case net::FaultEvent::Kind::kNodeCrash:
         ScheduleGlobalAt(ev.at, [this, n = ev.node] { SimulateNodeCrash(n); });
@@ -666,15 +730,7 @@ void Engine::InstallFaultSchedule(const net::FaultSchedule& schedule) {
   }
 }
 
-void Engine::OnSwitchCrash() {
-  if (!switch_up_) return;  // coalesce overlapping reboot events
-  switch_up_ = false;
-  // Stragglers: a transaction that passed the switch-up dispatch check just
-  // before this instant appends its intent AFTER the seeding below. Capture
-  // the per-node record counts so failback can replay exactly those.
-  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
-    crash_record_offset_[n] = wals_[n]->records().size();
-  }
+void Engine::SeedHostRowsFromWal() {
   // Seed the host rows of every hot item with the switch's last committed
   // state: recovery baseline plus all logged intents since the previous
   // failback watermark. Hot/warm traffic executes against these rows (via
@@ -696,18 +752,93 @@ void Engine::OnSwitchCrash() {
         .GetOrCreate(e.item.tuple.key)[e.item.column] =
         replay->state[PackAddr(e.addr)];
   }
-  // Power loss: registers and allocations wiped, the data plane drops every
-  // packet until failback powers it back on. The GID counter survives in
-  // the control plane (the paper restarts it above everything recovered;
-  // keeping it monotonic models that without re-deriving it here).
-  control_plane_->Reset();
-  pipeline_->Reboot();
 }
 
-void Engine::BeginFailback() {
-  if (switch_up_) return;  // crash event never fired (e.g. double reboot)
+int Engine::NextAliveSwitch(uint16_t sw) const {
+  for (uint16_t step = 1; step < config_.num_switches; ++step) {
+    const uint16_t cand =
+        static_cast<uint16_t>((sw + step) % config_.num_switches);
+    if (switch_alive_[cand]) return cand;
+  }
+  return -1;
+}
+
+void Engine::OnSwitchCrash(uint16_t sw) {
+  if (!switch_alive_[sw]) return;  // coalesce overlapping reboot events
+  if (sw != primary_switch_) {
+    // A backup going dark is invisible to transaction traffic: the primary
+    // just stops forwarding to it (in-flight records get dropped by the
+    // alive check at arrival). Power-cycle the plane so its failback runs
+    // the same rejoin path as any other returning switch.
+    switch_alive_[sw] = false;
+    control_planes_[sw]->Reset();
+    pipelines_[sw]->Reboot();
+    RetargetReplication();
+    return;
+  }
+  switch_up_ = false;
+  switch_alive_[sw] = false;
+  // Stragglers: a transaction that passed the switch-up dispatch check just
+  // before this instant appends its intent AFTER this capture. Failback /
+  // promotion reconciliation replays exactly those (plus, for promotion,
+  // any intent the replication stream never delivered).
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    crash_record_offset_[n] = wals_[n]->records().size();
+  }
+  const int backup = NextAliveSwitch(sw);
+  if (backup < 0) {
+    // No live replica: the classic dark period. Degraded traffic executes
+    // against WAL-seeded host rows until failback re-provisions the switch.
+    SeedHostRowsFromWal();
+    // Power loss: registers and allocations wiped, the data plane drops
+    // every packet until failback powers it back on. The GID counter
+    // survives in the control plane (the paper restarts it above everything
+    // recovered; keeping it monotonic models that without re-deriving it).
+    control_planes_[sw]->Reset();
+    pipelines_[sw]->Reboot();
+    return;
+  }
+  // Replicated view change: a brief fenced pause instead of a dark period.
+  // Hot/warm transactions abort-and-retry against the draining flag (no
+  // degraded host-row writes, nothing to drain later); after
+  // view_change_delay the backup promotes with WAL-reconciled state.
+  control_planes_[sw]->Reset();
+  pipelines_[sw]->Reboot();
   switch_draining_ = true;
-  FinalizeFailback();
+  const SimTime now = sharded_ ? ssim_->global_now() : sim_.now();
+  ScheduleGlobalAt(now + config_.timing.view_change_delay,
+                   [this, np = static_cast<uint16_t>(backup)] {
+                     PromoteBackup(np);
+                   });
+}
+
+void Engine::BeginFailback(uint16_t sw) {
+  if (switch_alive_[sw]) return;  // double failback / never crashed: no-op
+  if (NextAliveSwitch(sw) < 0) {
+    // No live peer anywhere: classic WAL re-provisioning of this switch as
+    // the sole primary (with one switch this is the entire failback path).
+    primary_switch_ = sw;
+    switch_draining_ = true;
+    FinalizeFailback();
+    return;
+  }
+  if (!switch_up_) {
+    // A view change is still mid-pause (downtime < view_change_delay);
+    // rejoin once the promoted primary is serving.
+    const SimTime now = sharded_ ? ssim_->global_now() : sim_.now();
+    ScheduleGlobalAt(now + config_.timing.view_change_delay,
+                     [this, sw] { BeginFailback(sw); });
+    return;
+  }
+  // Live primary exists: rejoin as a backup via control-plane snapshot. No
+  // epoch bump — an epoch change would fence the live primary's in-flight
+  // packets; the rejoining switch receives only replication records, which
+  // are view-checked instead.
+  pipelines_[sw]->PowerOn(static_cast<uint8_t>(switch_epoch_));
+  switch_alive_[sw] = true;
+  // Lazily created, so only runs that actually rejoin a switch publish it.
+  registry_.counter("engine.switch_rejoins").Increment();
+  RetargetReplication();
 }
 
 void Engine::FinalizeFailback() {
@@ -748,14 +879,15 @@ void Engine::FinalizeFailback() {
   assert(replay.ok());
   // Re-provision the data plane: the allocator is fresh after Reset(), so
   // registration order reproduces every original address.
+  sw::ControlPlane& cp = *control_planes_[primary_switch_];
   for (size_t i = 0; i < entries.size(); ++i) {
     const PartitionManager::HotEntry& e = entries[i];
     StatusOr<sw::RegisterAddress> addr =
-        control_plane_->AllocateSlot(e.addr.stage, e.addr.reg);
+        cp.AllocateSlot(e.addr.stage, e.addr.reg);
     assert(addr.ok() && *addr == e.addr);
     (void)addr;
     const Value64 value = replay->state[PackAddr(e.addr)];
-    Status st = control_plane_->InstallValue(e.addr, value);
+    Status st = cp.InstallValue(e.addr, value);
     assert(st.ok());
     (void)st;
     // Installed values become the new recovery baseline, and the host rows
@@ -772,17 +904,200 @@ void Engine::FinalizeFailback() {
   }
   pm_.set_recovery_watermarks(std::move(watermarks));
   // GID counter restarts above everything recovered (Section 6.1).
-  pipeline_->set_next_gid(
-      std::max(pipeline_->next_gid(), replay->max_gid + 1) +
-      static_cast<Gid>(replay->num_inflight));
+  sw::Pipeline& pl = *pipelines_[primary_switch_];
+  pl.set_next_gid(std::max(pl.next_gid(), replay->max_gid + 1) +
+                  static_cast<Gid>(replay->num_inflight));
+  if (config_.num_switches > 1) {
+    // Everything before the fresh watermark is folded into the installed
+    // baseline; replication bookkeeping restarts empty and consistent with
+    // it (registers == baseline + empty seen-set). A view bump fences any
+    // straggler record from the pre-provisioning stream.
+    for (auto& rs : replica_states_) rs.Reset(config_.num_nodes);
+    ++rep_view_;
+    pl.set_view(rep_view_);
+    pl.set_apply_seq(0);
+  }
   // Epoch advances exactly when the watermark is cut: packets stamped
   // before it (epoch N-1, intent < watermark) are fenced and their intents
   // replayed above; packets stamped after carry the new epoch and execute
   // on the switch. Each intent thus has exactly one applier.
   ++switch_epoch_;
-  pipeline_->PowerOn(static_cast<uint8_t>(switch_epoch_));
+  pl.PowerOn(static_cast<uint8_t>(switch_epoch_));
+  switch_alive_[primary_switch_] = true;
   switch_draining_ = false;
   switch_up_ = true;
+  RetargetReplication();
+}
+
+void Engine::RepChannel::OnRecord(const sw::ReplicationRecord& rec) {
+  engine->ForwardReplication(from_switch, rec);
+}
+
+void Engine::ForwardReplication(uint16_t from,
+                                const sw::ReplicationRecord& rec) {
+  // Primary-side bookkeeping first: the primary's own ReplicaState mirrors
+  // everything its registers contain, so a snapshot (registers + seen-set)
+  // hands a new backup a consistent pair and a later promotion never
+  // re-applies a transaction whose effect rode in with the snapshot.
+  sw::ReplicaState& rs = replica_states_[from];
+  rs.MarkSeen(rec.origin_node, rec.client_seq);
+  rs.NoteGid(rec.gid);
+  for (const sw::SlotWrite& w : rec.writes) rs.AdvanceSlot(w.addr, w.apply_seq);
+  if (rep_target_ < 0) return;  // sole survivor: the WALs cover the gap
+  const uint16_t backup = static_cast<uint16_t>(rep_target_);
+  rep_sent_[from]->Increment();
+  // In-band forwarding over the inter-switch link: serialize onto the
+  // egress (records queue behind each other), then one propagation delay.
+  // Not routed through the Network on purpose — no injector perturbation,
+  // so legacy and sharded runs stay draw-for-draw identical.
+  sim::Simulator& sim = sharded_ ? ssim_->CurrentSim() : sim_;
+  const SimTime ser = static_cast<SimTime>(
+      std::llround(static_cast<double>(sw::ReplicationWireSize(rec)) *
+                   config_.network.ns_per_byte));
+  const SimTime depart =
+      std::max(sim.now() + config_.network.send_overhead,
+               rep_link_busy_[from]) +
+      ser;
+  rep_link_busy_[from] = depart;
+  const SimTime arrive = depart + config_.network.switch_to_switch_one_way;
+  // The record outlives the emitting pass; shared_ptr keeps the closure
+  // copyable (InlineEvent requirement) and small, and frees the record even
+  // if teardown discards the event.
+  auto boxed = std::make_shared<const sw::ReplicationRecord>(rec);
+  if (sharded_) {
+    ssim_->Post(switch_shard() + backup, arrive, [this, backup, boxed] {
+      ApplyReplicationRecord(backup, *boxed);
+    });
+  } else {
+    sim_.ScheduleAt(arrive, [this, backup, boxed] {
+      ApplyReplicationRecord(backup, *boxed);
+    });
+  }
+}
+
+void Engine::ApplyReplicationRecord(uint16_t sw,
+                                    const sw::ReplicationRecord& rec) {
+  // Fencing: the target died since the record departed, or the record was
+  // emitted by a primary that has since been deposed (older view).
+  if (!switch_alive_[sw] || rec.view != rep_view_) {
+    rep_stale_[sw]->Increment();
+    return;
+  }
+  sw::ReplicaState& rs = replica_states_[sw];
+  if (!rs.MarkSeen(rec.origin_node, rec.client_seq)) {
+    rep_stale_[sw]->Increment();  // duplicate delivery
+    return;
+  }
+  rs.NoteGid(rec.gid);
+  sw::RegisterFile& regs = pipelines_[sw]->registers();
+  for (const sw::SlotWrite& w : rec.writes) {
+    // Absolute post-values ordered by apply_seq: stale writes (a snapshot
+    // already carried a newer value for the slot) are skipped.
+    if (rs.AdvanceSlot(w.addr, w.apply_seq)) regs.Write(w.addr, w.value);
+  }
+  rep_applied_[sw]->Increment();
+}
+
+void Engine::RetargetReplication() {
+  if (config_.num_switches < 2) return;
+  const int next = switch_up_ ? NextAliveSwitch(primary_switch_) : -1;
+  if (next == rep_target_) return;
+  rep_target_ = next;
+  if (next >= 0) SnapshotBackup(static_cast<uint16_t>(next));
+}
+
+void Engine::SnapshotBackup(uint16_t sw) {
+  // Control-plane state transfer at a quiescent instant: allocations,
+  // register values, and replication bookkeeping all come from the live
+  // primary, so the (registers, seen-set) invariant holds from the first
+  // streamed record onward.
+  const uint16_t p = primary_switch_;
+  const std::vector<PartitionManager::HotEntry>& entries = pm_.entries();
+  sw::ControlPlane& cp = *control_planes_[sw];
+  if (cp.allocated_slots() == 0) {
+    // Fresh after a reboot: re-provision the identical layout.
+    for (const PartitionManager::HotEntry& e : entries) {
+      StatusOr<sw::RegisterAddress> addr =
+          cp.AllocateSlot(e.addr.stage, e.addr.reg);
+      assert(addr.ok() && *addr == e.addr);
+      (void)addr;
+    }
+  }
+  const sw::RegisterFile& pregs = pipelines_[p]->registers();
+  for (const PartitionManager::HotEntry& e : entries) {
+    Status st = cp.InstallValue(e.addr, pregs.Read(e.addr));
+    assert(st.ok());
+    (void)st;
+  }
+  replica_states_[sw] = replica_states_[p];
+  pipelines_[sw]->set_next_gid(pipelines_[p]->next_gid());
+}
+
+void Engine::PromoteBackup(uint16_t np) {
+  if (switch_up_) return;  // an earlier promotion retry already completed
+  if (!switch_alive_[np]) {
+    // The designated backup died during the pause. Promote the next alive
+    // switch instead (its state is consistent-but-possibly-stale; the WAL
+    // reconciliation below covers whatever the stream missed), or go dark
+    // like the unreplicated path if nobody is left.
+    const int next = NextAliveSwitch(primary_switch_);
+    if (next < 0) {
+      SeedHostRowsFromWal();
+      switch_draining_ = false;  // degraded host-row execution may proceed
+      return;
+    }
+    np = static_cast<uint16_t>(next);
+  }
+  // Reconcile the replicated state against the WALs: an intent whose
+  // (node, client_seq) the stream never delivered — its packet died with
+  // the primary, or was fenced before execution — is applied here, exactly
+  // once. Scans start at the recovery watermark: everything earlier is
+  // already folded into the offload/failback baseline the replicas carry.
+  sw::ReplicaState& rs = replica_states_[np];
+  const std::vector<PartitionManager::HotEntry>& entries = pm_.entries();
+  sw::RegisterFile& regs = pipelines_[np]->registers();
+  std::unordered_map<uint64_t, Value64> state;
+  for (const PartitionManager::HotEntry& e : entries) {
+    state[PackAddr(e.addr)] = regs.Read(e.addr);
+  }
+  const std::vector<size_t>& marks = pm_.recovery_watermarks();
+  size_t reconciled = 0;
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    const auto& recs = wals_[n]->records();
+    for (size_t i = marks.empty() ? 0 : marks[n]; i < recs.size(); ++i) {
+      const db::LogRecord& r = recs[i];
+      if (r.kind != db::LogKind::kSwitchIntent) continue;
+      if (!rs.MarkSeen(n, r.client_seq)) continue;  // stream delivered it
+      ReplayInstructions(r.instrs, &state);
+      if (r.has_result) rs.NoteGid(r.gid);
+      ++reconciled;
+    }
+  }
+  sw::ControlPlane& cp = *control_planes_[np];
+  for (const PartitionManager::HotEntry& e : entries) {
+    Status st = cp.InstallValue(e.addr, state[PackAddr(e.addr)]);
+    assert(st.ok());
+    (void)st;
+  }
+  sw::Pipeline& pl = *pipelines_[np];
+  // GID counter restarts above everything the stream or the logs recorded,
+  // plus headroom for the reconciled intents (same rule as failback).
+  pl.set_next_gid(std::max(pl.next_gid(), rs.max_gid() + 1) +
+                  static_cast<Gid>(reconciled));
+  // The new primary's writes extend the replication order; its records
+  // carry the new view so stragglers from the dead primary get fenced.
+  pl.set_apply_seq(rs.max_apply_seq());
+  ++rep_view_;
+  pl.set_view(rep_view_);
+  // Epoch fence: packets addressed to (and stamped for) the dead primary
+  // can never execute on the new one; nodes re-aim and re-stamp from here.
+  ++switch_epoch_;
+  pl.PowerOn(static_cast<uint8_t>(switch_epoch_));
+  primary_switch_ = np;
+  switch_draining_ = false;
+  switch_up_ = true;
+  registry_.counter("engine.view_changes").Increment();
+  RetargetReplication();
 }
 
 }  // namespace p4db::core

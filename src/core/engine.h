@@ -31,6 +31,7 @@
 #include "sim/task.h"
 #include "switchsim/control_plane.h"
 #include "switchsim/pipeline.h"
+#include "switchsim/replication.h"
 #include "workload/workload.h"
 
 namespace p4db::core {
@@ -185,6 +186,17 @@ class Engine {
   /// into switch packets so the pipeline fences pre-crash stragglers.
   uint32_t switch_epoch() const { return switch_epoch_; }
 
+  // -- Replication (num_switches >= 2) --
+
+  /// Switch currently serving hot transactions (always 0 with one switch).
+  uint16_t primary_switch() const { return primary_switch_; }
+  /// Replication view, bumped at every promotion / WAL re-provisioning;
+  /// records stamped with an older view are fenced at the backup.
+  uint32_t replication_view() const { return rep_view_; }
+  bool switch_alive(uint16_t sw) const { return switch_alive_[sw]; }
+  /// Chain successor currently receiving the primary's records; -1 = none.
+  int replication_target() const { return rep_target_; }
+
   // -- Accessors --
   const SystemConfig& config() const { return config_; }
   /// True when SystemConfig::threads selected the parallel runtime.
@@ -193,8 +205,12 @@ class Engine {
   /// Non-null in sharded mode only.
   sim::ShardedSimulator* sharded_simulator() { return ssim_.get(); }
   net::Network& network() { return net_; }
-  sw::Pipeline& pipeline() { return *pipeline_; }
-  sw::ControlPlane& control_plane() { return *control_plane_; }
+  /// The primary switch's pipeline / control plane (the only ones with one
+  /// switch); use the indexed overloads to inspect a specific replica.
+  sw::Pipeline& pipeline() { return *pipelines_[primary_switch_]; }
+  sw::ControlPlane& control_plane() { return *control_planes_[primary_switch_]; }
+  sw::Pipeline& pipeline(uint16_t sw) { return *pipelines_[sw]; }
+  sw::ControlPlane& control_plane(uint16_t sw) { return *control_planes_[sw]; }
   db::Catalog& catalog() { return *catalog_; }
   PartitionManager& partition_manager() { return pm_; }
   db::LockManager& lock_manager(NodeId node) { return *lock_managers_[node]; }
@@ -289,14 +305,57 @@ class Engine {
   }
 
   // Chaos-harness event handlers (scheduled by InstallFaultSchedule).
-  /// Crash instant: seed host rows for all hot items from the WAL replay,
-  /// wipe the data plane, bump the epoch. Traffic continues degraded.
-  void OnSwitchCrash();
-  /// Downtime elapsed: start draining degraded transactions, then finalize.
-  void BeginFailback();
-  /// Re-provisions the registers from host rows + straggler intents and
-  /// reopens the switch. Polls itself until the degraded count hits zero.
+  /// Crash instant for switch `sw`. A backup going dark only retargets the
+  /// replication stream. A primary crash with a live backup starts an
+  /// epoch-fenced view change (brief pause, then PromoteBackup); with no
+  /// live backup it falls back to the classic dark period: seed host rows
+  /// for all hot items from the WAL replay, wipe the data plane. Traffic
+  /// continues degraded.
+  void OnSwitchCrash(uint16_t sw);
+  /// Downtime elapsed for switch `sw`: re-provision it as sole primary (no
+  /// live peer), rejoin it as a backup (live primary), or wait out a view
+  /// change still mid-pause. Idempotent: a second failback for a switch
+  /// that is already up is a no-op.
+  void BeginFailback(uint16_t sw);
+  /// Re-provisions the primary's registers from host rows + straggler
+  /// intents and reopens the switch. Polls itself until the degraded count
+  /// hits zero.
   void FinalizeFailback();
+
+  // -- Replication machinery (all inert while num_switches == 1) --
+
+  /// Factored PR-3 crash seeding: host rows of every hot item take the
+  /// switch's last committed state (baseline + logged intents since the
+  /// recovery watermark) so degraded traffic executes against them.
+  void SeedHostRowsFromWal();
+  /// Ring successor of `sw` among the alive switches, excluding `sw`
+  /// itself; -1 when it is the only candidate left.
+  int NextAliveSwitch(uint16_t sw) const;
+  /// Sink callback of switch `from`'s pipeline: track the record in the
+  /// primary's own ReplicaState, then ship it over the inter-switch link.
+  void ForwardReplication(uint16_t from, const sw::ReplicationRecord& rec);
+  /// Record arrival at backup `sw`: fence stale views, dedupe by
+  /// (origin, client_seq), apply slot writes that advance their seq.
+  void ApplyReplicationRecord(uint16_t sw, const sw::ReplicationRecord& rec);
+  /// Recomputes rep_target_ from the alive set; on change, snapshots the
+  /// new target from the primary so its (registers, seen-set) pair starts
+  /// consistent mid-stream.
+  void RetargetReplication();
+  /// Control-plane state transfer primary -> `sw` at a quiescent instant:
+  /// allocations, register values and replication bookkeeping.
+  void SnapshotBackup(uint16_t sw);
+  /// View change: reconcile backup `np`'s replicated state against the
+  /// WALs (apply intents the stream never delivered, exactly once), bump
+  /// view + epoch, and open `np` as the new primary.
+  void PromoteBackup(uint16_t np);
+
+  /// Per-pipeline replication sink: tags records with the emitting switch.
+  struct RepChannel : sw::ReplicationSink {
+    RepChannel(Engine* e, uint16_t sw) : engine(e), from_switch(sw) {}
+    void OnRecord(const sw::ReplicationRecord& rec) override;
+    Engine* engine;
+    uint16_t from_switch;
+  };
 
   SystemConfig config_;
   const bool sharded_;
@@ -310,8 +369,11 @@ class Engine {
   std::vector<std::unique_ptr<EngineShard>> eshards_;
   std::unique_ptr<ShardRouter> router_;
   net::Network net_;
-  std::unique_ptr<sw::Pipeline> pipeline_;
-  std::unique_ptr<sw::ControlPlane> control_plane_;
+  /// One pipeline + control plane per switch (index == switch id). Slot 0
+  /// is the boot-time primary; with one switch this is exactly the classic
+  /// single-ToR cluster.
+  std::vector<std::unique_ptr<sw::Pipeline>> pipelines_;
+  std::vector<std::unique_ptr<sw::ControlPlane>> control_planes_;
   std::unique_ptr<db::Catalog> catalog_;
   PartitionManager pm_;
   std::vector<std::unique_ptr<db::LockManager>> lock_managers_;
@@ -351,6 +413,26 @@ class Engine {
   std::vector<size_t> crash_record_offset_;
   /// Generation counter salting respawned workers' RNG streams.
   uint64_t recover_generation_ = 0;
+
+  // Replication state. Sized in the constructor; everything below except
+  // switch_alive_ stays empty/zero with one switch, so single-switch runs
+  // are byte-identical to the pre-replication engine.
+  std::vector<bool> switch_alive_;
+  uint16_t primary_switch_ = 0;
+  /// Chain successor currently receiving the primary's records; -1 = none
+  /// (sole survivor, or single-switch cluster).
+  int rep_target_ = -1;
+  uint32_t rep_view_ = 0;
+  /// Per-switch inter-switch egress link occupancy (records serialize one
+  /// after another, like every other link in the rack).
+  std::vector<SimTime> rep_link_busy_;
+  /// What each switch knows of the replication stream; see ReplicaState.
+  std::vector<sw::ReplicaState> replica_states_;
+  std::vector<std::unique_ptr<RepChannel>> rep_channels_;
+  /// "switch.rep_*" counters, per switch (shard-local when sharded).
+  std::vector<MetricsRegistry::Counter*> rep_sent_;
+  std::vector<MetricsRegistry::Counter*> rep_applied_;
+  std::vector<MetricsRegistry::Counter*> rep_stale_;
 
   /// Engine-level registry counters (committed / aborted attempts over the
   /// measured window). Legacy runtime; sharded workers use their

@@ -56,8 +56,10 @@ class ShardRouter {
         injectors_(ssim->num_shards(), nullptr),
         uplink_busy_(config.num_nodes, 0),
         rx_busy_(config.num_nodes, 0),
-        downlink_busy_(config.num_nodes, 0) {
-    assert(ssim_->num_shards() == uint32_t{config_.num_nodes} + 1);
+        downlink_busy_(
+            static_cast<size_t>(config.num_switches) * config.num_nodes, 0) {
+    assert(ssim_->num_shards() ==
+           uint32_t{config_.num_nodes} + config_.num_switches);
     assert(tracers_.size() == ssim_->num_shards());
     assert(registries.size() == ssim_->num_shards());
     messages_sent_.reserve(registries.size());
@@ -70,9 +72,10 @@ class ShardRouter {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
+  /// Shard of switch 0; switch k lives on shard num_nodes + k.
   uint32_t switch_shard() const { return config_.num_nodes; }
   uint32_t ShardOf(net::Endpoint ep) const {
-    return ep.is_switch() ? switch_shard() : ep.index;
+    return ep.is_switch() ? switch_shard() + ep.switch_id() : ep.index;
   }
 
   sim::Simulator& CurrentSim() { return ssim_->CurrentSim(); }
@@ -92,8 +95,9 @@ class ShardRouter {
   void SendAndMigrate(net::Endpoint from, net::Endpoint to, uint32_t bytes,
                       uint64_t txn_id, std::coroutine_handle<> h) {
     const SimTime begin = CurrentSim().now();
-    const uint16_t track =
-        from.is_switch() ? trace::kSwitchTrack : from.index;
+    // A switch endpoint's index doubles as its trace track (switch 0 ==
+    // trace::kSwitchTrack), so `from.index` covers both cases.
+    const uint16_t track = from.index;
     const SimTime flight_arrive = Depart(from, to, bytes, txn_id, track);
     ssim_->Post(ShardOf(to), flight_arrive,
                 [this, ha = h.address(), begin, txn_id, track,
@@ -133,25 +137,29 @@ class ShardRouter {
       NodeId self, uint32_t bytes, uint64_t txn_id, uint64_t participant_mask,
       const std::vector<std::unique_ptr<db::LockManager>>& lock_managers,
       std::coroutine_handle<> h) {
-    assert(ssim_->current_shard() == switch_shard());
+    assert(ssim_->current_shard() >= switch_shard());
     assert(config_.num_nodes <= 64);
+    const uint16_t sw_id =
+        static_cast<uint16_t>(ssim_->current_shard() - switch_shard());
+    const net::Endpoint sw_ep = net::Endpoint::Switch(sw_id);
     const SimTime begin = CurrentSim().now();
     for (uint16_t n = 0; n < config_.num_nodes; ++n) {
       // Legacy MulticastFromSwitch labels every hop txn 0 (unattributed).
-      const SimTime flight = Depart(net::Endpoint::Switch(),
-                                    net::Endpoint::Node(n), bytes, 0,
-                                    trace::kSwitchTrack);
+      const SimTime flight = Depart(sw_ep, net::Endpoint::Node(n), bytes, 0,
+                                    sw_ep.index);
       if (n == self) {
-        ssim_->Post(n, flight, [this, ha = h.address(), begin, n] {
-          const SimTime arrive = RxLeg(n, begin);
+        ssim_->Post(n, flight,
+                    [this, ha = h.address(), begin, n, tr = sw_ep.index] {
+          const SimTime arrive = RxLeg(n, begin, 0, tr);
           CurrentSim().ScheduleResume(arrive - CurrentSim().now(),
                                       std::coroutine_handle<>::from_address(
                                           ha));
         });
       } else if ((participant_mask >> n) & 1) {
         db::LockManager* lm = lock_managers[n].get();
-        ssim_->Post(n, flight, [this, lm, txn_id, begin, n] {
-          const SimTime arrive = RxLeg(n, begin);
+        ssim_->Post(n, flight,
+                    [this, lm, txn_id, begin, n, tr = sw_ep.index] {
+          const SimTime arrive = RxLeg(n, begin, 0, tr);
           CurrentSim().Schedule(arrive - CurrentSim().now(),
                                 [lm, txn_id] { lm->ReleaseAll(txn_id); });
         });
@@ -160,7 +168,9 @@ class ShardRouter {
         // is reserved so later messages queue behind it, as in the legacy
         // model where every multicast leg runs the full ArrivalTime.
         ssim_->Post(n, flight,
-                    [this, begin, n] { RxLeg(n, begin); });
+                    [this, begin, n, tr = sw_ep.index] {
+                      RxLeg(n, begin, 0, tr);
+                    });
       }
     }
   }
@@ -204,8 +214,12 @@ class ShardRouter {
     const SimTime ser = static_cast<SimTime>(
         std::llround(static_cast<double>(bytes) * config_.ns_per_byte));
     const SimTime start = sim.now() + config_.send_overhead + injected_delay;
-    SimTime* link = from.is_switch() ? &downlink_busy_[to.index]
-                                     : &uplink_busy_[from.index];
+    SimTime* link =
+        from.is_switch()
+            ? &downlink_busy_[static_cast<size_t>(from.switch_id()) *
+                                  config_.num_nodes +
+                              to.index]
+            : &uplink_busy_[from.index];
     const SimTime depart = std::max(start, *link) + ser;
     *link = depart + (injected_dup ? ser : 0);
     // Direct point-to-point flight; node->node skips the switch shard (see
@@ -232,11 +246,11 @@ class ShardRouter {
                      uint16_t track, uint16_t dst) {
     sim::Simulator& sim = CurrentSim();
     const auto h = std::coroutine_handle<>::from_address(ha);
-    if (dst == net::Endpoint::kSwitchIndex) {
-      // The switch receives at line rate: arrival == flight arrival.
-      tracers_[switch_shard()]->CompleteSpan(begin, sim.now(),
-                                             trace::Category::kNetSend,
-                                             txn_id, track, 0, 0, dst);
+    if (dst >= net::Endpoint::kSwitchBase) {
+      // Switches receive at line rate: arrival == flight arrival.
+      tracers_[ShardOf(net::Endpoint{dst})]->CompleteSpan(
+          begin, sim.now(), trace::Category::kNetSend, txn_id, track, 0, 0,
+          dst);
       h.resume();
       return;
     }
@@ -251,8 +265,8 @@ class ShardRouter {
   std::vector<MetricsRegistry::Counter*> messages_sent_;  // per shard
   std::vector<MetricsRegistry::Counter*> bytes_sent_;     // per shard
   // Link state, touched only by the owning shard's thread (or by globals
-  // with every shard quiescent): uplink/rx of node n on shard n, the
-  // per-node switch downlinks on the switch shard.
+  // with every shard quiescent): uplink/rx of node n on shard n, switch k's
+  // per-node downlinks (k * num_nodes + n) on switch k's shard.
   std::vector<SimTime> uplink_busy_;
   std::vector<SimTime> rx_busy_;
   std::vector<SimTime> downlink_busy_;

@@ -48,6 +48,7 @@ std::string FaultSchedule::ToJson() const {
     out += "\", \"at_ns\": " + FormatTime(ev.at);
     if (ev.kind == FaultEvent::Kind::kSwitchReboot) {
       out += ", \"downtime_ns\": " + FormatTime(ev.downtime);
+      out += ", \"switch\": " + FormatTime(ev.switch_id);
     } else {
       out += ", \"node\": " + FormatTime(ev.node);
     }

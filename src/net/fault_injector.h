@@ -52,12 +52,18 @@ struct FaultEvent {
   SimTime at = 0;
   NodeId node = 0;        // kNodeCrash / kNodeRestart
   SimTime downtime = 0;   // kSwitchReboot: dark period before failback
+  /// kSwitchReboot: which switch power-cycles. Defaults to 0, so schedules
+  /// written against the single-switch cluster keep their meaning verbatim
+  /// (back-compat: old artifacts simply never mention another switch).
+  uint16_t switch_id = 0;
 
-  static FaultEvent SwitchReboot(SimTime at, SimTime downtime) {
+  static FaultEvent SwitchReboot(SimTime at, SimTime downtime,
+                                 uint16_t switch_id = 0) {
     FaultEvent ev;
     ev.kind = Kind::kSwitchReboot;
     ev.at = at;
     ev.downtime = downtime;
+    ev.switch_id = switch_id;
     return ev;
   }
   static FaultEvent NodeCrash(SimTime at, NodeId node) {

@@ -13,21 +13,40 @@
 
 namespace p4db::net {
 
-/// Network endpoint: one of the database nodes, or the ToR switch.
+/// Network endpoint: one of the database nodes, or a programmable switch.
+///
+/// Switches occupy the top of the 16-bit index space, counting down:
+/// switch k has index 0xFFFF - k. Switch 0 therefore keeps the historical
+/// 0xFFFF index (== trace::kSwitchTrack), so single-switch topologies are
+/// bit-identical to the pre-replication encoding on the wire, in traces,
+/// and in every seeded artifact.
 struct Endpoint {
   static constexpr uint16_t kSwitchIndex = 0xFFFF;
+  /// Indices >= this are switches; supports up to 256 switches, far above
+  /// the ValidateConfig cap.
+  static constexpr uint16_t kSwitchBase = 0xFF00;
 
   uint16_t index = 0;
 
   static Endpoint Node(NodeId id) { return Endpoint{id}; }
-  static Endpoint Switch() { return Endpoint{kSwitchIndex}; }
+  static Endpoint Switch(uint16_t switch_id = 0) {
+    return Endpoint{static_cast<uint16_t>(kSwitchIndex - switch_id)};
+  }
 
-  bool is_switch() const { return index == kSwitchIndex; }
+  bool is_switch() const { return index >= kSwitchBase; }
+  /// Only meaningful when is_switch().
+  uint16_t switch_id() const {
+    return static_cast<uint16_t>(kSwitchIndex - index);
+  }
   friend bool operator==(const Endpoint&, const Endpoint&) = default;
 };
 
 struct NetworkConfig {
   uint16_t num_nodes = 8;
+  /// Number of programmable switches in the rack. 1 reproduces the classic
+  /// star exactly; >= 2 adds per-switch downlink ports and an inter-switch
+  /// replication link between each switch and its successor.
+  uint16_t num_switches = 1;
   /// One-way propagation latency between a node and the ToR switch. All
   /// node<->node traffic traverses the switch, so a node<->node one-way
   /// trip costs 2x this — the paper's "switch reachable in half the
@@ -43,6 +62,10 @@ struct NetworkConfig {
   /// switch responses a host can absorb per second. The switch itself
   /// receives at line rate.
   SimTime rx_service = 500 * kNanosecond;
+  /// One-way propagation latency between two switches (the replication
+  /// link). Same rack, so same wire length as a node<->switch hop by
+  /// default; kept separate so asymmetric topologies stay expressible.
+  SimTime switch_to_switch_one_way = 2500 * kNanosecond;
 };
 
 class FaultInjector;
@@ -88,7 +111,8 @@ class Network {
   /// node-facing switch port, so the sends proceed in parallel. Inline
   /// storage covers the paper's 8-node rack (and up to 16) without
   /// allocating per multicast.
-  SmallVector<SimTime, 16> MulticastFromSwitch(uint32_t bytes);
+  SmallVector<SimTime, 16> MulticastFromSwitch(uint32_t bytes,
+                                               uint16_t switch_id = 0);
 
   const NetworkConfig& config() const { return config_; }
   uint64_t messages_sent() const { return messages_sent_->value(); }
@@ -110,16 +134,23 @@ class Network {
 
  private:
   // Index into link_busy_until_: per node, [0] = node uplink (node->switch),
-  // [1] = switch downlink (switch->node), [2] = host receive path.
+  // [1] = switch-0 downlink (switch->node), [2] = host receive path.
+  // Downlinks of switches k >= 1 and the per-switch inter-switch egress
+  // links live in separate vectors (empty in single-switch topologies, so
+  // the classic layout is untouched).
   SimTime& UplinkBusy(uint16_t node) { return link_busy_until_[node * 3]; }
-  SimTime& DownlinkBusy(uint16_t node) {
-    return link_busy_until_[node * 3 + 1];
+  SimTime& DownlinkBusy(uint16_t sw, uint16_t node) {
+    return sw == 0 ? link_busy_until_[node * 3 + 1]
+                   : extra_downlink_busy_[(sw - 1) * config_.num_nodes + node];
   }
   SimTime& RxBusy(uint16_t node) { return link_busy_until_[node * 3 + 2]; }
+  SimTime& InterSwitchBusy(uint16_t sw) { return inter_switch_busy_[sw]; }
 
   sim::Simulator* sim_;
   NetworkConfig config_;
   std::vector<SimTime> link_busy_until_;
+  std::vector<SimTime> extra_downlink_busy_;  // switches 1..K-1, per node
+  std::vector<SimTime> inter_switch_busy_;    // per-switch replication egress
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // standalone fallback
   MetricsRegistry::Counter* messages_sent_;
   MetricsRegistry::Counter* bytes_sent_;

@@ -1,0 +1,95 @@
+#include "net/topology.h"
+
+#include <cstdio>
+
+namespace p4db::net {
+
+Topology Topology::Star(const NetworkConfig& config) {
+  Topology t(config.num_nodes, config.num_switches);
+  t.links_.reserve(static_cast<size_t>(config.num_nodes) *
+                       config.num_switches +
+                   (config.num_switches > 1 ? config.num_switches : 0));
+  for (uint16_t sw = 0; sw < config.num_switches; ++sw) {
+    for (uint16_t n = 0; n < config.num_nodes; ++n) {
+      t.links_.push_back(Link{Link::Kind::kNodeToSwitch, Endpoint::Node(n),
+                              Endpoint::Switch(sw),
+                              config.node_to_switch_one_way});
+    }
+  }
+  if (config.num_switches > 1) {
+    for (uint16_t sw = 0; sw < config.num_switches; ++sw) {
+      t.links_.push_back(Link{Link::Kind::kSwitchToSwitch,
+                              Endpoint::Switch(sw),
+                              Endpoint::Switch(t.NextSwitch(sw)),
+                              config.switch_to_switch_one_way});
+    }
+  }
+  return t;
+}
+
+bool Topology::Connected(Endpoint from, Endpoint to) const {
+  for (const Link& l : links_) {
+    if ((l.a == from && l.b == to) || (l.a == to && l.b == from)) return true;
+  }
+  return false;
+}
+
+Status Topology::Validate() const {
+  if (num_switches_ == 0) {
+    return Status::InvalidArgument("topology has zero switches");
+  }
+  if (num_nodes_ == 0) {
+    return Status::InvalidArgument("topology has zero nodes");
+  }
+  for (const Link& l : links_) {
+    const bool a_sw = l.a.is_switch();
+    const bool b_sw = l.b.is_switch();
+    if (l.kind == Link::Kind::kNodeToSwitch && a_sw == b_sw) {
+      return Status::InvalidArgument(
+          "node-to-switch link must join one node and one switch");
+    }
+    if (l.kind == Link::Kind::kSwitchToSwitch && (!a_sw || !b_sw)) {
+      return Status::InvalidArgument(
+          "switch-to-switch link must join two switches");
+    }
+    for (const Endpoint ep : {l.a, l.b}) {
+      if (ep.is_switch()) {
+        if (ep.switch_id() >= num_switches_) {
+          return Status::InvalidArgument("link references unknown switch");
+        }
+      } else if (ep.index >= num_nodes_) {
+        return Status::InvalidArgument("link references unknown node");
+      }
+    }
+    if (l.one_way <= 0) {
+      return Status::InvalidArgument("link propagation must be positive");
+    }
+  }
+  for (uint16_t sw = 0; sw < num_switches_; ++sw) {
+    for (uint16_t n = 0; n < num_nodes_; ++n) {
+      if (!Connected(Endpoint::Node(n), Endpoint::Switch(sw))) {
+        return Status::InvalidArgument(
+            "every node must reach every switch (node " + std::to_string(n) +
+            " misses switch " + std::to_string(sw) + ")");
+      }
+    }
+  }
+  if (num_switches_ > 1) {
+    for (uint16_t sw = 0; sw < num_switches_; ++sw) {
+      if (!Connected(Endpoint::Switch(sw), Endpoint::Switch(NextSwitch(sw)))) {
+        return Status::InvalidArgument(
+            "replication chain broken at switch " + std::to_string(sw));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Topology::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%u nodes x %u switches, %zu links",
+                num_nodes_, num_switches_, links_.size());
+  return buf;
+}
+
+}  // namespace p4db::net

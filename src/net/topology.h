@@ -1,0 +1,70 @@
+#ifndef P4DB_NET_TOPOLOGY_H_
+#define P4DB_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace p4db::net {
+
+/// One physical link in the rack fabric.
+struct Link {
+  enum class Kind : uint8_t {
+    kNodeToSwitch,    // node uplink + matching switch downlink (full duplex)
+    kSwitchToSwitch,  // inter-switch replication link
+  };
+  Kind kind;
+  Endpoint a;
+  Endpoint b;
+  SimTime one_way;  // propagation latency, one direction
+};
+
+/// Explicit description of the node<->switch wiring the Network models.
+///
+/// The paper's cluster is a star: N nodes under one ToR switch. This PR
+/// generalizes that to K >= 2 switches: every node keeps a link to every
+/// switch (each switch owns a full set of node-facing ports, so any switch
+/// can serve as the hot-tuple primary without rewiring), and switch k is
+/// chained to switch k+1 by a replication link. K == 1 degenerates to the
+/// classic star with zero inter-switch links.
+class Topology {
+ public:
+  /// Builds the K-switch rack topology implied by `config`.
+  static Topology Star(const NetworkConfig& config);
+
+  uint16_t num_nodes() const { return num_nodes_; }
+  uint16_t num_switches() const { return num_switches_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Replication chain successor of `switch_id` (wraps around), i.e. the
+  /// backup that receives this switch's replication records.
+  uint16_t NextSwitch(uint16_t switch_id) const {
+    return static_cast<uint16_t>((switch_id + 1) % num_switches_);
+  }
+
+  /// True when the fabric wires `from` directly to `to`.
+  bool Connected(Endpoint from, Endpoint to) const;
+
+  /// Structural sanity: at least one switch, every node reaches every
+  /// switch, inter-switch links only between existing switches.
+  Status Validate() const;
+
+  /// Human-readable one-line summary ("8 nodes x 2 switches, 17 links").
+  std::string ToString() const;
+
+ private:
+  Topology(uint16_t num_nodes, uint16_t num_switches)
+      : num_nodes_(num_nodes), num_switches_(num_switches) {}
+
+  uint16_t num_nodes_;
+  uint16_t num_switches_;
+  std::vector<Link> links_;
+};
+
+}  // namespace p4db::net
+
+#endif  // P4DB_NET_TOPOLOGY_H_

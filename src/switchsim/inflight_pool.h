@@ -8,6 +8,7 @@
 
 #include "sim/future.h"
 #include "switchsim/packet.h"
+#include "switchsim/replication.h"
 
 namespace p4db::sw {
 
@@ -28,6 +29,10 @@ struct Inflight {
   /// Pass in which each instr ran (0 = not yet); inline up to 8 instrs.
   SmallVector<uint32_t, 8> exec_pass;
   bool holds_locks = false;
+  /// Slot writes this transaction produced, collected pass by pass for the
+  /// replication record. Populated only when a sink is installed (K >= 2);
+  /// single-switch runs never touch it.
+  SmallVector<SlotWrite, 8> rep_writes;
   sim::Promise<SwitchResult> reply;
 
   InflightPool* const pool;
@@ -67,6 +72,7 @@ class InflightPool {
     fl->remaining = fl->txn.instrs.size();
     fl->exec_pass.assign(fl->txn.instrs.size(), 0);
     fl->holds_locks = false;
+    fl->rep_writes.clear();
     fl->reply = std::move(reply);
     return fl;
   }

@@ -215,9 +215,8 @@ void Pipeline::Arrive(InflightRef fl) {
   if (down_ || fl->txn.epoch != epoch_) {
     ++stats_.stale_epoch_drops;
     mirror_.stale_epoch_drops->Increment();
-    tracer_->Instant(trace::Category::kSwitchDrop, fl->result.gid,
-                     trace::kSwitchTrack, fl->txn.origin_node,
-                     trace::Tracer::kGidKeyFlag);
+    tracer_->Instant(trace::Category::kSwitchDrop, fl->result.gid, track_,
+                     fl->txn.origin_node, trace::Tracer::kGidKeyFlag);
     return;
   }
 
@@ -248,7 +247,7 @@ void Pipeline::Arrive(InflightRef fl) {
   ++fl->result.passes;
   tracer_->CompleteSpan(
       sim_->now(), sim_->now() + config_.PassLatency(),
-      trace::Category::kSwitchPass, fl->result.gid, trace::kSwitchTrack, 0,
+      trace::Category::kSwitchPass, fl->result.gid, track_, 0,
       static_cast<uint8_t>(std::min<uint32_t>(fl->result.passes, 255)),
       fl->txn.origin_node, trace::Tracer::kGidKeyFlag);
   const bool done = ExecutePass(*fl);
@@ -286,6 +285,19 @@ void Pipeline::Arrive(InflightRef fl) {
   }
   stats_.recircs_per_txn.Record(fl->txn.nb_recircs);
   mirror_.recircs_per_txn->Record(fl->txn.nb_recircs);
+  if (rep_sink_ != nullptr) {
+    // In-band replication (primary/backup ordering): the record leaves for
+    // the chain successor before the response is released. Emitted even
+    // when the transaction wrote nothing, so the backup's seen-set stays
+    // complete and promotion never re-applies a read-only intent.
+    ReplicationRecord rec;
+    rec.view = view_;
+    rec.origin_node = fl->txn.origin_node;
+    rec.client_seq = fl->txn.client_seq;
+    rec.gid = fl->result.gid;
+    rec.writes = fl->rep_writes;
+    rep_sink_->OnRecord(rec);
+  }
   fl->reply.SetAfter(config_.PassLatency(), std::move(fl->result));
 }
 
@@ -301,6 +313,17 @@ bool Pipeline::ExecutePass(Inflight& fl) {
     if (!constraint_ok) {
       ++stats_.constrained_write_failures;
       mirror_.constrained_write_failures->Increment();
+    }
+    if (rep_sink_ != nullptr) {
+      const Instruction& in = fl.txn.instrs[i];
+      const bool wrote = in.op != OpCode::kRead &&
+                         !(in.op == OpCode::kCondAddGeZero && !constraint_ok);
+      if (wrote) {
+        // Record the absolute post-apply slot value (not the delta): the
+        // backup installs it verbatim, ordered by apply_seq.
+        fl.rep_writes.push_back(
+            SlotWrite{in.addr, registers_.Read(in.addr), ++apply_seq_});
+      }
     }
   }
   fl.remaining -= executable.size();
@@ -379,7 +402,7 @@ void Pipeline::RecirculateBlocked(InflightRef fl) {
   // port queueing + the loopback wire; aux 0 = blocked, 1 = lock holder.
   tracer_->CompleteSpan(sim_->now() + config_.PassLatency(), back_at,
                         trace::Category::kSwitchRecirc, fl->result.gid,
-                        trace::kSwitchTrack, 0, fl->txn.nb_recircs,
+                        track_, 0, fl->txn.nb_recircs,
                         /*aux=*/0, trace::Tracer::kGidKeyFlag);
   sim_->ScheduleAt(back_at, [this, fl]() mutable { Arrive(std::move(fl)); });
 }
@@ -399,7 +422,7 @@ void Pipeline::RecirculateHolder(InflightRef fl) {
   const SimTime back_at = ReserveRecircPort(port, bytes);
   tracer_->CompleteSpan(sim_->now() + config_.PassLatency(), back_at,
                         trace::Category::kSwitchRecirc, fl->result.gid,
-                        trace::kSwitchTrack, 0, fl->txn.nb_recircs,
+                        track_, 0, fl->txn.nb_recircs,
                         /*aux=*/1, trace::Tracer::kGidKeyFlag);
   sim_->ScheduleAt(back_at, [this, fl]() mutable { Arrive(std::move(fl)); });
 }

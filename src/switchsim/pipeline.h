@@ -168,6 +168,28 @@ class Pipeline {
   void set_tracer(trace::Tracer* tracer) {
     tracer_ = tracer != nullptr ? tracer : &trace::Tracer::Disabled();
   }
+  /// Trace track (process id) this pipeline's spans land on. Defaults to
+  /// the classic single-switch track; multi-switch engines assign each
+  /// pipeline its own Endpoint::Switch(k).index.
+  void set_trace_track(uint16_t track) { track_ = track; }
+
+  /// Installs the replication stream consumer. While a sink is attached the
+  /// pipeline collects every register write and hands the sink one record
+  /// per transaction at final-pass time, *before* the response departs —
+  /// the in-band primary/backup ordering. Null (the default) disables
+  /// collection entirely; single-switch runs stay on that path.
+  void set_replication_sink(ReplicationSink* sink) { rep_sink_ = sink; }
+
+  /// Replication view stamped into emitted records; bumped by the engine at
+  /// every promotion so records from a deposed primary get fenced.
+  uint32_t view() const { return view_; }
+  void set_view(uint32_t view) { view_ = view; }
+
+  /// Total order over this pipeline's register writes (replication only).
+  /// A promoted backup adopts the stream's high-water mark so its own
+  /// writes extend the order instead of colliding with it.
+  uint64_t apply_seq() const { return apply_seq_; }
+  void set_apply_seq(uint64_t seq) { apply_seq_ = seq; }
 
  private:
   /// Handles one arrival at the pipeline ingress (fresh or recirculated).
@@ -212,6 +234,10 @@ class Pipeline {
   PipelineStats stats_;
   Mirror mirror_;
   trace::Tracer* tracer_ = &trace::Tracer::Disabled();  // unowned, never null
+  uint16_t track_ = trace::kSwitchTrack;
+  ReplicationSink* rep_sink_ = nullptr;  // unowned; null = no replication
+  uint32_t view_ = 0;
+  uint64_t apply_seq_ = 0;
 
   /// Heap-allocated and orphan-aware (see InflightPool): queued simulator
   /// events may still hold frame references after this pipeline dies.

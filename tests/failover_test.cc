@@ -241,6 +241,42 @@ TEST(FailoverTest, MidRunCrashLeavesRecoverableWalTail) {
   DumpFlightRecorderIfFailed(engine, schedule);
 }
 
+TEST(FailoverTest, DoubleFailbackIsIdempotent) {
+  // Two overlapping reboot events against the same switch: the second
+  // crash fires while the switch is already dark (no-op), and its failback
+  // fires after the first failback already re-provisioned the data plane.
+  // The second PowerOn/re-provision must be a no-op — epoch bumped exactly
+  // once, slot allocations not doubled, conservation intact.
+  HotAddWorkload wl(kNumKeys);
+  Engine engine(FailoverCluster());
+  engine.SetWorkload(&wl);
+  ASSERT_EQ(engine.Offload(2000, kNumKeys).offloaded_hot_items, kNumKeys);
+  const size_t slots_before = engine.control_plane().allocated_slots();
+
+  const SimTime fault_at = 2 * kMillisecond;
+  net::FaultSchedule schedule;
+  schedule.events.push_back(
+      net::FaultEvent::SwitchReboot(fault_at, 500 * kMicrosecond));
+  schedule.events.push_back(net::FaultEvent::SwitchReboot(
+      fault_at + 100 * kMicrosecond, 500 * kMicrosecond));
+  engine.InstallFaultSchedule(schedule);
+
+  const Metrics m = engine.Run(/*warmup=*/0, 8 * kMillisecond);
+  ASSERT_GT(m.committed, 0u);
+  EXPECT_TRUE(engine.switch_up());
+  EXPECT_EQ(engine.switch_epoch(), 1u);  // monotone, bumped exactly once
+  EXPECT_EQ(engine.control_plane().allocated_slots(), slots_before);
+
+  const Value64 applied = SumHotValues(engine, wl);
+  const WalCounts wal = CountWalRecords(engine);
+  const uint64_t promised = wal.switch_intents + wal.host_commits;
+  const uint64_t workers = static_cast<uint64_t>(engine.config().num_nodes) *
+                           engine.config().workers_per_node;
+  EXPECT_LE(static_cast<uint64_t>(applied), promised);
+  EXPECT_LE(promised - static_cast<uint64_t>(applied), workers);
+  DumpFlightRecorderIfFailed(engine, schedule);
+}
+
 TEST(FailoverTest, NodeCrashAndRestartMidRun) {
   HotAddWorkload wl(kNumKeys);
   Engine engine(FailoverCluster());

@@ -21,6 +21,11 @@ transfer across machines:
    cancels out. Gated absolutely (not baseline-relative): full-run tracing
    may not cost more than the tolerance, and the traced run must commit
    exactly as much as the untraced one (tracing is passive).
+ * failover `committed` / `dip_depth` / `time_to_recover_ns` per scenario —
+   all simulated-time, fully deterministic for a seeded run. The
+   single-switch dark window must stay DEEP (the historical baseline is
+   reproducible), the replicated view change must stay SHALLOW and fast,
+   and `view_changes` must match the baseline exactly.
 
 Wall-clock metrics (wall_txns_per_sec, events_per_sec) are reported for
 context but never gated: they do not transfer across CI hosts.
@@ -141,6 +146,40 @@ def gate_simcore(failures, baseline, fresh):
               f"(baseline {ratio:g}x, geomean-gated only)")
 
 
+def gate_failover(failures, baseline, fresh):
+    print("failover:")
+    for scenario, base in baseline.items():
+        run = fresh.get(scenario)
+        if run is None:
+            print(f"  [FAIL] {scenario}: missing from fresh results")
+            failures.append(f"{scenario} missing")
+            continue
+        check(failures, f"{scenario} committed", run["committed"],
+              base["committed"] * (1 - TOLERANCE), -1)
+        check(failures, f"{scenario} committed", run["committed"],
+              base["committed"] * (1 + TOLERANCE), +1)
+        if run.get("num_switches", 1) > 1:
+            # Replication: the fenced pause may not deepen or lengthen.
+            check(failures, f"{scenario} dip_depth", run["dip_depth"],
+                  base["dip_depth"] * (1 + TOLERANCE), +1)
+            check(failures, f"{scenario} time_to_recover_ns",
+                  run["time_to_recover_ns"],
+                  base["time_to_recover_ns"] * (1 + TOLERANCE), +1)
+        else:
+            # Single switch: the dark window must stay deep — losing the
+            # dip would mean the baseline experiment no longer reproduces.
+            check(failures, f"{scenario} dip_depth", run["dip_depth"],
+                  base["dip_depth"] * (1 - TOLERANCE), -1)
+        if run.get("view_changes") != base.get("view_changes"):
+            print(f"  [FAIL] {scenario} view_changes: "
+                  f"{run.get('view_changes')} != baseline "
+                  f"{base.get('view_changes')}")
+            failures.append(f"{scenario} view_changes")
+        else:
+            print(f"  [ok  ] {scenario} view_changes == "
+                  f"{base.get('view_changes')}")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--baseline-dir", required=True)
@@ -149,7 +188,8 @@ def main():
 
     failures = []
     for name, gate in (("BENCH_hotpath.json", gate_hotpath),
-                       ("BENCH_simcore.json", gate_simcore)):
+                       ("BENCH_simcore.json", gate_simcore),
+                       ("BENCH_failover.json", gate_failover)):
         base_path = os.path.join(args.baseline_dir, name)
         fresh_path = os.path.join(args.fresh_dir, name)
         if not os.path.exists(base_path):

@@ -11,6 +11,12 @@ Checks, in order:
   3. Per (pid, tid) track, `ts` is non-decreasing in file order — the
      exporter sorts by begin time, so any inversion means a broken export
      (or a nondeterministic run).
+  4. Process naming follows the exporter's convention: every pid that
+     carries events has a `process_name` metadata record; pid 0xFFFF
+     (switch 0) is named "switch", replica-switch pids in [0xFF00, 0xFFFF)
+     are named "switch <id>" with id == 0xFFFF - pid, and node pids are
+     named "node <pid>". (The bare "switch" name for pid 0xFFFF keeps
+     single-switch traces byte-identical to the pre-replication exporter.)
 
 Exit status 0 with a one-line summary on success; 1 with every violation
 listed on failure. Run by CI against a seeded bench_fig11_ycsb --trace run.
@@ -22,6 +28,23 @@ import json
 import sys
 
 ALLOWED_PHASES = {"X", "i", "C", "M"}
+
+SWITCH_PID_BASE = 0xFF00
+SWITCH0_PID = 0xFFFF
+METRICS_PID = 0x10000  # sampler pseudo-process, named "metrics"
+
+
+def expected_process_name(pid):
+    """The name the exporter must give `pid`, or None if unconstrained."""
+    if pid == SWITCH0_PID:
+        return "switch"
+    if pid == METRICS_PID:
+        return "metrics"
+    if SWITCH_PID_BASE <= pid < SWITCH0_PID:
+        return "switch %d" % (SWITCH0_PID - pid)
+    if isinstance(pid, int) and 0 <= pid < SWITCH_PID_BASE:
+        return "node %d" % pid
+    return None
 
 
 def check(path):
@@ -38,6 +61,8 @@ def check(path):
 
     last_ts = {}  # (pid, tid) -> last seen ts
     tracks = set()
+    process_names = {}  # pid -> declared name
+    event_pids = set()  # pids carrying non-metadata events
     for i, ev in enumerate(events):
         where = "event %d" % i
 
@@ -60,7 +85,14 @@ def check(path):
         track = (ev["pid"], ev["tid"])
         tracks.add(track)
         if ph == "M":
+            if name == "process_name":
+                declared = ev.get("args", {}).get("name")
+                if not isinstance(declared, str) or not declared:
+                    bad("process_name without args.name")
+                else:
+                    process_names[ev["pid"]] = declared
             continue  # metadata events carry no timestamp
+        event_pids.add(ev["pid"])
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
             bad("missing/non-numeric `ts`")
@@ -76,6 +108,16 @@ def check(path):
             bad("ts %r goes backwards on track pid=%s tid=%s (prev %r)"
                 % (ts, track[0], track[1], prev))
         last_ts[track] = ts
+
+    for pid in sorted(event_pids):
+        declared = process_names.get(pid)
+        if declared is None:
+            errors.append("pid %s: events but no process_name metadata" % pid)
+            continue
+        want = expected_process_name(pid)
+        if want is not None and declared != want:
+            errors.append("pid %s: process_name %r, expected %r"
+                          % (pid, declared, want))
 
     return errors, len(events), len(tracks)
 
