@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
@@ -42,6 +43,15 @@ bool g_trace_consumed = false;
 
 // --threads=N state (0 = legacy runtime).
 int g_threads = 0;
+
+// --open-loop / --offered-load state (0 = closed loop) and --batch=N
+// (1 = batching off).
+double g_offered_load = 0.0;
+uint32_t g_batch_size = 1;
+
+// Default cluster-wide rate for a bare `--open-loop`: near the 8-node
+// PaperCluster knee, so the flag alone produces an interesting run.
+constexpr double kDefaultOfferedLoad = 4e6;
 
 // Writes `content` via a temp file + rename so a reader (perf gate, another
 // bench run tailing the file) never observes a half-written JSON document.
@@ -92,6 +102,16 @@ void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
     std::snprintf(buf, sizeof(buf), ", \"threads\": %d", config.threads);
     entry += buf;
   }
+  if (config.open_loop.enabled) {
+    // Same rule as "threads": mode-specific keys only when the mode is on.
+    std::snprintf(buf, sizeof(buf), ", \"offered_load\": %.0f",
+                  config.open_loop.offered_load);
+    entry += buf;
+  }
+  if (config.batch.size > 1) {
+    std::snprintf(buf, sizeof(buf), ", \"batch\": %u", config.batch.size);
+    entry += buf;
+  }
   entry += ", \"throughput\": ";
   std::snprintf(buf, sizeof(buf), "%.1f", out.throughput);
   entry += buf;
@@ -133,6 +153,9 @@ BenchTime BenchTime::FromEnv() {
 void ParseBenchArgs(int argc, char** argv) {
   constexpr std::string_view kTrace = "--trace=";
   constexpr std::string_view kThreads = "--threads=";
+  constexpr std::string_view kOpenLoop = "--open-loop=";
+  constexpr std::string_view kOfferedLoad = "--offered-load=";
+  constexpr std::string_view kBatch = "--batch=";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.substr(0, kTrace.size()) == kTrace) {
@@ -140,6 +163,22 @@ void ParseBenchArgs(int argc, char** argv) {
     } else if (arg.substr(0, kThreads.size()) == kThreads) {
       g_threads = std::atoi(std::string(arg.substr(kThreads.size())).c_str());
       if (g_threads < 0) g_threads = 0;
+    } else if (arg == "--open-loop") {
+      if (g_offered_load <= 0) g_offered_load = kDefaultOfferedLoad;
+    } else if (arg.substr(0, kOpenLoop.size()) == kOpenLoop) {
+      g_offered_load = std::atof(
+          std::string(arg.substr(kOpenLoop.size())).c_str());
+      if (g_offered_load < 0) g_offered_load = 0;
+    } else if (arg.substr(0, kOfferedLoad.size()) == kOfferedLoad) {
+      g_offered_load = std::atof(
+          std::string(arg.substr(kOfferedLoad.size())).c_str());
+      if (g_offered_load < 0) g_offered_load = 0;
+    } else if (arg.substr(0, kBatch.size()) == kBatch) {
+      const int v = std::atoi(std::string(arg.substr(kBatch.size())).c_str());
+      g_batch_size = v < 1 ? 1
+                           : std::min<uint32_t>(
+                                 static_cast<uint32_t>(v),
+                                 core::BatchConfig::kMaxBatchSize);
     }
   }
 }
@@ -147,6 +186,10 @@ void ParseBenchArgs(int argc, char** argv) {
 const std::string& TracePath() { return g_trace_path; }
 
 int BenchThreads() { return g_threads; }
+
+double BenchOfferedLoad() { return g_offered_load; }
+
+uint32_t BenchBatchSize() { return g_batch_size; }
 
 RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
                       size_t sample_size, size_t max_hot_items,
@@ -161,6 +204,17 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
        cfg.mode == core::EngineMode::kNoSwitch) &&
       workload->ThreadSafeGeneration()) {
     cfg.threads = g_threads;
+  }
+  // --open-loop / --offered-load switches any run to open-loop arrivals;
+  // --batch=N arms the egress batcher on the runs that support it.
+  if (!cfg.open_loop.enabled && g_offered_load > 0) {
+    cfg.open_loop.enabled = true;
+    cfg.open_loop.offered_load = g_offered_load;
+  }
+  if (cfg.batch.size == 1 && g_batch_size > 1 &&
+      cfg.mode == core::EngineMode::kP4db &&
+      cfg.cc_protocol == core::CcProtocol::k2pl && cfg.num_switches == 1) {
+    cfg.batch.size = g_batch_size;
   }
   core::Engine engine(cfg);
   engine.SetWorkload(workload);

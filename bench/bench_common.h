@@ -41,7 +41,8 @@ struct RunOutput {
 /// "time_series" in each BENCH_<name>.json run entry.
 constexpr SimTime kSamplerTick = 100 * kMicrosecond;
 
-/// Parses harness-wide flags out of argv (--trace=PATH, --threads=N).
+/// Parses harness-wide flags out of argv (--trace=PATH, --threads=N,
+/// --open-loop[=TXN_PER_S], --offered-load=TXN_PER_S, --batch=N).
 /// Benches call this first in main; unrecognized arguments are ignored.
 void ParseBenchArgs(int argc, char** argv);
 
@@ -56,6 +57,16 @@ const std::string& TracePath();
 /// silently keeps the rest on the legacy runtime, so `--threads=4` is safe
 /// on any figure bench.
 int BenchThreads();
+
+/// Cluster-wide offered load in txn/s from --open-loop / --offered-load
+/// (0 = closed loop). RunWorkload switches every run to the open-loop
+/// arrival engine at this rate when set.
+double BenchOfferedLoad();
+
+/// Egress batch size from --batch=N (1 = batching off). RunWorkload applies
+/// it to every run the batcher supports (P4DB mode, 2PL, single switch) and
+/// silently keeps the rest unbatched, so `--batch=8` is safe on any bench.
+uint32_t BenchBatchSize();
 
 /// Builds an Engine for `config`, offloads `max_hot_items` detected from
 /// `sample_size` sampled transactions, runs the closed loop, and collects

@@ -18,11 +18,14 @@ void Row(core::EngineMode mode, const BenchTime& time) {
   const double n = static_cast<double>(r.metrics.committed);
   const auto& b = r.metrics.breakdown;
   const auto us = [n](int64_t v) { return n == 0 ? 0.0 : v / n / 1e3; };
-  std::printf("%-10s %11.1f %11.1f %11.1f %11.1f %11.1f %11.1f %11.1f\n",
+  std::printf("%-10s %11.1f %11.1f %11.1f %11.1f %11.1f %11.1f %11.1f %9.1f "
+              "%9.1f\n",
               core::EngineModeName(mode), us(b.lock_wait),
               us(b.remote_access), us(b.switch_access), us(b.local_work),
               us(b.commit), us(b.backoff),
-              r.metrics.latency_all.Mean() / 1e3);
+              r.metrics.latency_all.Mean() / 1e3,
+              static_cast<double>(r.metrics.latency_all.P50()) / 1e3,
+              static_cast<double>(r.metrics.latency_all.P99()) / 1e3);
 }
 
 }  // namespace
@@ -33,9 +36,9 @@ int main() {
   const BenchTime time = BenchTime::FromEnv();
   PrintBanner("Figure 18a",
               "TPC-C latency break-down per committed txn (us)");
-  std::printf("%-10s %11s %11s %11s %11s %11s %11s %11s\n", "engine",
+  std::printf("%-10s %11s %11s %11s %11s %11s %11s %11s %9s %9s\n", "engine",
               "lock-acq", "remote", "switch", "local", "commit",
-              "abort+back", "total-lat");
+              "abort+back", "total-lat", "p50", "p99");
   Row(p4db::core::EngineMode::kNoSwitch, time);
   Row(p4db::core::EngineMode::kP4db, time);
   return 0;

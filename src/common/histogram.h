@@ -26,6 +26,12 @@ class Histogram {
   double Mean() const;
   /// q in [0, 1]; returns an approximate quantile (bucket midpoint).
   int64_t Quantile(double q) const;
+  /// Named tail helpers for the latency reports. P999 is the deep tail the
+  /// open-loop knee benches gate on; with fewer than 1000 samples it decays
+  /// gracefully toward max() (the ceil(q*count) rank rule).
+  int64_t P50() const { return Quantile(0.50); }
+  int64_t P99() const { return Quantile(0.99); }
+  int64_t P999() const { return Quantile(0.999); }
 
   /// Raw bucket access, for time-series snapshots (windowed quantiles are
   /// bucket diffs between ticks) and full-distribution exports.

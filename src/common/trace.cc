@@ -48,6 +48,9 @@ const char* CategoryName(Category c) {
     case Category::kSwitchPass: return "switch_pass";
     case Category::kSwitchRecirc: return "switch_recirc";
     case Category::kSwitchDrop: return "switch_stale_drop";
+    case Category::kBatchFlush: return "batch_flush";
+    case Category::kAdmission: return "admission_wait";
+    case Category::kAdmissionShed: return "admission_shed";
   }
   return "unknown";
 }

@@ -35,6 +35,9 @@ enum class Category : uint8_t {
   kSwitchPass,   // one pipeline traversal of a switch transaction
   kSwitchRecirc, // recirculation loop between passes (port + loopback)
   kSwitchDrop,   // instant: stale-epoch packet dropped by dark pipeline
+  kBatchFlush,   // one egress batch on the wire, first join to flush
+  kAdmission,    // open-loop arrival waiting in the admission queue
+  kAdmissionShed,// instant: arrival shed by the full admission queue
 };
 
 const char* CategoryName(Category c);

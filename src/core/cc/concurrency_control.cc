@@ -5,6 +5,7 @@
 
 #include "core/cc/optimistic_cc.h"
 #include "core/cc/two_phase_locking.h"
+#include "core/egress_batcher.h"
 #include "switchsim/packet.h"
 
 namespace p4db::core::cc {
@@ -96,8 +97,15 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   const auto& op_index = compiled->op_index;
 
   const SimTime t0 = ctx_.Now();
-  co_await ctx_.SendMsg(self, ctx_.SwitchEp(), static_cast<uint32_t>(wire),
-                        ts);
+  if (ctx_.batcher != nullptr) {
+    co_await ctx_.batcher->JoinRequest(
+        node,
+        static_cast<uint32_t>(wire - sw::PacketCodec::kFrameOverheadBytes),
+        ts);
+  } else {
+    co_await ctx_.SendMsg(self, ctx_.SwitchEp(), static_cast<uint32_t>(wire),
+                          ts);
+  }
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
   if (!res.has_value()) {
@@ -120,8 +128,15 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
                               ts, node);
     co_return true;
   }
-  co_await ctx_.SendMsg(ctx_.SwitchEp(), self, static_cast<uint32_t>(resp),
-                        ts);
+  if (ctx_.batcher != nullptr) {
+    co_await ctx_.batcher->JoinResponse(
+        node,
+        static_cast<uint32_t>(resp - sw::PacketCodec::kFrameOverheadBytes),
+        ts);
+  } else {
+    co_await ctx_.SendMsg(ctx_.SwitchEp(), self, static_cast<uint32_t>(resp),
+                          ts);
+  }
   timers->switch_access += ctx_.Now() - t0;
   ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                             trace::Category::kSwitchAccess, ts, node);

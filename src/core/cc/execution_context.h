@@ -17,6 +17,10 @@
 #include "sim/simulator.h"
 #include "switchsim/pipeline.h"
 
+namespace p4db::core {
+class EgressBatcher;
+}  // namespace p4db::core
+
 namespace p4db::core::cc {
 
 /// Everything a concurrency-control strategy needs to execute transactions
@@ -84,6 +88,13 @@ struct ExecutionContext {
   /// SendMsg()/... helpers below, which dispatch between the legacy
   /// single-simulator world and shard-aware routing.
   ShardRouter* router = nullptr;
+
+  /// Egress batcher; non-null exactly when config.batch.size > 1 (the
+  /// Engine constructs it then and only then). Strategies route their
+  /// switch-bound request sends and non-participant response sends through
+  /// JoinRequest/JoinResponse instead of SendMsg; with a null batcher the
+  /// historical unbatched path runs byte-for-byte.
+  EgressBatcher* batcher = nullptr;
 
   bool ChaosArmed() const { return chaos_armed != nullptr && *chaos_armed; }
   bool SwitchUp() const { return switch_up == nullptr || *switch_up; }

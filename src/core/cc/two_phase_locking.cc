@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "core/cc/node_set.h"
+#include "core/egress_batcher.h"
 #include "switchsim/packet.h"
 
 // Sharded-mode note: a co_await on ctx_.SendMsg migrates the coroutine to
@@ -369,8 +370,15 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   const auto& op_index = compiled->op_index;
 
   const SimTime t0 = ctx_.Now();
-  co_await ctx_.SendMsg(self, ctx_.SwitchEp(),
-                        static_cast<uint32_t>(wire), ts);
+  if (ctx_.batcher != nullptr) {
+    co_await ctx_.batcher->JoinRequest(
+        node,
+        static_cast<uint32_t>(wire - sw::PacketCodec::kFrameOverheadBytes),
+        ts);
+  } else {
+    co_await ctx_.SendMsg(self, ctx_.SwitchEp(),
+                          static_cast<uint32_t>(wire), ts);
+  }
   std::optional<sw::SwitchResult> res =
       co_await SubmitToSwitch(std::move(compiled->txn));
 
@@ -417,6 +425,12 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
         });
         co_await sim::Delay(*ctx_.sim, arrivals[node] - ctx_.sim->now());
       }
+    } else if (ctx_.batcher != nullptr) {
+      co_await ctx_.batcher->JoinResponse(
+          node,
+          static_cast<uint32_t>(resp_bytes -
+                                sw::PacketCodec::kFrameOverheadBytes),
+          ts);
     } else {
       co_await ctx_.SendMsg(ctx_.SwitchEp(), self,
                             static_cast<uint32_t>(resp_bytes), ts);

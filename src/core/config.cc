@@ -38,6 +38,63 @@ Status ValidateConfig(const SystemConfig& config) {
           "view_change_delay must be positive when replication is enabled");
     }
   }
+  if (config.batch.size == 0) {
+    return Status::InvalidArgument(
+        "batch.size must be >= 1 (1 disables batching; 0 would mean a "
+        "batch that can never flush)");
+  }
+  if (config.batch.size > BatchConfig::kMaxBatchSize) {
+    return Status::InvalidArgument(
+        "batch.size exceeds kMaxBatchSize (the egress batcher's inline "
+        "member storage)");
+  }
+  if (config.batch.size > 1) {
+    if (config.batch.flush_timeout <= 0) {
+      return Status::InvalidArgument(
+          "batch.flush_timeout must be positive when batching is enabled: "
+          "a partial batch with no doorbell timer would stall forever");
+    }
+    if (config.mode != EngineMode::kP4db) {
+      return Status::Unsupported(
+          std::string("egress batching (batch.size >= 2) coalesces "
+                      "switch-bound transactions and requires the P4DB "
+                      "mode; ") +
+          EngineModeName(config.mode) + " sends none");
+    }
+    if (config.cc_protocol != CcProtocol::k2pl) {
+      return Status::Unsupported(
+          "egress batching (batch.size >= 2) supports the 2PL protocol "
+          "only; OCC's validation-phase switch access is not batcher-aware");
+    }
+    if (config.num_switches > 1) {
+      return Status::Unsupported(
+          "egress batching (batch.size >= 2) is single-switch only; the "
+          "batcher is not replication/view-change aware yet");
+    }
+  }
+  if (config.open_loop.enabled) {
+    if (config.open_loop.offered_load <= 0.0) {
+      return Status::InvalidArgument(
+          "open_loop.offered_load must be positive (transactions per "
+          "second across the cluster) when open-loop load is enabled");
+    }
+    if (config.open_loop.admission_queue_bound == 0) {
+      return Status::InvalidArgument(
+          "open_loop.admission_queue_bound must be >= 1: a zero-capacity "
+          "admission queue would shed or stall every arrival");
+    }
+    if (config.open_loop.process == ArrivalProcess::kMmpp) {
+      if (config.open_loop.burst_factor < 1.0) {
+        return Status::InvalidArgument(
+            "open_loop.burst_factor must be >= 1 (the burst state runs at "
+            "least as hot as the calm state)");
+      }
+      if (config.open_loop.burst_dwell <= 0) {
+        return Status::InvalidArgument(
+            "open_loop.burst_dwell must be positive for MMPP arrivals");
+      }
+    }
+  }
   if (config.network.num_switches != 1 &&
       config.network.num_switches != config.num_switches) {
     return Status::InvalidArgument(

@@ -66,6 +66,71 @@ struct TimingConfig {
   SimTime view_change_delay = 40 * kMicrosecond;
 };
 
+/// Inter-arrival process of the open-loop client population.
+enum class ArrivalProcess : uint8_t {
+  /// Memoryless aggregate of a huge independent client population.
+  kPoisson,
+  /// Two-state Markov-modulated Poisson process: the generator alternates
+  /// between a calm and a burst state (exponential dwell times), with the
+  /// burst state running `burst_factor` times hotter. Long-run average rate
+  /// equals `offered_load`; the bursts are what exposes queueing collapse.
+  kMmpp,
+};
+
+const char* ArrivalProcessName(ArrivalProcess process);
+
+/// Open-loop load generation: instead of N closed-loop workers (one
+/// inflight transaction each), a per-node arrival generator models millions
+/// of independent clients multiplexed onto a bounded pool of session
+/// workers. Arrivals land in a bounded admission queue; sessions drain it.
+/// Latency is measured from the *arrival instant* (queueing included), the
+/// number a user behind an open network actually sees. Disabled by default:
+/// the closed-loop path stays byte-identical to every committed baseline.
+struct OpenLoopConfig {
+  bool enabled = false;
+  /// Aggregate offered load across the whole cluster, transactions per
+  /// second of simulated time. Split evenly over the nodes.
+  double offered_load = 0.0;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// kMmpp: burst-state rate multiplier (>= 1) relative to the calm state.
+  /// Rates are solved so the long-run average stays `offered_load`.
+  double burst_factor = 4.0;
+  /// kMmpp: mean exponential dwell time in each state.
+  SimTime burst_dwell = 200 * kMicrosecond;
+  /// Session workers per node draining the admission queue; 0 = use
+  /// workers_per_node.
+  uint16_t sessions_per_node = 0;
+  /// Bound of the per-node admission queue (arrivals waiting for a free
+  /// session). Must be >= 1 when open-loop is enabled.
+  uint32_t admission_queue_bound = 1024;
+  /// What to do with an arrival that finds the admission queue full:
+  /// shed it (count it and drop — graceful overload degradation), or stall
+  /// the arrival generator until a slot frees (backpressure onto the
+  /// source, TCP-style).
+  enum class Overflow : uint8_t { kShed, kDelay };
+  Overflow overflow = Overflow::kShed;
+};
+
+/// Node→switch egress batching (DPDK doorbell style): switch-bound requests
+/// from one node coalesce into a single wire frame, flushed when `size`
+/// requests joined or `flush_timeout` elapsed since the first join —
+/// whichever comes first. The switch egress runs the mirror image for the
+/// responses riding back to each node. Amortizes the per-packet frame
+/// overhead and, on the response leg, the serialized per-frame host receive
+/// cost. `size` 1 (default) disables batching entirely: every send takes
+/// the historical unbatched code path, byte-identical to committed
+/// baselines.
+struct BatchConfig {
+  /// Max switch transactions per wire batch; 1 = batching off. Capped at
+  /// kMaxBatchSize (the batcher's inline, allocation-free member storage).
+  uint32_t size = 1;
+  /// Doorbell timer: an open batch flushes at most this long after its
+  /// first member joined. Must be > 0 when size > 1.
+  SimTime flush_timeout = 2 * kMicrosecond;
+
+  static constexpr uint32_t kMaxBatchSize = 64;
+};
+
 /// Complete configuration of one simulated cluster run.
 struct SystemConfig {
   EngineMode mode = EngineMode::kP4db;
@@ -103,6 +168,8 @@ struct SystemConfig {
   TimingConfig timing;
   net::NetworkConfig network;
   sw::PipelineConfig pipeline;
+  OpenLoopConfig open_loop;
+  BatchConfig batch;
 
   /// Use the declustered data-layout algorithm (Section 4.3); if false, hot
   /// items are placed randomly ("worst case" layout of Figure 16).

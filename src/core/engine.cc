@@ -18,6 +18,11 @@ namespace {
 SystemConfig Normalize(SystemConfig config) {
   config.network.num_nodes = config.num_nodes;
   config.network.num_switches = config.num_switches;
+  // Resolve the open-loop session-pool default here so everything
+  // downstream (spawning, reserves, benches) sees one concrete value.
+  if (config.open_loop.sessions_per_node == 0) {
+    config.open_loop.sessions_per_node = config.workers_per_node;
+  }
   return config;
 }
 
@@ -43,6 +48,16 @@ const char* CcProtocolName(CcProtocol protocol) {
       return "2PL";
     case CcProtocol::kOcc:
       return "OCC";
+  }
+  return "?";
+}
+
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kMmpp:
+      return "mmpp";
   }
   return "?";
 }
@@ -98,6 +113,12 @@ Engine::Engine(const SystemConfig& config)
     router_ = std::make_unique<ShardRouter>(ssim_.get(), config_.network,
                                             std::move(shard_tracers),
                                             shard_registries);
+    if (config_.batch.size > 1) {
+      // Batch counters live on the shard that models each flush's egress
+      // link; registered here (not first use) so the dumped key set is a
+      // pure function of the configuration.
+      router_->EnableBatchCounters(shard_registries);
+    }
   }
 
   // Under OCC the lock manager only serves short validation-phase locks;
@@ -156,6 +177,35 @@ Engine::Engine(const SystemConfig& config)
   }
   crash_record_offset_.assign(config_.num_nodes, 0);
 
+  if (config_.batch.size > 1) {
+    // Egress batching armed: the CC send sites route switch-bound requests
+    // (and switch-egress responses) through the batcher. At size <= 1 the
+    // pointer stays null and every send takes the historical path
+    // byte-for-byte.
+    batcher_ = sharded_ ? std::make_unique<EgressBatcher>(
+                              config_.batch, config_.num_nodes, router_.get())
+                        : std::make_unique<EgressBatcher>(
+                              config_.batch, config_.num_nodes, &sim_, &net_,
+                              &tracer_);
+  }
+  if (config_.open_loop.enabled) {
+    open_loop_.reserve(config_.num_nodes);
+    for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+      auto ol = std::make_unique<OpenLoopNode>();
+      ol->ring.resize(config_.open_loop.admission_queue_bound);
+      ol->idle_sessions.reserve(config_.open_loop.sessions_per_node);
+      // Admission telemetry exists only in open-loop runs (closed-loop
+      // dumps keep the historical key set), shard-local when sharded like
+      // every other per-node series.
+      MetricsRegistry& reg = sharded_ ? eshards_[n]->registry : registry_;
+      ol->admitted = &reg.counter("engine.admission_admitted");
+      ol->shed = &reg.counter("engine.admission_shed");
+      ol->delayed = &reg.counter("engine.admission_delayed");
+      ol->depth = &reg.histogram("engine.admission_depth");
+      open_loop_.push_back(std::move(ol));
+    }
+  }
+
   // The flight recorder is live from the first event; EnableFull upgrades
   // the same tracer in place for --trace runs. In sharded mode the switch
   // pipeline emits into the switch shard's ring; network spans are the
@@ -208,6 +258,7 @@ Engine::Engine(const SystemConfig& config)
   ctx.degraded_inflight = degraded_inflight_.data();
   ctx.tracer = &tracer_;
   ctx.router = router_.get();
+  ctx.batcher = batcher_.get();
   cc_ = cc::MakeConcurrencyControl(config_.cc_protocol, ctx);
 }
 
@@ -379,6 +430,227 @@ sim::Task Engine::RunWorker(NodeId node, WorkerId worker,
   }
 }
 
+sim::Task Engine::RunOpenLoopGenerator(NodeId node, uint64_t seed_salt) {
+  // The generator's stream is distinct from every session stream (different
+  // multiplier), and — like workers — derives from the home shard's seed
+  // when sharded so thread counts cannot perturb the draws.
+  const uint64_t base_seed =
+      sharded_ ? ShardSeed(config_.seed, node) : config_.seed;
+  Rng rng(base_seed ^ seed_salt ^
+          (0xda3e39cb94b95bdbULL * (static_cast<uint64_t>(node) + 1)));
+  if (sharded_) rng.BindOwner(ssim_->RngToken(node));
+  sim::Simulator& hsim = HomeSim(node);
+  trace::Tracer& htracer = HomeTracer(node);
+  OpenLoopNode& ol = *open_loop_[node];
+  const OpenLoopConfig& olc = config_.open_loop;
+  const uint32_t bound = olc.admission_queue_bound;
+  // Arrival rates in transactions per simulated nanosecond. The MMPP's two
+  // state rates solve to the configured long-run average: equal mean dwell
+  // in each state means the average rate is (r0 + r1) / 2.
+  const double per_node_rate =
+      olc.offered_load / static_cast<double>(config_.num_nodes) / 1e9;
+  const bool mmpp = olc.process == ArrivalProcess::kMmpp;
+  double rate[2] = {per_node_rate, per_node_rate};
+  if (mmpp) {
+    rate[0] = 2.0 * per_node_rate / (1.0 + olc.burst_factor);
+    rate[1] = olc.burst_factor * rate[0];
+  }
+  // Inverse-CDF exponential draw; NextDouble() is in [0, 1), so the log
+  // argument never hits zero.
+  const auto exp_ns = [&rng](double per_ns) {
+    return -std::log(1.0 - rng.NextDouble()) / per_ns;
+  };
+  const double dwell_rate = mmpp ? 1.0 / static_cast<double>(olc.burst_dwell)
+                                 : 0.0;
+  int state = 0;
+  SimTime pos = hsim.now();
+  SimTime state_end =
+      mmpp ? pos + std::max<SimTime>(
+                       1, static_cast<SimTime>(std::llround(exp_ns(dwell_rate))))
+           : 0;
+  while (!hsim.stopped()) {
+    if (node_crashed_[node]) co_return;
+    // Draw the next client arrival. An MMPP gap that crosses the state
+    // boundary moves to the boundary, flips state, and redraws — exact
+    // sampling, justified by the exponential's memorylessness.
+    for (;;) {
+      const SimTime dt = std::max<SimTime>(
+          1, static_cast<SimTime>(std::llround(exp_ns(rate[state]))));
+      if (!mmpp || pos + dt <= state_end) {
+        pos += dt;
+        break;
+      }
+      pos = state_end;
+      state ^= 1;
+      state_end = pos + std::max<SimTime>(
+                            1, static_cast<SimTime>(
+                                   std::llround(exp_ns(dwell_rate))));
+    }
+    if (pos > hsim.now()) co_await sim::Delay(hsim, pos - hsim.now());
+    if (hsim.stopped()) co_return;
+    if (node_crashed_[node]) co_return;
+    db::Transaction txn = workload_->Next(rng, node);
+    pm_.Classify(&txn, node);
+    if (ol.size >= bound) {
+      if (olc.overflow == OpenLoopConfig::Overflow::kShed) {
+        // Graceful overload: count the arrival and drop it on the floor.
+        ol.shed->Increment();
+        htracer.Instant(trace::Category::kAdmissionShed,
+                        static_cast<uint64_t>(pos), node);
+        continue;
+      }
+      // Backpressure: stall the source until a session frees a slot. The
+      // arrival keeps its intended instant — the stall is queueing delay
+      // the client observes.
+      ol.delayed->Increment();
+      struct StallAwaiter {
+        OpenLoopNode* ol;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) noexcept {
+          ol->parked_generator = h;
+        }
+        void await_resume() const noexcept {}
+      };
+      co_await StallAwaiter{&ol};
+      if (hsim.stopped() || node_crashed_[node]) co_return;
+    }
+    ArrivalRec& slot = ol.ring[(ol.head + ol.size) % bound];
+    slot.txn = std::move(txn);
+    slot.arrival = pos;
+    ++ol.size;
+    ol.admitted->Increment();
+    ol.depth->Record(static_cast<int64_t>(ol.size));
+    if (!ol.idle_sessions.empty()) {
+      const std::coroutine_handle<> h = ol.idle_sessions.back();
+      ol.idle_sessions.pop_back();
+      hsim.ScheduleResume(0, h);
+    }
+    // After a kDelay stall the source restarts its clock at the drain
+    // instant (like a throttled TCP sender); otherwise now == pos and this
+    // is a no-op.
+    pos = std::max(pos, hsim.now());
+  }
+}
+
+sim::Task Engine::RunOpenLoopSession(NodeId node, WorkerId session,
+                                     uint64_t seed_salt) {
+  // Sessions replace closed-loop workers one-for-one and reuse their seed
+  // formula — only one of the two pools ever exists, so the streams cannot
+  // collide.
+  const uint64_t base_seed =
+      sharded_ ? ShardSeed(config_.seed, node) : config_.seed;
+  Rng rng(base_seed ^ seed_salt ^
+          (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(node) * 1024 +
+                                    session + 1)));
+  if (sharded_) rng.BindOwner(ssim_->RngToken(node));
+  sim::Simulator& hsim = HomeSim(node);
+  trace::Tracer& htracer = HomeTracer(node);
+  Metrics& wmetrics = sharded_ ? eshards_[node]->metrics : metrics_;
+  MetricsRegistry::Counter& committed_c =
+      sharded_ ? *eshards_[node]->committed : *committed_counter_;
+  MetricsRegistry::Counter& aborted_c =
+      sharded_ ? *eshards_[node]->aborted : *aborted_counter_;
+  MetricsRegistry::Counter& gaveup_c =
+      sharded_ ? *eshards_[node]->gaveup : *gaveup_counter_;
+  Histogram& attempts_h =
+      sharded_ ? *eshards_[node]->attempts_hist : *attempts_hist_;
+  OpenLoopNode& ol = *open_loop_[node];
+  std::vector<std::optional<Value64>> results;
+  while (!hsim.stopped()) {
+    if (node_crashed_[node]) co_return;
+    if (ol.size == 0) {
+      // Idle: park on the node's LIFO stack; the generator wakes exactly
+      // one session per admitted arrival.
+      struct ParkAwaiter {
+        OpenLoopNode* ol;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) {
+          ol->idle_sessions.push_back(h);
+        }
+        void await_resume() const noexcept {}
+      };
+      co_await ParkAwaiter{&ol};
+      continue;  // re-check stop/crash/queue state after waking
+    }
+    ArrivalRec& slot = ol.ring[ol.head];
+    db::Transaction txn = std::move(slot.txn);
+    const SimTime arrival = slot.arrival;
+    ol.head = (ol.head + 1) % config_.open_loop.admission_queue_bound;
+    --ol.size;
+    if (ol.parked_generator) {
+      // kDelay backpressure: the slot this pop freed un-stalls the source.
+      const std::coroutine_handle<> g = ol.parked_generator;
+      ol.parked_generator = nullptr;
+      hsim.ScheduleResume(0, g);
+    }
+    const SimTime start = hsim.now();
+    TxnTimers timers;
+    const uint64_t ts = PeekTxnId(node);
+    // Admission wait: the client's send instant to dispatch — queueing the
+    // open load observes before execution even begins.
+    htracer.CompleteSpan(arrival, start, trace::Category::kAdmission, ts,
+                         node);
+    int attempt = 0;
+    bool committed = true;
+    trace::Tracer::Span txn_span(&htracer, trace::Category::kTxn, ts, node);
+    for (;;) {
+      const uint64_t txn_id = TakeTxnId(node);
+      results.assign(txn.ops.size(), std::nullopt);
+      trace::Tracer::Span attempt_span(&htracer, trace::Category::kAttempt,
+                                       ts, node,
+                                       static_cast<uint8_t>(
+                                           std::min(attempt + 1, 255)));
+      const bool ok = co_await cc_->ExecuteAttempt(node, txn, txn_id, ts,
+                                                   &results, &timers);
+      attempt_span.End();
+      if (ok) break;
+      if (measuring_) {
+        wmetrics.RecordAbort(txn.cls);
+        aborted_c.Increment();
+      }
+      ++attempt;
+      if (config_.max_attempts > 0 &&
+          static_cast<uint32_t>(attempt) >= config_.max_attempts) {
+        committed = false;
+        break;
+      }
+      const SimTime backoff = BackoffDelay(attempt, rng);
+      timers.backoff += backoff;
+      const SimTime backoff_begin = hsim.now();
+      co_await sim::Delay(hsim, backoff);
+      htracer.CompleteSpan(backoff_begin, hsim.now(),
+                           trace::Category::kBackoff, ts, node,
+                           static_cast<uint8_t>(std::min(attempt, 255)));
+    }
+    txn_span.End();
+    if (measuring_) {
+      attempts_h.Record(attempt + (committed ? 1 : 0));
+      if (committed) {
+        // Latency epoch is the ARRIVAL instant: admission queueing counts,
+        // which is what bends the knee curve upward past saturation.
+        wmetrics.RecordCommit(txn.cls, txn.distributed, hsim.now() - arrival,
+                              timers);
+        committed_c.Increment();
+      } else {
+        gaveup_c.Increment();
+      }
+    }
+  }
+}
+
+void Engine::SpawnNode(NodeId node, uint64_t seed_salt) {
+  if (config_.open_loop.enabled) {
+    workers_.push_back(RunOpenLoopGenerator(node, seed_salt));
+    for (uint16_t s = 0; s < config_.open_loop.sessions_per_node; ++s) {
+      workers_.push_back(RunOpenLoopSession(node, s, seed_salt));
+    }
+  } else {
+    for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
+      workers_.push_back(RunWorker(node, w, seed_salt));
+    }
+  }
+}
+
 Metrics Engine::Run(SimTime warmup, SimTime duration) {
   assert(!ran_ && "Engine::Run is single-shot");
   assert(workload_ != nullptr);
@@ -387,11 +659,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
 
   measuring_ = false;
   running_ = true;
-  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
-    for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
-      workers_.push_back(RunWorker(n, w));
-    }
-  }
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) SpawnNode(n, 0);
   sim_.RunUntil(warmup);
   metrics_ = Metrics();
   for (auto& p : pipelines_) p->ResetStats();
@@ -415,6 +683,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   sim_.Stop();
   sim_.DiscardPending();
   workers_.clear();
+  DropParkedHandles();
   sim_.Resume();
   return out;
 }
@@ -432,9 +701,7 @@ Metrics Engine::RunSharded(SimTime warmup, SimTime duration) {
     // Tasks start eagerly; the worker's first synchronous section (and any
     // cross-shard posts it makes) must run under the home shard's context.
     sim::ShardedSimulator::ScopedShard guard(ssim_.get(), n);
-    for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
-      workers_.push_back(RunWorker(n, w));
-    }
+    SpawnNode(n, 0);
   }
 
   // Coordinator-phase globals. Scheduling order fixes the sequence numbers,
@@ -481,6 +748,7 @@ Metrics Engine::RunSharded(SimTime warmup, SimTime duration) {
     ssim_->shard(s).DiscardPending();
   }
   workers_.clear();
+  DropParkedHandles();
   for (uint32_t s = 0; s < ssim_->num_shards(); ++s) {
     ssim_->shard(s).Resume();
   }
@@ -523,8 +791,13 @@ trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
           "switch.txns_completed"));
     }
     sampler_->AddCounterRate("switch_txns", std::move(switch_txns));
-    sampler_->AddHistogramQuantile("p99_latency_ns", std::move(latency),
-                                   0.99);
+    sampler_->AddHistogramQuantile("p99_latency_ns", latency, 0.99);
+    if (config_.open_loop.enabled) {
+      // Extreme-tail series only for open-loop runs (the knee bench gates
+      // on p999); closed-loop dumps keep the historical key set.
+      sampler_->AddHistogramQuantile("p999_latency_ns", std::move(latency),
+                                     0.999);
+    }
   } else {
     sampler_->AddCounterRate("committed", committed_counter_);
     sampler_->AddCounterRate("aborted_attempts", aborted_counter_);
@@ -532,6 +805,10 @@ trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
                              &registry_.counter("switch.txns_completed"));
     sampler_->AddHistogramQuantile("p99_latency_ns", &metrics_.latency_all,
                                    0.99);
+    if (config_.open_loop.enabled) {
+      sampler_->AddHistogramQuantile("p999_latency_ns",
+                                     &metrics_.latency_all, 0.999);
+    }
   }
   return *sampler_;
 }
@@ -614,7 +891,29 @@ void Engine::SimulateSwitchCrash() {
   control_planes_[primary_switch_]->Reset();
 }
 
-void Engine::SimulateNodeCrash(NodeId node) { node_crashed_[node] = true; }
+void Engine::SimulateNodeCrash(NodeId node) {
+  node_crashed_[node] = true;
+  if (node < open_loop_.size()) {
+    // The node's client sessions die with it: parked coroutines are
+    // abandoned (their frames are reclaimed at teardown) and queued
+    // arrivals are lost — recovery respawns a fresh generator + session
+    // pool under a new RNG generation.
+    OpenLoopNode& ol = *open_loop_[node];
+    ol.idle_sessions.clear();
+    ol.parked_generator = nullptr;
+    ol.head = 0;
+    ol.size = 0;
+  }
+}
+
+void Engine::DropParkedHandles() {
+  // Post-teardown the parked coroutine frames are gone (workers_ owned
+  // them); dangling handles must not survive into post-run inspection.
+  for (auto& ol : open_loop_) {
+    ol->idle_sessions.clear();
+    ol->parked_generator = nullptr;
+  }
+}
 
 Status Engine::RecoverSwitch() {
   std::vector<const db::Wal*> logs;
@@ -654,13 +953,9 @@ Status Engine::RecoverNode(NodeId node) {
       // Restart events run as quiescent globals; the respawned workers'
       // eager first sections need the home shard's context installed.
       sim::ShardedSimulator::ScopedShard guard(ssim_.get(), node);
-      for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
-        workers_.push_back(RunWorker(node, w, salt));
-      }
+      SpawnNode(node, salt);
     } else {
-      for (uint16_t w = 0; w < config_.workers_per_node; ++w) {
-        workers_.push_back(RunWorker(node, w, salt));
-      }
+      SpawnNode(node, salt);
     }
   }
   return Status::Ok();

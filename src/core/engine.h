@@ -14,6 +14,7 @@
 #include "common/trace.h"
 #include "core/cc/concurrency_control.h"
 #include "core/config.h"
+#include "core/egress_batcher.h"
 #include "core/layout.h"
 #include "core/metrics.h"
 #include "core/partition_manager.h"
@@ -138,9 +139,14 @@ class Engine {
     }
     // Closed-loop workers bound the pending-event count; the bucket cap
     // covers the worst single-timestamp burst (every worker resuming at
-    // once plus the harness marks).
-    const size_t workers =
-        size_t{config_.num_nodes} * config_.workers_per_node;
+    // once plus the harness marks). Open-loop runs are bounded by the
+    // session pool plus one generator per node (queued arrivals hold no
+    // events — they sit in the preallocated admission ring).
+    const size_t per_node =
+        config_.open_loop.enabled
+            ? size_t{config_.open_loop.sessions_per_node} + 1
+            : size_t{config_.workers_per_node};
+    const size_t workers = size_t{config_.num_nodes} * per_node;
     if (sharded_) {
       // Every shard gets the full-cluster budget: the switch shard parks
       // most in-flight coroutines at peak, and memory is cheap next to a
@@ -272,6 +278,44 @@ class Engine {
   };
 
   sim::Task RunWorker(NodeId node, WorkerId worker, uint64_t seed_salt = 0);
+
+  // -- Open-loop runtime (open_loop.enabled; see DESIGN.md §4i) --
+
+  /// One admitted client arrival waiting for a session.
+  struct ArrivalRec {
+    db::Transaction txn;
+    SimTime arrival = 0;  // the client's send instant (latency epoch)
+  };
+  /// Per-node open-loop state: the bounded admission ring, the idle-session
+  /// stack and (kDelay) the stalled generator. Node-shard-local in sharded
+  /// runs — only ever touched from the home shard.
+  struct OpenLoopNode {
+    std::vector<ArrivalRec> ring;  // preallocated, admission_queue_bound
+    uint32_t head = 0;
+    uint32_t size = 0;
+    std::vector<std::coroutine_handle<>> idle_sessions;  // LIFO pop
+    std::coroutine_handle<> parked_generator = nullptr;  // kDelay stall
+    MetricsRegistry::Counter* admitted = nullptr;
+    MetricsRegistry::Counter* shed = nullptr;
+    MetricsRegistry::Counter* delayed = nullptr;
+    Histogram* depth = nullptr;  // queue depth at each admit
+  };
+
+  /// The node's arrival source: draws Poisson/MMPP inter-arrival gaps for
+  /// the (simulated) client population and admits transactions into the
+  /// bounded ring — shedding or stalling on overflow per the policy.
+  sim::Task RunOpenLoopGenerator(NodeId node, uint64_t seed_salt = 0);
+  /// One session worker draining the node's admission ring; the open-loop
+  /// counterpart of RunWorker, measuring latency from the arrival instant.
+  sim::Task RunOpenLoopSession(NodeId node, WorkerId session,
+                               uint64_t seed_salt = 0);
+  /// Spawns node `node`'s coroutines for the configured load mode (closed
+  /// loop: workers_per_node workers; open loop: generator + session pool).
+  void SpawnNode(NodeId node, uint64_t seed_salt);
+  /// Clears parked open-loop coroutine handles after run teardown freed
+  /// their frames (no-op in closed-loop runs).
+  void DropParkedHandles();
+
   /// Driver for ExecuteOnce: retries one transaction to completion.
   sim::Task DriveOnce(db::Transaction* txn, NodeId home,
                       std::vector<std::optional<Value64>>* results,
@@ -380,6 +424,14 @@ class Engine {
   std::unique_ptr<db::LockManager> switch_lm_;
   std::vector<std::unique_ptr<db::Wal>> wals_;
   std::vector<bool> node_crashed_;
+
+  /// Egress batcher (batch.size > 1 only; null otherwise, and every send
+  /// takes the historical path).
+  std::unique_ptr<EgressBatcher> batcher_;
+  /// Open-loop per-node state (open_loop.enabled only). unique_ptr for
+  /// stable addresses — parked coroutines hold pointers into their node's
+  /// entry.
+  std::vector<std::unique_ptr<OpenLoopNode>> open_loop_;
 
   wl::Workload* workload_ = nullptr;
   Metrics metrics_;

@@ -90,6 +90,75 @@ class ShardRouter {
     injectors_[shard] = injector;
   }
 
+  /// Arms per-shard "net.batches_sent" / "net.batched_txns" counters (the
+  /// sharded mirror of Network::EnableBatchCounters — lazily registered so
+  /// unbatched runs keep the historical merged key set). `registries` must
+  /// be the same per-shard vector the constructor saw.
+  void EnableBatchCounters(const std::vector<MetricsRegistry*>& registries) {
+    assert(registries.size() == ssim_->num_shards());
+    batches_sent_.reserve(registries.size());
+    batched_txns_.reserve(registries.size());
+    for (MetricsRegistry* reg : registries) {
+      batches_sent_.push_back(&reg->counter("net.batches_sent"));
+      batched_txns_.push_back(&reg->counter("net.batched_txns"));
+    }
+    batch_arrival_slot_.assign(config_.num_nodes, 0);
+  }
+
+  /// Batched egress flush (EgressBatcher): reserves `from`'s egress link
+  /// ONCE for the whole `bytes`-sized frame, then resumes every member at
+  /// the batch's arrival. A switch destination ingests at line rate — all
+  /// members resume at the flight arrival, the lead one emitting the
+  /// frame's single net_send span. A node destination pays ONE serialized
+  /// rx_service for the frame: the lead member's record runs the rx leg and
+  /// parks the arrival in a dst-shard-owned slot; follower records (posted
+  /// after it at the same flight time, so mailbox merge order guarantees
+  /// they execute after it) resume at the slot time. Call on `from`'s
+  /// shard, after EnableBatchCounters.
+  void BatchSend(net::Endpoint from, net::Endpoint to, uint32_t bytes,
+                 uint32_t count, uint64_t label,
+                 const std::coroutine_handle<>* handles) {
+    const uint32_t s = ssim_->current_shard();
+    batches_sent_[s]->Increment();
+    batched_txns_[s]->Increment(count);
+    const SimTime begin = CurrentSim().now();
+    const uint16_t track = from.index;
+    const SimTime flight = Depart(from, to, bytes, label, track);
+    const uint32_t dst_shard = ShardOf(to);
+    if (to.is_switch()) {
+      ssim_->Post(dst_shard, flight,
+                  [this, ha = handles[0].address(), begin, label, track,
+                   dst = to.index] {
+                    DeliverResume(ha, begin, label, track, dst);
+                  });
+      for (uint32_t i = 1; i < count; ++i) {
+        ssim_->Post(dst_shard, flight, [ha = handles[i].address()] {
+          std::coroutine_handle<>::from_address(ha).resume();
+        });
+      }
+      return;
+    }
+    ssim_->Post(dst_shard, flight,
+                [this, ha = handles[0].address(), begin, label, track,
+                 n = to.index] {
+                  sim::Simulator& sim = CurrentSim();
+                  const SimTime arrive = RxLeg(n, begin, label, track);
+                  batch_arrival_slot_[n] = arrive;
+                  sim.ScheduleResume(
+                      arrive - sim.now(),
+                      std::coroutine_handle<>::from_address(ha));
+                });
+    for (uint32_t i = 1; i < count; ++i) {
+      ssim_->Post(dst_shard, flight,
+                  [this, ha = handles[i].address(), n = to.index] {
+                    sim::Simulator& sim = CurrentSim();
+                    sim.ScheduleResume(
+                        batch_arrival_slot_[n] - sim.now(),
+                        std::coroutine_handle<>::from_address(ha));
+                  });
+    }
+  }
+
   /// Suspends the caller and resumes it on `to`'s shard at the message's
   /// arrival time (sharded equivalent of co_await Network::Send).
   void SendAndMigrate(net::Endpoint from, net::Endpoint to, uint32_t bytes,
@@ -264,6 +333,13 @@ class ShardRouter {
   std::vector<net::FaultInjector*> injectors_;      // per shard, may be null
   std::vector<MetricsRegistry::Counter*> messages_sent_;  // per shard
   std::vector<MetricsRegistry::Counter*> bytes_sent_;     // per shard
+  // Batching support (empty until EnableBatchCounters).
+  std::vector<MetricsRegistry::Counter*> batches_sent_;   // per shard
+  std::vector<MetricsRegistry::Counter*> batched_txns_;   // per shard
+  /// Per destination node: the post-rx arrival of the batch frame currently
+  /// being delivered there; written by the lead member's record, read by
+  /// the followers posted right behind it. Owned by the destination shard.
+  std::vector<SimTime> batch_arrival_slot_;
   // Link state, touched only by the owning shard's thread (or by globals
   // with every shard quiescent): uplink/rx of node n on shard n, switch k's
   // per-node downlinks (k * num_nodes + n) on switch k's shard.

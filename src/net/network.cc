@@ -23,8 +23,14 @@ Network::Network(sim::Simulator* sim, const NetworkConfig& config,
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
   }
+  metrics_ = metrics;
   messages_sent_ = &metrics->counter("net.messages_sent");
   bytes_sent_ = &metrics->counter("net.bytes_sent");
+}
+
+void Network::EnableBatchCounters() {
+  batches_sent_ = &metrics_->counter("net.batches_sent");
+  batched_txns_ = &metrics_->counter("net.batched_txns");
 }
 
 SimTime Network::PropagationDelay(Endpoint from, Endpoint to) const {

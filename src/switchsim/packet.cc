@@ -124,4 +124,64 @@ StatusOr<SwitchTxn> PacketCodec::Decode(std::span<const uint8_t> bytes) {
   return txn;
 }
 
+void BatchCodec::Encode(const SwitchBatch& batch, std::vector<uint8_t>* buf) {
+  std::vector<uint8_t>& out = *buf;
+  out.clear();
+  out.reserve(EncodedSize(batch));
+  Put<uint8_t>(out, kMagic);
+  Put<uint8_t>(out, static_cast<uint8_t>(batch.txns.size()));
+  Put<uint16_t>(out, batch.origin_node);
+  Put<uint32_t>(out, batch.batch_seq);
+  std::vector<uint8_t> member;
+  for (const SwitchTxn& txn : batch.txns) {
+    PacketCodec::Encode(txn, &member);
+    out.insert(out.end(), member.begin(), member.end());
+  }
+}
+
+StatusOr<SwitchBatch> BatchCodec::Decode(std::span<const uint8_t> bytes) {
+  SwitchBatch batch;
+  size_t pos = 0;
+  uint8_t magic = 0, count = 0;
+  if (!Get(bytes, &pos, &magic) || !Get(bytes, &pos, &count) ||
+      !Get(bytes, &pos, &batch.origin_node) ||
+      !Get(bytes, &pos, &batch.batch_seq)) {
+    return Status::InvalidArgument("truncated batch header");
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad batch magic");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("empty batch (the batcher never "
+                                   "flushes zero members)");
+  }
+  batch.txns.reserve(count);
+  for (uint8_t i = 0; i < count; ++i) {
+    // Each member is self-delimiting: its instruction count lives at byte 4
+    // of its own header, fixing the member length without a prefix.
+    if (pos + PacketCodec::kHeaderBytes > bytes.size()) {
+      return Status::InvalidArgument("truncated batch member header");
+    }
+    const size_t member_size =
+        PacketCodec::kHeaderBytes +
+        static_cast<size_t>(bytes[pos + 4]) * PacketCodec::kInstrBytes;
+    if (pos + member_size > bytes.size()) {
+      return Status::InvalidArgument("truncated batch member body");
+    }
+    auto txn = PacketCodec::Decode(bytes.subspan(pos, member_size));
+    if (!txn.ok()) return txn.status();
+    if (txn->origin_node != batch.origin_node) {
+      return Status::InvalidArgument(
+          "batch member origin_node disagrees with the batch header (an "
+          "egress batch coalesces one node's uplink only)");
+    }
+    batch.txns.push_back(*std::move(txn));
+    pos += member_size;
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after batch members");
+  }
+  return batch;
+}
+
 }  // namespace p4db::sw

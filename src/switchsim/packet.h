@@ -115,6 +115,70 @@ class PacketCodec {
   static StatusOr<SwitchTxn> Decode(std::span<const uint8_t> bytes);
 };
 
+/// A node→switch egress batch: several switch transactions from one origin
+/// node riding in a single wire frame (DPDK doorbell coalescing). The
+/// simulator hot path never round-trips real batches through bytes (same
+/// shared-memory shortcut as single packets); this codec exists for wire
+/// size accounting and is round-trip tested as the batching NIC driver's
+/// pack/unpack would be.
+struct SwitchBatch {
+  uint16_t origin_node = 0;
+  /// Per-origin monotonic batch number (lets the receiver detect a lost
+  /// frame dropping a whole batch, the batched analog of client_seq).
+  uint32_t batch_seq = 0;
+  std::vector<SwitchTxn> txns;
+};
+
+/// Wire codec for egress batches. Layout (little-endian):
+///   [0]    magic (0xB4 — distinguishes a batch from a bare txn,
+///          whose first byte is a 0/1 flags field)
+///   [1]    txn_count (1..kMaxTxns)
+///   [2:4]  origin_node
+///   [4:8]  batch_seq
+///   then txn_count back-to-back PacketCodec encodings. Each is
+///   self-delimiting — its instruction count sits at byte 4 of its own
+///   header — so members need no per-member length prefix.
+class BatchCodec {
+ public:
+  static constexpr uint8_t kMagic = 0xB4;
+  static constexpr size_t kHeaderBytes = 8;
+  static constexpr size_t kMaxTxns = 255;
+
+  static size_t EncodedSize(const SwitchBatch& batch) {
+    size_t size = kHeaderBytes;
+    for (const SwitchTxn& txn : batch.txns) {
+      size += PacketCodec::EncodedSize(txn);
+    }
+    return size;
+  }
+  /// Total on-wire bytes: ONE L2-L4 frame for the whole batch — the
+  /// amortization the egress batcher exists to buy.
+  static size_t WireSize(const SwitchBatch& batch) {
+    return EncodedSize(batch) + PacketCodec::kFrameOverheadBytes;
+  }
+  /// Wire bytes of a batch whose members total `payload_sum` encoded bytes
+  /// (frameless). The engine's batcher tracks member payloads incrementally
+  /// and never materializes a SwitchBatch; requests use
+  /// PacketCodec::EncodedSize per member, responses ResponsePayloadSize.
+  static size_t WireSizeFor(size_t payload_sum) {
+    return kHeaderBytes + payload_sum + PacketCodec::kFrameOverheadBytes;
+  }
+  /// Frameless response payload of one member on the batched return leg
+  /// (ResponseWireSize minus the per-packet frame the batch amortizes).
+  static size_t ResponsePayloadSize(size_t num_instrs) {
+    return PacketCodec::ResponseWireSize(num_instrs) -
+           PacketCodec::kFrameOverheadBytes;
+  }
+
+  static void Encode(const SwitchBatch& batch, std::vector<uint8_t>* out);
+  static std::vector<uint8_t> Encode(const SwitchBatch& batch) {
+    std::vector<uint8_t> out;
+    Encode(batch, &out);
+    return out;
+  }
+  static StatusOr<SwitchBatch> Decode(std::span<const uint8_t> bytes);
+};
+
 }  // namespace p4db::sw
 
 #endif  // P4DB_SWITCHSIM_PACKET_H_

@@ -284,6 +284,31 @@ TEST(HistogramTest, QuantileEdgeCases) {
   EXPECT_EQ(h.Quantile(2.0), 1000);
 }
 
+TEST(HistogramTest, NamedTailAccessorsCoverTheDeepTail) {
+  Histogram h;
+  // Empty histogram: every named quantile is 0.
+  EXPECT_EQ(h.P50(), 0);
+  EXPECT_EQ(h.P99(), 0);
+  EXPECT_EQ(h.P999(), 0);
+  // Single sample: every named quantile is that sample.
+  h.Record(1000);
+  EXPECT_EQ(h.P50(), 1000);
+  EXPECT_EQ(h.P99(), 1000);
+  EXPECT_EQ(h.P999(), 1000);
+  // 2-in-1000 deep-tail outliers: invisible at p99 (rank 990), visible at
+  // p999 (rank 999) — the whole reason the accessor exists. The outlier
+  // stays inside the log-bucket range (values past ~2^16 share the last
+  // bucket and lose resolution).
+  for (int i = 0; i < 997; ++i) h.Record(1000);
+  h.Record(50000);
+  h.Record(50000);
+  EXPECT_LT(h.P99(), 10000);
+  EXPECT_GT(h.P999(), 30000);
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), h.max());
+}
+
 TEST(HistogramTest, QuantileZeroAndOneBracketTheData) {
   Histogram h;
   for (int i = 1; i <= 1000; ++i) h.Record(i);

@@ -168,5 +168,138 @@ TEST_P(CodecPropertyTest, RandomPacketsRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+SwitchBatch SampleBatch(uint16_t origin, size_t members) {
+  SwitchBatch batch;
+  batch.origin_node = origin;
+  batch.batch_seq = 42;
+  for (size_t i = 0; i < members; ++i) {
+    SwitchTxn txn = SampleTxn();
+    txn.origin_node = origin;
+    txn.client_seq = static_cast<uint32_t>(1000 + i);
+    if (i % 2 == 1) txn.instrs.pop_back();  // vary member sizes
+    batch.txns.push_back(std::move(txn));
+  }
+  return batch;
+}
+
+TEST(BatchCodecTest, RoundTripPreservesEveryMember) {
+  const SwitchBatch batch = SampleBatch(5, 3);
+  const auto bytes = BatchCodec::Encode(batch);
+  const auto decoded = BatchCodec::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->origin_node, batch.origin_node);
+  EXPECT_EQ(decoded->batch_seq, batch.batch_seq);
+  ASSERT_EQ(decoded->txns.size(), batch.txns.size());
+  for (size_t i = 0; i < batch.txns.size(); ++i) {
+    EXPECT_EQ(decoded->txns[i].instrs, batch.txns[i].instrs) << "member " << i;
+    EXPECT_EQ(decoded->txns[i].client_seq, batch.txns[i].client_seq);
+    EXPECT_EQ(decoded->txns[i].origin_node, batch.origin_node);
+  }
+}
+
+TEST(BatchCodecTest, EncodedSizeIsHeaderPlusMemberPayloads) {
+  const SwitchBatch batch = SampleBatch(2, 4);
+  size_t payload_sum = 0;
+  for (const SwitchTxn& txn : batch.txns) {
+    payload_sum += PacketCodec::EncodedSize(txn);
+  }
+  EXPECT_EQ(BatchCodec::Encode(batch).size(),
+            BatchCodec::kHeaderBytes + payload_sum);
+  // The batcher's incremental accounting must agree with a materialized
+  // batch: one frame overhead per batch, not per member.
+  EXPECT_EQ(BatchCodec::WireSize(batch), BatchCodec::WireSizeFor(payload_sum));
+}
+
+TEST(BatchCodecTest, ResponsePayloadMatchesFramelessResponseWire) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{8}, size_t{40}}) {
+    EXPECT_EQ(BatchCodec::ResponsePayloadSize(n),
+              PacketCodec::ResponseWireSize(n) -
+                  PacketCodec::kFrameOverheadBytes);
+  }
+}
+
+TEST(BatchCodecTest, BadMagicRejected) {
+  auto bytes = BatchCodec::Encode(SampleBatch(1, 2));
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(BatchCodec::Decode(bytes).ok());
+}
+
+TEST(BatchCodecTest, EmptyBatchRejected) {
+  SwitchBatch batch;
+  batch.origin_node = 3;
+  const auto bytes = BatchCodec::Encode(batch);
+  EXPECT_FALSE(BatchCodec::Decode(bytes).ok());
+}
+
+TEST(BatchCodecTest, TruncatedMemberRejected) {
+  auto bytes = BatchCodec::Encode(SampleBatch(1, 2));
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(BatchCodec::Decode(bytes).ok());
+}
+
+TEST(BatchCodecTest, TrailingBytesRejected) {
+  auto bytes = BatchCodec::Encode(SampleBatch(1, 2));
+  bytes.push_back(0);
+  EXPECT_FALSE(BatchCodec::Decode(bytes).ok());
+}
+
+TEST(BatchCodecTest, MemberOriginMismatchRejected) {
+  // A frame is one origin's egress queue; a member claiming another origin
+  // means the batcher mixed lanes.
+  SwitchBatch batch = SampleBatch(7, 2);
+  batch.txns[1].origin_node = 8;
+  const auto bytes = BatchCodec::Encode(batch);
+  EXPECT_FALSE(BatchCodec::Decode(bytes).ok());
+}
+
+// Property sweep: random batches of random member shapes round-trip
+// bit-exactly through the self-delimiting batch framing.
+class BatchPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchPropertyTest, RandomBatchesRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    SwitchBatch batch;
+    batch.origin_node = static_cast<uint16_t>(rng.NextRange(65536));
+    batch.batch_seq = static_cast<uint32_t>(rng.Next());
+    const size_t members = 1 + rng.NextRange(16);
+    for (size_t m = 0; m < members; ++m) {
+      SwitchTxn txn;
+      txn.is_multipass = rng.NextBool(0.5);
+      txn.lock_mask = static_cast<uint8_t>(rng.NextRange(4));
+      txn.nb_recircs = static_cast<uint8_t>(rng.NextRange(256));
+      txn.origin_node = batch.origin_node;
+      txn.client_seq = static_cast<uint32_t>(rng.Next());
+      txn.epoch = static_cast<uint8_t>(rng.NextRange(256));
+      const size_t n = rng.NextRange(20);
+      for (size_t i = 0; i < n; ++i) {
+        Instruction in;
+        in.op = static_cast<OpCode>(rng.NextRange(6));
+        in.addr.stage = static_cast<uint8_t>(rng.NextRange(20));
+        in.addr.reg = static_cast<uint8_t>(rng.NextRange(2));
+        in.addr.index = static_cast<uint32_t>(rng.Next());
+        in.operand = static_cast<Value64>(rng.Next());
+        txn.instrs.push_back(in);
+      }
+      batch.txns.push_back(std::move(txn));
+    }
+    const auto bytes = BatchCodec::Encode(batch);
+    ASSERT_EQ(bytes.size(), BatchCodec::EncodedSize(batch));
+    const auto decoded = BatchCodec::Decode(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->origin_node, batch.origin_node);
+    EXPECT_EQ(decoded->batch_seq, batch.batch_seq);
+    ASSERT_EQ(decoded->txns.size(), batch.txns.size());
+    for (size_t m = 0; m < batch.txns.size(); ++m) {
+      EXPECT_EQ(decoded->txns[m].instrs, batch.txns[m].instrs);
+      EXPECT_EQ(decoded->txns[m].client_seq, batch.txns[m].client_seq);
+      EXPECT_EQ(decoded->txns[m].nb_recircs, batch.txns[m].nb_recircs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchPropertyTest,
+                         ::testing::Values(11, 12, 13, 14));
+
 }  // namespace
 }  // namespace p4db::sw

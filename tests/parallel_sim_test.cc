@@ -53,8 +53,11 @@ struct ParallelRun {
 /// shards is part of the comparison.
 ParallelRun RunSharded(int threads, uint64_t seed, wl::Workload* workload,
                        size_t hot_items,
-                       const net::FaultSchedule* schedule = nullptr) {
-  Engine engine(ShardedCluster(threads, seed));
+                       const net::FaultSchedule* schedule = nullptr,
+                       void (*mutate)(SystemConfig&) = nullptr) {
+  SystemConfig cfg = ShardedCluster(threads, seed);
+  if (mutate != nullptr) mutate(cfg);
+  Engine engine(cfg);
   engine.SetWorkload(workload);
   trace::Sampler& sampler = engine.EnableTimeSeries(100 * kMicrosecond);
   engine.EnableFullTrace();
@@ -116,6 +119,28 @@ TEST(ParallelParityTest, DifferentSeedsDiverge) {
   const ParallelRun s1 = RunSharded(2, 42, &a, 40);
   const ParallelRun s2 = RunSharded(2, 43, &b, 40);
   EXPECT_NE(s1.metrics_json, s2.metrics_json);
+}
+
+TEST(ParallelParityTest, OpenLoopBatchedThreads1Vs4ByteIdentical) {
+  // Open-loop MMPP arrivals + egress batching: generator draws, admission
+  // queueing/shedding, doorbell flushes, and batched cross-shard delivery
+  // must all stay a pure function of the seed under the parallel runtime.
+  // The offered load overloads this small cluster on purpose so the shed
+  // path is part of the compared artifacts.
+  const auto openloop = [](SystemConfig& cfg) {
+    cfg.open_loop.enabled = true;
+    cfg.open_loop.offered_load = 2e6;
+    cfg.open_loop.process = ArrivalProcess::kMmpp;
+    cfg.batch.size = 4;
+  };
+  wl::Ycsb a(SmallYcsb()), b(SmallYcsb());
+  const ParallelRun t1 = RunSharded(1, 42, &a, 40, nullptr, openloop);
+  const ParallelRun t4 = RunSharded(4, 42, &b, 40, nullptr, openloop);
+  ExpectIdentical(t1, t4, "open-loop");
+  // The run actually exercised the new machinery.
+  EXPECT_NE(t1.metrics_json.find("net.batches_sent"), std::string::npos);
+  EXPECT_NE(t1.metrics_json.find("engine.admission_admitted"),
+            std::string::npos);
 }
 
 TEST(ParallelChaosTest, RebootChaosThreads1Vs4ByteIdentical) {

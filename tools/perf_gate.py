@@ -21,6 +21,12 @@ transfer across machines:
    cancels out. Gated absolutely (not baseline-relative): full-run tracing
    may not cost more than the tolerance, and the traced run must commit
    exactly as much as the untraced one (tracing is passive).
+ * openloop knee scenarios — all simulated-time. The knee throughput of
+   each series (batch=1, batch=8) must stay within the tolerance of the
+   baseline, the saturation speedup from batching may not drop below its
+   floor, and p999 latency at half the unbatched knee load (the "healthy
+   region" tail) may not grow past its cap. Absolute floors/caps are used
+   where the quantity is the experiment's headline claim.
  * failover `committed` / `dip_depth` / `time_to_recover_ns` per scenario —
    all simulated-time, fully deterministic for a seeded run. The
    single-switch dark window must stay DEEP (the historical baseline is
@@ -146,6 +152,53 @@ def gate_simcore(failures, baseline, fresh):
               f"(baseline {ratio:g}x, geomean-gated only)")
 
 
+# Absolute claims of the open-loop batching experiment: batching must keep
+# buying at least this much committed throughput at saturation, and the
+# deep tail in the healthy region (half the unbatched knee load) must stay
+# in interactive territory. Both are simulated-time and deterministic.
+OPENLOOP_SPEEDUP_FLOOR = 1.5
+OPENLOOP_HEALTHY_P999_US_CAP = 50.0
+
+
+def gate_openloop(failures, baseline, fresh):
+    print("openloop:")
+    for scenario, base in baseline.items():
+        run = fresh.get(scenario)
+        if run is None:
+            print(f"  [FAIL] {scenario}: missing from fresh results")
+            failures.append(f"{scenario} missing")
+            continue
+        if scenario == "summary":
+            check(failures, "summary saturation_speedup",
+                  run["saturation_speedup"], OPENLOOP_SPEEDUP_FLOOR, -1)
+            check(failures, "summary saturation_speedup",
+                  run["saturation_speedup"],
+                  base["saturation_speedup"] * (1 - TOLERANCE), -1)
+            check(failures, "summary saturated_batch8",
+                  run["saturated_batch8"],
+                  base["saturated_batch8"] * (1 - TOLERANCE), -1)
+            continue
+        # Knee scenarios: the ladder rung the knee lands on is deterministic
+        # — a shifted knee means the served capacity itself moved.
+        if run.get("offered_load") != base.get("offered_load"):
+            print(f"  [FAIL] {scenario} offered_load: "
+                  f"{run.get('offered_load'):g} != baseline "
+                  f"{base.get('offered_load'):g} (knee moved rungs)")
+            failures.append(f"{scenario} knee moved")
+        else:
+            print(f"  [ok  ] {scenario} offered_load == "
+                  f"{base.get('offered_load'):g}")
+        check(failures, f"{scenario} throughput", run["throughput"],
+              base["throughput"] * (1 - TOLERANCE), -1)
+        check(failures, f"{scenario} throughput", run["throughput"],
+              base["throughput"] * (1 + TOLERANCE), +1)
+        if scenario == "half_knee_batch1":
+            check(failures, f"{scenario} p999_us", run["p999_us"],
+                  OPENLOOP_HEALTHY_P999_US_CAP, +1)
+            check(failures, f"{scenario} p999_us", run["p999_us"],
+                  base["p999_us"] * (1 + TOLERANCE), +1)
+
+
 def gate_failover(failures, baseline, fresh):
     print("failover:")
     for scenario, base in baseline.items():
@@ -189,7 +242,8 @@ def main():
     failures = []
     for name, gate in (("BENCH_hotpath.json", gate_hotpath),
                        ("BENCH_simcore.json", gate_simcore),
-                       ("BENCH_failover.json", gate_failover)):
+                       ("BENCH_failover.json", gate_failover),
+                       ("BENCH_openloop.json", gate_openloop)):
         base_path = os.path.join(args.baseline_dir, name)
         fresh_path = os.path.join(args.fresh_dir, name)
         if not os.path.exists(base_path):

@@ -11,7 +11,12 @@ Checks, in order:
   3. Per (pid, tid) track, `ts` is non-decreasing in file order — the
      exporter sorts by begin time, so any inversion means a broken export
      (or a nondeterministic run).
-  4. Process naming follows the exporter's convention: every pid that
+  4. Known record names carry the phase the tracer emits them with:
+     spans (`batch_flush`, `admission_wait`, ...) must be complete events
+     (X) and point records (`admission_shed`, drop/dup markers) must be
+     instants (i). A known name with the wrong phase means a recording
+     site regressed.
+  5. Process naming follows the exporter's convention: every pid that
      carries events has a `process_name` metadata record; pid 0xFFFF
      (switch 0) is named "switch", replica-switch pids in [0xFF00, 0xFFFF)
      are named "switch <id>" with id == 0xFFFF - pid, and node pids are
@@ -28,6 +33,20 @@ import json
 import sys
 
 ALLOWED_PHASES = {"X", "i", "C", "M"}
+
+# Record names with a contractual phase (see trace.cc CategoryName): spans
+# export as complete events, point markers as instants. Names absent from
+# a trace are fine — presence with the wrong phase is the violation.
+KNOWN_NAME_PHASES = {
+    "batch_flush": "X",      # egress batch open -> flush span
+    "admission_wait": "X",   # arrival instant -> session dispatch span
+    "admission_shed": "i",   # arrival dropped at a full admission ring
+    "lock_wait": "X",
+    "switch_access": "X",
+    "switch_pass": "X",
+    "net_drop": "i",
+    "net_dup": "i",
+}
 
 SWITCH_PID_BASE = 0xFF00
 SWITCH0_PID = 0xFFFF
@@ -79,6 +98,9 @@ def check(path):
         if ph not in ALLOWED_PHASES:
             bad("bad `ph` %r (want one of %s)" % (ph, sorted(ALLOWED_PHASES)))
             continue
+        want_ph = KNOWN_NAME_PHASES.get(name)
+        if want_ph is not None and ph != want_ph:
+            bad("`%s` with phase %r (contract says %r)" % (name, ph, want_ph))
         if "pid" not in ev or "tid" not in ev:
             bad("missing `pid`/`tid`")
             continue
