@@ -49,6 +49,10 @@ int g_threads = 0;
 double g_offered_load = 0.0;
 uint32_t g_batch_size = 1;
 
+// --int / --int-wire-cost state (both off = historical byte-identical runs).
+bool g_int_enabled = false;
+bool g_int_wire_cost = false;
+
 // Default cluster-wide rate for a bare `--open-loop`: near the 8-node
 // PaperCluster knee, so the flag alone produces an interesting run.
 constexpr double kDefaultOfferedLoad = 4e6;
@@ -112,6 +116,10 @@ void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
     std::snprintf(buf, sizeof(buf), ", \"batch\": %u", config.batch.size);
     entry += buf;
   }
+  if (config.int_telemetry.enabled) {
+    entry += config.int_telemetry.wire_cost ? ", \"int\": \"wire_cost\""
+                                            : ", \"int\": \"postcard\"";
+  }
   entry += ", \"throughput\": ";
   std::snprintf(buf, sizeof(buf), "%.1f", out.throughput);
   entry += buf;
@@ -133,6 +141,10 @@ void RecordRun(const core::SystemConfig& config, const wl::Workload& workload,
   if (!out.time_series_json.empty()) {
     entry += ", \"time_series\": ";
     entry += out.time_series_json;
+  }
+  if (!out.critical_path_json.empty()) {
+    entry += ", \"critical_path\": ";
+    entry += out.critical_path_json;
   }
   entry += "}";
   g_run_entries.push_back(std::move(entry));
@@ -173,6 +185,11 @@ void ParseBenchArgs(int argc, char** argv) {
       g_offered_load = std::atof(
           std::string(arg.substr(kOfferedLoad.size())).c_str());
       if (g_offered_load < 0) g_offered_load = 0;
+    } else if (arg == "--int") {
+      g_int_enabled = true;
+    } else if (arg == "--int-wire-cost") {
+      g_int_enabled = true;
+      g_int_wire_cost = true;
     } else if (arg.substr(0, kBatch.size()) == kBatch) {
       const int v = std::atoi(std::string(arg.substr(kBatch.size())).c_str());
       g_batch_size = v < 1 ? 1
@@ -190,6 +207,10 @@ int BenchThreads() { return g_threads; }
 double BenchOfferedLoad() { return g_offered_load; }
 
 uint32_t BenchBatchSize() { return g_batch_size; }
+
+bool BenchIntEnabled() { return g_int_enabled; }
+
+bool BenchIntWireCost() { return g_int_wire_cost; }
 
 RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
                       size_t sample_size, size_t max_hot_items,
@@ -215,6 +236,15 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
       cfg.mode == core::EngineMode::kP4db &&
       cfg.cc_protocol == core::CcProtocol::k2pl && cfg.num_switches == 1) {
     cfg.batch.size = g_batch_size;
+  }
+  // --int arms telemetry on the runs that support it (same constraint set
+  // as ValidateConfig: switch traffic under 2PL); baselines and other modes
+  // run byte-identical to an INT-free binary.
+  if (!cfg.int_telemetry.enabled && g_int_enabled &&
+      cfg.mode == core::EngineMode::kP4db &&
+      cfg.cc_protocol == core::CcProtocol::k2pl) {
+    cfg.int_telemetry.enabled = true;
+    cfg.int_telemetry.wire_cost = g_int_wire_cost;
   }
   core::Engine engine(cfg);
   engine.SetWorkload(workload);
@@ -247,6 +277,7 @@ RunOutput RunWorkload(const core::SystemConfig& config, wl::Workload* workload,
       .Set(static_cast<uint64_t>(out.wall_seconds * 1e6));
   out.metrics_json = engine.metrics_registry().ToJson();
   out.time_series_json = sampler.ToJson();
+  out.critical_path_json = engine.CriticalPathJson();
   if (capture_trace) {
     g_trace_consumed = true;
     if (WriteFileAtomic(g_trace_path, engine.TraceJson())) {

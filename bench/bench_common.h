@@ -34,6 +34,7 @@ struct RunOutput {
   double events_per_sec = 0;  // sim_events / wall_seconds (harness speed)
   std::string metrics_json;   // engine MetricsRegistry dump for this run
   std::string time_series_json;  // Sampler::ToJson for this run
+  std::string critical_path_json;  // Engine::CriticalPathJson (INT runs only)
 };
 
 /// Virtual-time sampling window used by every RunWorkload: committed /
@@ -42,8 +43,9 @@ struct RunOutput {
 constexpr SimTime kSamplerTick = 100 * kMicrosecond;
 
 /// Parses harness-wide flags out of argv (--trace=PATH, --threads=N,
-/// --open-loop[=TXN_PER_S], --offered-load=TXN_PER_S, --batch=N).
-/// Benches call this first in main; unrecognized arguments are ignored.
+/// --open-loop[=TXN_PER_S], --offered-load=TXN_PER_S, --batch=N, --int,
+/// --int-wire-cost). Benches call this first in main; unrecognized
+/// arguments are ignored.
 void ParseBenchArgs(int argc, char** argv);
 
 /// Path from --trace=PATH, empty when tracing was not requested. The first
@@ -67,6 +69,14 @@ double BenchOfferedLoad();
 /// it to every run the batcher supports (P4DB mode, 2PL, single switch) and
 /// silently keeps the rest unbatched, so `--batch=8` is safe on any bench.
 uint32_t BenchBatchSize();
+
+/// INT telemetry from --int (postcard mode, zero modeled wire cost) and
+/// --int-wire-cost (implies --int; telemetry bytes charged to every
+/// request, recirculation and reply). RunWorkload arms INT on the runs that
+/// support it (P4DB mode, 2PL) and each armed run's BENCH entry gains a
+/// "critical_path" section.
+bool BenchIntEnabled();
+bool BenchIntWireCost();
 
 /// Builds an Engine for `config`, offloads `max_hot_items` detected from
 /// `sample_size` sampled transactions, runs the closed loop, and collects

@@ -256,6 +256,43 @@ void RunAll(const BenchTime& time) {
                     : "DIFFER");
   }
 
+  // INT overhead: the figure-11 P4DB run again with postcard telemetry
+  // armed. Stamping and folding are passive — the simulated event schedule
+  // (and so the commit count) must be identical to the INT-off run; the
+  // wall-clock ratio is the pure recording cost, gated in CI like tracing.
+  {
+    wl::YcsbConfig wcfg;
+    wcfg.variant = 'A';
+    core::SystemConfig cfg = PaperCluster(core::EngineMode::kP4db);
+    cfg.int_telemetry.enabled = true;
+    wl::Ycsb workload(wcfg);
+    const HotpathRun armed = RunHotpath(
+        cfg, &workload, 20000, YcsbHotItems(wcfg, cfg.num_nodes), time);
+    Record("fig11_ycsb_p4db_int", cfg, workload, armed);
+    if (armed.metrics.committed != fig11_p4db.metrics.committed) {
+      std::printf("WARNING: INT committed %" PRIu64 " != plain %" PRIu64
+                  " — postcard stamping is not passive!\n",
+                  armed.metrics.committed, fig11_p4db.metrics.committed);
+    }
+    const double overhead_ratio =
+        armed.wall_txns_per_sec > 0
+            ? fig11_p4db.wall_txns_per_sec / armed.wall_txns_per_sec
+            : 0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"scenario\": \"int_overhead\", "
+                  "\"overhead_ratio\": %.4f, \"plain_committed\": %" PRIu64
+                  ", \"int_committed\": %" PRIu64 "}",
+                  overhead_ratio, fig11_p4db.metrics.committed,
+                  armed.metrics.committed);
+    AppendRunEntry(buf);
+    std::printf("%-24s INT on/off wall ratio %.3fx (committed %s)\n",
+                "int_overhead", overhead_ratio,
+                armed.metrics.committed == fig11_p4db.metrics.committed
+                    ? "identical"
+                    : "DIFFER");
+  }
+
   // Parallel scaling: the figure-11 YCSB cluster on the sharded runtime at
   // 1, 2, 4 and 8 worker threads. Two outputs with very different gating:
   // wall_txns_per_sec is machine-dependent (a 1-core CI runner shows no

@@ -29,7 +29,9 @@ int Histogram::BucketFor(int64_t value) {
 }
 
 int64_t Histogram::BucketMid(int bucket) {
-  const int log2 = bucket / kSubBuckets;
+  // Buckets past 16*62+15 are unreachable for positive int64 samples
+  // (BucketFor's log2 never exceeds 62); clamp so the shift stays defined.
+  const int log2 = std::min(bucket / kSubBuckets, 62);
   const int sub = bucket % kSubBuckets;
   const int64_t base = int64_t{1} << log2;
   const int64_t step =
@@ -39,7 +41,7 @@ int64_t Histogram::BucketMid(int bucket) {
 
 int64_t Histogram::BucketLowerBound(int bucket) {
   if (bucket <= 0) return std::numeric_limits<int64_t>::min();
-  const int log2 = bucket / kSubBuckets;
+  const int log2 = std::min(bucket / kSubBuckets, 62);
   const int sub = bucket % kSubBuckets;
   const int64_t base = int64_t{1} << log2;
   const int64_t step =
@@ -48,7 +50,11 @@ int64_t Histogram::BucketLowerBound(int bucket) {
 }
 
 int64_t Histogram::BucketUpperBound(int bucket) {
-  if (bucket >= kNumBuckets - 1) return std::numeric_limits<int64_t>::max();
+  // 16*62+15 is the last bucket positive int64 samples can reach; treat it
+  // (and the unreachable buckets above) as open-ended like the old clamp.
+  if (bucket >= 62 * kSubBuckets + kSubBuckets - 1) {
+    return std::numeric_limits<int64_t>::max();
+  }
   const int log2 = bucket / kSubBuckets;
   const int sub = bucket % kSubBuckets;
   const int64_t base = int64_t{1} << log2;

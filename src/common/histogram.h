@@ -10,9 +10,17 @@ namespace p4db {
 /// Log-bucketed latency histogram (nanosecond samples). Buckets grow
 /// geometrically, ~4.6% relative error, constant memory. Used by the
 /// benchmark harness for the paper's latency plots (Figures 16, 18a).
+///
+/// 1024 buckets cover the full positive int64 range (16 sub-buckets per
+/// power of two; bucket 16*62+15 = 1007 is the last reachable one), so
+/// saturated open-loop tails keep log-linear resolution instead of
+/// collapsing into a terminal bucket at 2^16 ns = 65 us, which is exactly
+/// where an overloaded admission queue parks its victims. Every value
+/// below the old ceiling maps to the same bucket index as before the
+/// widening — only the previously-clamped tail moved.
 class Histogram {
  public:
-  static constexpr int kNumBuckets = 256;
+  static constexpr int kNumBuckets = 1024;
 
   Histogram();
 
@@ -21,6 +29,7 @@ class Histogram {
   void Reset();
 
   uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return max_; }
   double Mean() const;

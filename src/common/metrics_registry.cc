@@ -25,6 +25,22 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view prefix,
+                                                   std::string_view name) {
+  std::string full;
+  full.reserve(prefix.size() + name.size());
+  full.append(prefix).append(name);
+  return counter(full);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view prefix,
+                                      std::string_view name) {
+  std::string full;
+  full.reserve(prefix.size() + name.size());
+  full.append(prefix).append(name);
+  return histogram(full);
+}
+
 const MetricsRegistry::Counter* MetricsRegistry::FindCounter(
     std::string_view name) const {
   auto it = counters_.find(name);

@@ -45,6 +45,13 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Get-or-create under a two-part name (prefix + name, concatenated at
+  /// registration time, never on the hot path). Used for per-instance
+  /// keying — "switch1." + "txns_completed" — where the prefix is chosen
+  /// once at construction.
+  Counter& counter(std::string_view prefix, std::string_view name);
+  Histogram& histogram(std::string_view prefix, std::string_view name);
+
   /// Process-wide discard sinks. Components that mirror their stats into an
   /// *optional* registry point at these when none was supplied, so the hot
   /// path stays an unconditional increment through a stable pointer instead

@@ -51,6 +51,8 @@ const char* CategoryName(Category c) {
     case Category::kBatchFlush: return "batch_flush";
     case Category::kAdmission: return "admission_wait";
     case Category::kAdmissionShed: return "admission_shed";
+    case Category::kSwitchResidency: return "switch_residency";
+    case Category::kIntPostcard: return "int_postcard";
   }
   return "unknown";
 }

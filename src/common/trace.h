@@ -38,6 +38,8 @@ enum class Category : uint8_t {
   kBatchFlush,   // one egress batch on the wire, first join to flush
   kAdmission,    // open-loop arrival waiting in the admission queue
   kAdmissionShed,// instant: arrival shed by the full admission queue
+  kSwitchResidency, // INT: arrival-to-departure residency of one stamped txn
+  kIntPostcard,  // instant: node-side fold of one returned postcard
 };
 
 const char* CategoryName(Category c);

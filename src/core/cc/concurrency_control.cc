@@ -75,6 +75,12 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   auto compiled = ctx_.pm->Compile(txn, *results, node,
                                    (*ctx_.next_client_seq)[node]++);
   assert(compiled.ok() && "hot transaction must compile");
+  if (ctx_.config->int_telemetry.enabled) {
+    compiled->txn.int_flags = static_cast<uint8_t>(
+        sw::SwitchTxn::kIntEnabled |
+        (ctx_.config->int_telemetry.wire_cost ? sw::SwitchTxn::kIntWireCost
+                                              : 0));
+  }
 
   // Log the intent BEFORE sending: the switch transaction counts as
   // committed from here on (Section 6.1). The epoch stamp and the append
@@ -89,19 +95,24 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
       compiled->txn.client_seq, compiled->txn.instrs);
   ctx_.Trace().CompleteSpan(wal_begin, ctx_.Now(),
                             trace::Category::kWalAppend, ts, node);
+  if (auto* ic = ctx_.Int(node)) ic->RecordWal(ctx_.Now() - wal_begin);
 
   const net::Endpoint self = net::Endpoint::Node(node);
   const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
   const size_t resp = sw::PacketCodec::ResponseWireSize(
-      compiled->txn.instrs.size());
+      compiled->txn.instrs.size(), compiled->txn.int_wire_cost());
   const auto& op_index = compiled->op_index;
 
   const SimTime t0 = ctx_.Now();
+  // INT egress-batch term: when batching is on, the flush instant lands
+  // here while the coroutine is suspended in the lane; unbatched sends
+  // flush immediately (flushed == t0).
+  SimTime flushed = t0;
   if (ctx_.batcher != nullptr) {
     co_await ctx_.batcher->JoinRequest(
         node,
         static_cast<uint32_t>(wire - sw::PacketCodec::kFrameOverheadBytes),
-        ts);
+        ts, &flushed);
   } else {
     co_await ctx_.SendMsg(self, ctx_.SwitchEp(), static_cast<uint32_t>(wire),
                           ts);
@@ -140,6 +151,11 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   timers->switch_access += ctx_.Now() - t0;
   ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                             trace::Category::kSwitchAccess, ts, node);
+  if (auto* ic = ctx_.Int(node); ic != nullptr && res->telemetry.valid()) {
+    ic->FoldPostcard(*res, t0, flushed, ctx_.Now());
+    ctx_.Trace().Instant(trace::Category::kIntPostcard, ts, node,
+                         res->telemetry.switch_id);
+  }
 
   if (!(*ctx_.node_crashed)[node]) {
     ctx_.wal(node).FillSwitchResult(lsn, res->gid, res->values);
@@ -153,6 +169,7 @@ sim::CoTask<bool> ConcurrencyControl::ExecuteHot(
   timers->commit += t.commit_local;
   ctx_.Trace().CompleteSpan(c0, ctx_.Now(), trace::Category::kCommit, ts,
                             node);
+  if (auto* ic = ctx_.Int(node)) ic->RecordCommit(ctx_.Now() - c0);
   co_return true;
 }
 

@@ -8,6 +8,7 @@
 #include "common/trace.h"
 #include "common/types.h"
 #include "core/config.h"
+#include "core/int_collector.h"
 #include "core/partition_manager.h"
 #include "core/shard_router.h"
 #include "db/lock_manager.h"
@@ -95,6 +96,16 @@ struct ExecutionContext {
   /// JoinRequest/JoinResponse instead of SendMsg; with a null batcher the
   /// historical unbatched path runs byte-for-byte.
   EgressBatcher* batcher = nullptr;
+
+  /// Per-node INT postcard collectors (index == home node); non-null
+  /// exactly when config.int_telemetry.enabled (the Engine constructs and
+  /// binds them then and only then, so INT-off runs have nothing to probe).
+  std::vector<IntCollector>* int_collectors = nullptr;
+
+  /// `node`'s postcard collector, or null when INT is off.
+  IntCollector* Int(NodeId node) const {
+    return int_collectors != nullptr ? &(*int_collectors)[node] : nullptr;
+  }
 
   bool ChaosArmed() const { return chaos_armed != nullptr && *chaos_armed; }
   bool SwitchUp() const { return switch_up == nullptr || *switch_up; }

@@ -336,6 +336,12 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   auto compiled = ctx_.pm->Compile(txn, *results, node,
                                    (*ctx_.next_client_seq)[node]++);
   assert(compiled.ok() && "warm transaction's hot part must compile");
+  if (ctx_.config->int_telemetry.enabled) {
+    compiled->txn.int_flags = static_cast<uint8_t>(
+        sw::SwitchTxn::kIntEnabled |
+        (ctx_.config->int_telemetry.wire_cost ? sw::SwitchTxn::kIntWireCost
+                                              : 0));
+  }
 
   const SimTime wal_begin = ctx_.Now();
   co_await sim::Delay(ctx_.Sim(), t.wal_append);
@@ -347,6 +353,7 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
       compiled->txn.client_seq, compiled->txn.instrs);
   ctx_.Trace().CompleteSpan(wal_begin, ctx_.Now(),
                             trace::Category::kWalAppend, ts, node);
+  if (auto* ic = ctx_.Int(node)) ic->RecordWal(ctx_.Now() - wal_begin);
 
   // Voting phase of the extended 2PC (Figure 10) — only if the cold part is
   // distributed.
@@ -366,15 +373,16 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   const net::Endpoint self = net::Endpoint::Node(node);
   const size_t wire = sw::PacketCodec::WireSize(compiled->txn);
   const size_t resp_bytes = sw::PacketCodec::ResponseWireSize(
-      compiled->txn.instrs.size());
+      compiled->txn.instrs.size(), compiled->txn.int_wire_cost());
   const auto& op_index = compiled->op_index;
 
   const SimTime t0 = ctx_.Now();
+  SimTime flushed = t0;  // INT egress-batch term (see ExecuteHot)
   if (ctx_.batcher != nullptr) {
     co_await ctx_.batcher->JoinRequest(
         node,
         static_cast<uint32_t>(wire - sw::PacketCodec::kFrameOverheadBytes),
-        ts);
+        ts, &flushed);
   } else {
     co_await ctx_.SendMsg(self, ctx_.SwitchEp(),
                           static_cast<uint32_t>(wire), ts);
@@ -438,6 +446,12 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
     timers->switch_access += ctx_.Now() - t0;
     ctx_.Trace().CompleteSpan(t0, ctx_.Now(),
                               trace::Category::kSwitchAccess, ts, node);
+    if (auto* ic = ctx_.Int(node);
+        ic != nullptr && res->telemetry.valid()) {
+      ic->FoldPostcard(*res, t0, flushed, ctx_.Now());
+      ctx_.Trace().Instant(trace::Category::kIntPostcard, ts, node,
+                           res->telemetry.switch_id);
+    }
 
     if (!(*ctx_.node_crashed)[node]) {
       ctx_.wal(node).FillSwitchResult(lsn, res->gid, res->values);
@@ -465,6 +479,9 @@ sim::CoTask<bool> TwoPhaseLocking::ExecuteWarm(
   timers->commit += t.commit_local;
   ctx_.Trace().CompleteSpan(commit_begin, ctx_.Now(),
                             trace::Category::kCommit, ts, node);
+  if (auto* ic = ctx_.Int(node)) {
+    ic->RecordCommit(ctx_.Now() - commit_begin);
+  }
   // Local (coordinator-side) locks release now; remote ones were released
   // by the multicast above.
   ctx_.lock_manager(node).ReleaseAll(txn_id);

@@ -95,6 +95,24 @@ Status ValidateConfig(const SystemConfig& config) {
       }
     }
   }
+  if (config.int_telemetry.wire_cost && !config.int_telemetry.enabled) {
+    return Status::InvalidArgument(
+        "int_telemetry.wire_cost requires int_telemetry.enabled: there is "
+        "no telemetry block to charge to the wire");
+  }
+  if (config.int_telemetry.enabled) {
+    if (config.mode != EngineMode::kP4db) {
+      return Status::Unsupported(
+          std::string("in-band telemetry stamps switch-bound transactions "
+                      "and requires the P4DB mode; ") +
+          EngineModeName(config.mode) + " sends none through the pipeline");
+    }
+    if (config.cc_protocol != CcProtocol::k2pl) {
+      return Status::Unsupported(
+          "in-band telemetry supports the 2PL protocol only; OCC's "
+          "validation-phase switch access is not postcard-aware");
+    }
+  }
   if (config.network.num_switches != 1 &&
       config.network.num_switches != config.num_switches) {
     return Status::InvalidArgument(

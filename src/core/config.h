@@ -131,6 +131,25 @@ struct BatchConfig {
   static constexpr uint32_t kMaxBatchSize = 64;
 };
 
+/// In-band network telemetry (postcard model). When enabled, switch-bound
+/// packets carry a telemetry block the pipeline stamps in place as the
+/// packet moves — ingress queue depth, per-pass stage occupancy,
+/// recirculation count and cause, pipeline-lock wait, per-register access
+/// tags, switch-residency interval — and the reply carries it back to the
+/// origin node, where an IntCollector folds it into per-register hotness
+/// counters and the per-transaction critical-path decomposition. Postcard
+/// mode models ZERO wire cost (the block rides for free, like a mirrored
+/// postcard to a collector port), so the observed system is unperturbed:
+/// commit counts and event schedules are identical to an untelemetered run.
+/// `wire_cost` opts into charging the INT bytes to request/response/recirc
+/// serialization so the perturbation itself becomes measurable.
+struct IntConfig {
+  bool enabled = false;
+  /// Charge kIntRequestBytes to every switch-bound request/recirculation
+  /// and kIntPostcardBytes to every reply. Requires `enabled`.
+  bool wire_cost = false;
+};
+
 /// Complete configuration of one simulated cluster run.
 struct SystemConfig {
   EngineMode mode = EngineMode::kP4db;
@@ -170,6 +189,7 @@ struct SystemConfig {
   sw::PipelineConfig pipeline;
   OpenLoopConfig open_loop;
   BatchConfig batch;
+  IntConfig int_telemetry;
 
   /// Use the declustered data-layout algorithm (Section 4.3); if false, hot
   /// items are placed randomly ("worst case" layout of Figure 16).

@@ -81,30 +81,38 @@ class EgressBatcher {
     uint32_t payload;
     uint64_t ts;
     bool request;
+    SimTime* flush_at;
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      batcher->Join(request, node, payload, ts, h);
+      batcher->Join(request, node, payload, ts, h, flush_at);
     }
     void await_resume() const noexcept {}
   };
 
   /// Join node `node`'s uplink request lane (call on the home shard, before
   /// the pipeline submit — the batched replacement of the request SendMsg).
-  JoinAwaiter JoinRequest(NodeId node, uint32_t payload, uint64_t ts) {
-    return JoinAwaiter{this, node, payload, ts, /*request=*/true};
+  /// `flush_at` (optional) receives the instant the batch took the wire —
+  /// the egress-batch-wait endpoint of the INT critical path; written while
+  /// the member coroutine is still suspended, before it resumes.
+  JoinAwaiter JoinRequest(NodeId node, uint32_t payload, uint64_t ts,
+                          SimTime* flush_at = nullptr) {
+    return JoinAwaiter{this, node, payload, ts, /*request=*/true, flush_at};
   }
   /// Join the switch's response lane toward `node` (call where the pipeline
   /// resumed the coroutine — the batched replacement of the response
   /// SendMsg for non-participant replies).
   JoinAwaiter JoinResponse(NodeId node, uint32_t payload, uint64_t ts) {
-    return JoinAwaiter{this, node, payload, ts, /*request=*/false};
+    return JoinAwaiter{this, node, payload, ts, /*request=*/false, nullptr};
   }
 
  private:
   struct Member {
     std::coroutine_handle<> handle;
     uint64_t ts = 0;
+    /// Optional INT out-param: the flush instant, written at Flush() while
+    /// the member is suspended (the pointee lives in its coroutine frame).
+    SimTime* flush_at = nullptr;
   };
   struct Lane {
     std::array<Member, BatchConfig::kMaxBatchSize> members;
@@ -127,7 +135,7 @@ class EgressBatcher {
   }
 
   void Join(bool request, uint16_t node, uint32_t payload, uint64_t ts,
-            std::coroutine_handle<> h) {
+            std::coroutine_handle<> h, SimTime* flush_at) {
     Lane& lane = LaneOf(request, node);
     assert(lane.count < config_.size);
     if (lane.count == 0) {
@@ -142,7 +150,7 @@ class EgressBatcher {
                             }
                           });
     }
-    lane.members[lane.count] = Member{h, ts};
+    lane.members[lane.count] = Member{h, ts, flush_at};
     ++lane.count;
     lane.payload_sum += payload;
     if (lane.count >= config_.size) Flush(request, node);
@@ -165,6 +173,11 @@ class EgressBatcher {
     OwnerTracer().CompleteSpan(lane.first_join, OwnerSim().now(),
                                trace::Category::kBatchFlush, label,
                                from.index, 0, 0, count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (lane.members[i].flush_at != nullptr) {
+        *lane.members[i].flush_at = OwnerSim().now();
+      }
+    }
     if (router_ != nullptr) {
       std::array<std::coroutine_handle<>, BatchConfig::kMaxBatchSize> handles;
       for (uint32_t i = 0; i < count; ++i) {

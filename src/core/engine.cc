@@ -146,8 +146,11 @@ Engine::Engine(const SystemConfig& config)
     const uint32_t shard = switch_shard() + k;
     pipelines_.push_back(std::make_unique<sw::Pipeline>(
         sharded_ ? &ssim_->shard(shard) : &sim_, config_.pipeline,
-        sharded_ ? &eshards_[shard]->registry : &registry_));
+        sharded_ ? &eshards_[shard]->registry : &registry_, k));
     pipelines_.back()->set_trace_track(net::Endpoint::Switch(k).index);
+    // Only the serving primary stamps INT postcards; backups flip on at
+    // promotion (and a rejoined ex-primary stays off until promoted again).
+    if (k != 0) pipelines_.back()->set_serving(false);
     control_planes_.push_back(
         std::make_unique<sw::ControlPlane>(pipelines_.back().get()));
   }
@@ -206,6 +209,22 @@ Engine::Engine(const SystemConfig& config)
     }
   }
 
+  if (config_.int_telemetry.enabled) {
+    // One postcard collector per home node, bound to the node's home
+    // registry (shard-local when sharded; the get-or-create semantics share
+    // one series set in legacy mode — merged totals agree either way).
+    // Bound at construction so the INT-on metric key set is a pure function
+    // of the configuration; INT-off runs never reach this and publish the
+    // historical keys byte-for-byte.
+    int_collectors_.resize(config_.num_nodes);
+    for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+      int_collectors_[n].Bind(
+          sharded_ ? &eshards_[n]->registry : &registry_,
+          config_.num_switches,
+          static_cast<size_t>(config_.pipeline.CapacityRows()));
+    }
+  }
+
   // The flight recorder is live from the first event; EnableFull upgrades
   // the same tracer in place for --trace runs. In sharded mode the switch
   // pipeline emits into the switch shard's ring; network spans are the
@@ -259,6 +278,7 @@ Engine::Engine(const SystemConfig& config)
   ctx.tracer = &tracer_;
   ctx.router = router_.get();
   ctx.batcher = batcher_.get();
+  ctx.int_collectors = int_collectors_.empty() ? nullptr : &int_collectors_;
   cc_ = cc::MakeConcurrencyControl(config_.cc_protocol, ctx);
 }
 
@@ -590,6 +610,9 @@ sim::Task Engine::RunOpenLoopSession(NodeId node, WorkerId session,
     // open load observes before execution even begins.
     htracer.CompleteSpan(arrival, start, trace::Category::kAdmission, ts,
                          node);
+    if (!int_collectors_.empty()) {
+      int_collectors_[node].RecordAdmissionWait(start - arrival);
+    }
     int attempt = 0;
     bool committed = true;
     trace::Tracer::Span txn_span(&htracer, trace::Category::kTxn, ts, node);
@@ -666,6 +689,7 @@ Metrics Engine::Run(SimTime warmup, SimTime duration) {
   for (auto& lm : lock_managers_) lm->ResetStats();
   switch_lm_->ResetStats();
   registry_.Reset();
+  for (IntCollector& ic : int_collectors_) ic.ResetWindow();
   if (sampler_ != nullptr) {
     // Baselines snapshot after the reset so the first window starts at
     // zero; ticks cover (warmup, warmup + duration] inclusive.
@@ -717,6 +741,7 @@ Metrics Engine::RunSharded(SimTime warmup, SimTime duration) {
       es->registry.Reset();
       es->metrics = Metrics();
     }
+    for (IntCollector& ic : int_collectors_) ic.ResetWindow();
     if (sampler_ != nullptr) {
       sampler_->BeginExternal(warmup, warmup + duration, sampler_tick_);
     }
@@ -798,6 +823,21 @@ trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
       sampler_->AddHistogramQuantile("p999_latency_ns", std::move(latency),
                                      0.999);
     }
+    if (config_.int_telemetry.enabled) {
+      // Postcard fold + register-touch rates, summed over the per-node
+      // collectors (and, for accesses, over the per-switch key family).
+      std::vector<const MetricsRegistry::Counter*> postcards;
+      std::vector<const MetricsRegistry::Counter*> accesses;
+      for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+        postcards.push_back(&eshards_[n]->registry.counter("int.postcards"));
+        for (uint16_t k = 0; k < config_.num_switches; ++k) {
+          accesses.push_back(&eshards_[n]->registry.counter(
+              IntCollector::SwitchPrefix(k) + "int_reg_accesses"));
+        }
+      }
+      sampler_->AddCounterRate("int_postcards", std::move(postcards));
+      sampler_->AddCounterRate("int_reg_accesses", std::move(accesses));
+    }
   } else {
     sampler_->AddCounterRate("committed", committed_counter_);
     sampler_->AddCounterRate("aborted_attempts", aborted_counter_);
@@ -809,8 +849,32 @@ trace::Sampler& Engine::EnableTimeSeries(SimTime tick) {
       sampler_->AddHistogramQuantile("p999_latency_ns",
                                      &metrics_.latency_all, 0.999);
     }
+    if (config_.int_telemetry.enabled) {
+      sampler_->AddCounterRate("int_postcards",
+                               &registry_.counter("int.postcards"));
+      std::vector<const MetricsRegistry::Counter*> accesses;
+      for (uint16_t k = 0; k < config_.num_switches; ++k) {
+        accesses.push_back(&registry_.counter(
+            IntCollector::SwitchPrefix(k) + "int_reg_accesses"));
+      }
+      sampler_->AddCounterRate("int_reg_accesses", std::move(accesses));
+    }
   }
   return *sampler_;
+}
+
+std::string Engine::CriticalPathJson(size_t top_k) const {
+  std::string out;
+  if (int_collectors_.empty()) return out;
+  // Cluster-wide slot hotness: the per-node arrays summed in fixed node
+  // order, so the emitted list is identical for every thread count.
+  std::vector<uint64_t> slots(int_collectors_[0].slot_accesses().size(), 0);
+  for (const IntCollector& ic : int_collectors_) {
+    const std::span<const uint64_t> s = ic.slot_accesses();
+    for (size_t i = 0; i < s.size(); ++i) slots[i] += s[i];
+  }
+  AppendCriticalPathJson(registry_, slots, top_k, &out);
+  return out;
 }
 
 void Engine::EnableFullTrace() {
@@ -1073,6 +1137,9 @@ void Engine::OnSwitchCrash(uint16_t sw) {
   }
   switch_up_ = false;
   switch_alive_[sw] = false;
+  // A dead primary stamps nothing; whoever gets promoted (or this switch
+  // itself at failback) turns stamping back on.
+  pipelines_[sw]->set_serving(false);
   // Stragglers: a transaction that passed the switch-up dispatch check just
   // before this instant appends its intent AFTER this capture. Failback /
   // promotion reconciliation replays exactly those (plus, for promotion,
@@ -1221,6 +1288,11 @@ void Engine::FinalizeFailback() {
   switch_alive_[primary_switch_] = true;
   switch_draining_ = false;
   switch_up_ = true;
+  // The re-provisioned primary resumes INT stamping; collectors fence onto
+  // the (possibly bumped) view so any straggler postcard from before the
+  // crash can never fold into the fresh pipeline's statistics.
+  pl.set_serving(true);
+  for (IntCollector& ic : int_collectors_) ic.OnViewChange(rep_view_);
   RetargetReplication();
 }
 
@@ -1391,6 +1463,13 @@ void Engine::PromoteBackup(uint16_t np) {
   primary_switch_ = np;
   switch_draining_ = false;
   switch_up_ = true;
+  // INT stamping follows the primaryship: exactly one serving pipeline at
+  // any instant, and every collector's sequence state restarts at the new
+  // view (stale-view postcards from the deposed primary get dropped).
+  for (uint16_t k = 0; k < config_.num_switches; ++k) {
+    pipelines_[k]->set_serving(k == np);
+  }
+  for (IntCollector& ic : int_collectors_) ic.OnViewChange(rep_view_);
   registry_.counter("engine.view_changes").Increment();
   RetargetReplication();
 }

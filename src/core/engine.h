@@ -15,6 +15,7 @@
 #include "core/cc/concurrency_control.h"
 #include "core/config.h"
 #include "core/egress_batcher.h"
+#include "core/int_collector.h"
 #include "core/layout.h"
 #include "core/metrics.h"
 #include "core/partition_manager.h"
@@ -232,6 +233,12 @@ class Engine {
   /// when Run finishes.
   MetricsRegistry& metrics_registry() { return registry_; }
   const MetricsRegistry& metrics_registry() const { return registry_; }
+
+  /// INT critical-path section of the bench JSON ("postcards", per-term
+  /// histogram summaries, the dominant term, top-k hottest register slots).
+  /// Empty string when INT is off. Call after Run: sharded per-shard
+  /// registries merge into the engine registry only when Run finishes.
+  std::string CriticalPathJson(size_t top_k = 8) const;
 
   /// Total simulator events executed (summed over shards when sharded) —
   /// the bench harness's events/txn statistic.
@@ -495,6 +502,12 @@ class Engine {
   /// static null sinks), keeping unbounded-retry dumps unchanged.
   MetricsRegistry::Counter* gaveup_counter_ = nullptr;
   Histogram* attempts_hist_ = nullptr;
+
+  /// Per-node INT postcard collectors (config.int_telemetry.enabled only;
+  /// empty otherwise so INT-off runs carry no collector state at all).
+  /// Sized once in the constructor — element addresses stay stable for the
+  /// ExecutionContext view below.
+  std::vector<IntCollector> int_collectors_;
 
   /// The pluggable execution strategy. Declared last: its ExecutionContext
   /// points at the members above.

@@ -54,7 +54,8 @@ void PacketCodec::Encode(const SwitchTxn& txn, std::vector<uint8_t>* buf) {
   std::vector<uint8_t>& out = *buf;
   out.clear();
   out.reserve(EncodedSize(txn));
-  Put<uint8_t>(out, txn.is_multipass ? 1 : 0);
+  Put<uint8_t>(out, static_cast<uint8_t>((txn.is_multipass ? 1 : 0) |
+                                         ((txn.int_flags & 0x3) << 1)));
   Put<uint8_t>(out, txn.lock_mask);
   Put<uint8_t>(out, txn.touch_mask);
   Put<uint8_t>(out, txn.nb_recircs);
@@ -91,6 +92,7 @@ StatusOr<SwitchTxn> PacketCodec::Decode(std::span<const uint8_t> bytes) {
     return Status::InvalidArgument("truncated switch-txn header");
   }
   txn.is_multipass = (flags & 1) != 0;
+  txn.int_flags = static_cast<uint8_t>((flags >> 1) & 0x3);
   txn.instrs.reserve(count);
   for (uint8_t i = 0; i < count; ++i) {
     Instruction instr;

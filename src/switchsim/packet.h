@@ -12,6 +12,58 @@
 
 namespace p4db::sw {
 
+/// In-band telemetry block ("postcard" model). When a switch transaction is
+/// armed for INT, the pipeline stamps this block in place as the packet
+/// moves — nothing is sampled after the fact — and the reply carries it
+/// back to the origin node for the IntCollector to fold. All times are
+/// simulated nanoseconds on the switch's clock; durations are 32-bit
+/// because no packet lives anywhere near 4 s inside the rack.
+struct IntMeta {
+  /// The block was fully stamped (completion reached) and may be folded.
+  static constexpr uint8_t kValid = 1;
+  /// Stamped at first ingress contact (before the admission gap).
+  static constexpr uint8_t kArrived = 2;
+  /// Stamped when the packet first clears admission (gap + pipeline locks).
+  static constexpr uint8_t kAdmitted = 4;
+
+  /// First contact with the ingress (arrival at the switch).
+  SimTime arrival_ns = 0;
+  /// First admission into the pipeline (post gap, post lock check).
+  SimTime admit_ns = 0;
+  /// Reply leaves the pipeline (arrival + residency = depart).
+  SimTime depart_ns = 0;
+  /// Total time parked on waiting ports because another holder's pipeline
+  /// lock blocked admission (lock-blocked recirculations).
+  uint32_t lock_wait_ns = 0;
+  /// Total time on the fast recirculation port between a multi-pass
+  /// holder's own passes (holder-cycling recirculations).
+  uint32_t recirc_ns = 0;
+  /// Replication view under which the primary stamped the block.
+  uint32_t view = 0;
+  /// Bit i set = some pass executed an instruction in stage min(i, 31).
+  uint32_t stage_mask = 0;
+  /// Packets logically queued ahead at ingress (admission-gap backlog,
+  /// in units of the admission gap) when this one arrived.
+  uint16_t queue_depth = 0;
+  /// Register (stateful ALU) accesses executed across all passes.
+  uint16_t reg_accesses = 0;
+  uint8_t passes = 0;
+  uint8_t recircs_blocked = 0;
+  uint8_t recircs_holder = 0;
+  /// Max executable instructions any single pass carried through a stage
+  /// sweep (pass occupancy, an SRAM-port pressure proxy).
+  uint8_t max_stage_occupancy = 0;
+  /// Which physical switch stamped the block (primary under replication).
+  uint8_t switch_id = 0;
+  uint8_t flags = 0;
+  /// Flat register-file indices of the first <= 8 executed instructions:
+  /// (stage * regs_per_stage + reg) * slots_per_register + index. The raw
+  /// per-tuple access stream hot-set re-layout feeds on.
+  SmallVector<uint32_t, 8> slots;
+
+  bool valid() const { return (flags & kValid) != 0; }
+};
+
 /// In-memory form of one switch transaction == one network packet
 /// (Section 4.1: "each network packet in a switch pipeline represents a
 /// separate transaction"). Field layout follows Figure 6.
@@ -45,6 +97,17 @@ struct SwitchTxn {
   /// lifetime the rack network allows.
   uint8_t epoch = 0;
 
+  /// In-band telemetry arming (header flags byte, bits 1-2). kIntEnabled
+  /// asks the pipeline to stamp an IntMeta postcard into the result;
+  /// kIntWireCost additionally charges the INT bytes to wire serialization
+  /// (request, recirculation, and reply legs).
+  static constexpr uint8_t kIntEnabled = 1;
+  static constexpr uint8_t kIntWireCost = 2;
+  uint8_t int_flags = 0;
+
+  bool int_enabled() const { return (int_flags & kIntEnabled) != 0; }
+  bool int_wire_cost() const { return (int_flags & kIntWireCost) != 0; }
+
   /// Inline storage matches the workloads' common case (YCSB groups of 8,
   /// SmallBank <= 6 instructions); larger switch transactions spill.
   SmallVector<Instruction, 8> instrs;
@@ -64,12 +127,16 @@ struct SwitchResult {
   /// predicate failed (the write was skipped). Byte-sized instead of
   /// vector<bool> so results stay inline and memcpy-relocatable.
   SmallVector<uint8_t, 8> constraint_ok;
+  /// Postcard telemetry block; telemetry.valid() only when the request was
+  /// INT-armed and a serving primary stamped it to completion.
+  IntMeta telemetry;
 };
 
 /// Wire codec for switch transactions, used for packet-size accounting on
 /// the simulated network and round-trip tested as the parser/deparser would
 /// be. Layout (little-endian):
-///   [0]     flags        (bit0 = is_multipass)
+///   [0]     flags        (bit0 = is_multipass, bit1 = INT armed,
+///                         bit2 = INT wire-cost)
 ///   [1]     lock_mask
 ///   [2]     touch_mask
 ///   [3]     nb_recircs
@@ -89,17 +156,28 @@ class PacketCodec {
   /// Ethernet + IP + UDP framing the real system pays per packet.
   static constexpr size_t kFrameOverheadBytes = 42;
   static constexpr size_t kMaxInstructions = 255;
+  /// INT wire-cost mode: the request (and every recirculation) carries an
+  /// INT instruction header, the reply the stamped postcard block. Zero in
+  /// postcard mode — the block rides for free.
+  static constexpr size_t kIntRequestBytes = 4;
+  static constexpr size_t kIntPostcardBytes = 32;
 
   static size_t EncodedSize(const SwitchTxn& txn) {
     return kHeaderBytes + txn.instrs.size() * kInstrBytes;
   }
   /// Total on-wire bytes including L2-L4 framing (for network timing).
+  /// Wire-cost INT adds its instruction header here, which automatically
+  /// prices every recirculation too (the pipeline recirculates WireSize).
   static size_t WireSize(const SwitchTxn& txn) {
-    return EncodedSize(txn) + kFrameOverheadBytes;
+    return EncodedSize(txn) + kFrameOverheadBytes +
+           (txn.int_wire_cost() ? kIntRequestBytes : 0);
   }
-  /// Response wire size: gid + counters + 8B per instruction result.
-  static size_t ResponseWireSize(size_t num_instrs) {
-    return 24 + num_instrs * 9 + kFrameOverheadBytes;
+  /// Response wire size: gid + counters + 8B per instruction result, plus
+  /// the postcard block when INT wire-cost mode charges it.
+  static size_t ResponseWireSize(size_t num_instrs,
+                                 bool int_wire_cost = false) {
+    return 24 + num_instrs * 9 + kFrameOverheadBytes +
+           (int_wire_cost ? kIntPostcardBytes : 0);
   }
 
   /// Serializes into `out`, reusing its capacity (cleared first). The hot
@@ -165,8 +243,9 @@ class BatchCodec {
   }
   /// Frameless response payload of one member on the batched return leg
   /// (ResponseWireSize minus the per-packet frame the batch amortizes).
-  static size_t ResponsePayloadSize(size_t num_instrs) {
-    return PacketCodec::ResponseWireSize(num_instrs) -
+  static size_t ResponsePayloadSize(size_t num_instrs,
+                                    bool int_wire_cost = false) {
+    return PacketCodec::ResponseWireSize(num_instrs, int_wire_cost) -
            PacketCodec::kFrameOverheadBytes;
   }
 

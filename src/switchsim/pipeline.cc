@@ -118,24 +118,30 @@ uint8_t Pipeline::LockDemand(std::span<const Instruction> instrs) const {
 }
 
 Pipeline::Pipeline(sim::Simulator* sim, const PipelineConfig& config,
-                   MetricsRegistry* metrics)
+                   MetricsRegistry* metrics, uint16_t switch_id)
     : sim_(sim),
       config_(config),
       registers_(config),
+      switch_id_(switch_id),
       pool_(new InflightPool()),
       waiting_port_busy_(config.num_waiting_ports, 0) {
   if (metrics != nullptr) {
-    mirror_.txns_completed = &metrics->counter("switch.txns_completed");
-    mirror_.single_pass_txns = &metrics->counter("switch.single_pass_txns");
-    mirror_.multi_pass_txns = &metrics->counter("switch.multi_pass_txns");
-    mirror_.total_passes = &metrics->counter("switch.total_passes");
+    // Switch 0 keeps the historical bare prefix (K = 1 dumps unchanged);
+    // replicas register under "switch<k>." so a replicated bench can tell
+    // primary load from backup load.
+    const std::string prefix =
+        switch_id == 0 ? "switch." : "switch" + std::to_string(switch_id) + ".";
+    mirror_.txns_completed = &metrics->counter(prefix, "txns_completed");
+    mirror_.single_pass_txns = &metrics->counter(prefix, "single_pass_txns");
+    mirror_.multi_pass_txns = &metrics->counter(prefix, "multi_pass_txns");
+    mirror_.total_passes = &metrics->counter(prefix, "total_passes");
     mirror_.lock_blocked_recircs =
-        &metrics->counter("switch.lock_blocked_recircs");
-    mirror_.holder_recircs = &metrics->counter("switch.holder_recircs");
-    mirror_.lock_acquisitions = &metrics->counter("switch.lock_acquisitions");
+        &metrics->counter(prefix, "lock_blocked_recircs");
+    mirror_.holder_recircs = &metrics->counter(prefix, "holder_recircs");
+    mirror_.lock_acquisitions = &metrics->counter(prefix, "lock_acquisitions");
     mirror_.constrained_write_failures =
-        &metrics->counter("switch.constrained_write_failures");
-    mirror_.recircs_per_txn = &metrics->histogram("switch.recircs_per_txn");
+        &metrics->counter(prefix, "constrained_write_failures");
+    mirror_.recircs_per_txn = &metrics->histogram(prefix, "recircs_per_txn");
   }
 }
 
@@ -195,6 +201,29 @@ sim::Future<SwitchResult> Pipeline::Submit(SwitchTxn txn) {
 }
 
 void Pipeline::Arrive(InflightRef fl) {
+  // INT ingress stamp (first contact only — recirculations and admission
+  // retries re-enter here with kArrived already set). Purely passive: the
+  // telemetry block is written in place on the inflight frame, no event is
+  // scheduled and no decision below reads it, so an INT-armed run executes
+  // the exact event schedule of an unarmed one. Only a serving primary
+  // stamps; a backup's pipeline sees no client traffic worth describing.
+  if (fl->txn.int_enabled() && serving_ &&
+      (fl->result.telemetry.flags & IntMeta::kArrived) == 0) {
+    IntMeta& m = fl->result.telemetry;
+    m.flags |= IntMeta::kArrived;
+    m.arrival_ns = sim_->now();
+    m.switch_id = static_cast<uint8_t>(std::min<uint16_t>(switch_id_, 255));
+    m.view = view_;
+    if (next_admission_ > sim_->now()) {
+      // Ingress backlog in units of the admission gap: how many packets
+      // logically sit ahead of this one in the serialization queue.
+      const SimTime wait = next_admission_ - sim_->now();
+      const SimTime gap = std::max<SimTime>(config_.admission_gap, 1);
+      m.queue_depth = static_cast<uint16_t>(
+          std::min<SimTime>((wait + gap - 1) / gap, 0xFFFF));
+    }
+  }
+
   if (next_admission_ > sim_->now()) {
     // Another packet occupies this ingress slot; retry at the next one.
     sim_->ScheduleAt(next_admission_,
@@ -243,6 +272,13 @@ void Pipeline::Arrive(InflightRef fl) {
     // regions are immediately visible to later transactions, so the GID
     // (the serial execution order, Section 6.1) is assigned here.
     fl->result.gid = next_gid_++;
+  }
+  if ((fl->result.telemetry.flags &
+       (IntMeta::kArrived | IntMeta::kAdmitted)) == IntMeta::kArrived) {
+    // First time past the admission gap, epoch fence and pipeline-lock
+    // check: arrival-to-here is the switch-queue term of the critical path.
+    fl->result.telemetry.flags |= IntMeta::kAdmitted;
+    fl->result.telemetry.admit_ns = sim_->now();
   }
   ++fl->result.passes;
   tracer_->CompleteSpan(
@@ -298,6 +334,21 @@ void Pipeline::Arrive(InflightRef fl) {
     rec.writes = fl->rep_writes;
     rep_sink_->OnRecord(rec);
   }
+  if ((fl->result.telemetry.flags & IntMeta::kAdmitted) != 0) {
+    IntMeta& m = fl->result.telemetry;
+    m.passes = static_cast<uint8_t>(std::min<uint32_t>(fl->result.passes, 255));
+    m.depart_ns = sim_->now() + config_.PassLatency();
+    m.flags |= IntMeta::kValid;
+    // Residency span on the switch track: full arrival-to-departure dwell,
+    // with the ingress/recirc story packed into aux for trace tooling.
+    tracer_->CompleteSpan(
+        m.arrival_ns, m.depart_ns, trace::Category::kSwitchResidency,
+        fl->result.gid, track_, 0, m.passes,
+        static_cast<uint32_t>(m.queue_depth) |
+            (static_cast<uint32_t>(m.recircs_blocked) << 16) |
+            (static_cast<uint32_t>(m.recircs_holder) << 24),
+        trace::Tracer::kGidKeyFlag);
+  }
   fl->reply.SetAfter(config_.PassLatency(), std::move(fl->result));
 }
 
@@ -323,6 +374,29 @@ bool Pipeline::ExecutePass(Inflight& fl) {
         // backup installs it verbatim, ordered by apply_seq.
         fl.rep_writes.push_back(
             SlotWrite{in.addr, registers_.Read(in.addr), ++apply_seq_});
+      }
+    }
+  }
+  if ((fl.result.telemetry.flags & IntMeta::kAdmitted) != 0 &&
+      !executable.empty()) {
+    IntMeta& m = fl.result.telemetry;
+    m.reg_accesses = static_cast<uint16_t>(std::min<size_t>(
+        static_cast<size_t>(m.reg_accesses) + executable.size(), 0xFFFF));
+    m.max_stage_occupancy = std::max(
+        m.max_stage_occupancy,
+        static_cast<uint8_t>(std::min<size_t>(executable.size(), 255)));
+    for (uint32_t i : executable) {
+      const RegisterAddress& a = fl.txn.instrs[i].addr;
+      m.stage_mask |= 1u << std::min<uint32_t>(a.stage, 31);
+      if (m.slots.size() < 8) {
+        // Flat register-file slot index — the per-tuple access tag the
+        // node-side hotness counters key on. Capped at the inline capacity
+        // so stamping never allocates.
+        m.slots.push_back(static_cast<uint32_t>(
+            (static_cast<uint64_t>(a.stage) * config_.regs_per_stage +
+             a.reg) *
+                config_.SlotsPerRegister() +
+            a.index));
       }
     }
   }
@@ -398,6 +472,14 @@ void Pipeline::RecirculateBlocked(InflightRef fl) {
   SimTime* port = &waiting_port_busy_[waiting_port_rr_];
   waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
   const SimTime back_at = ReserveRecircPort(port, bytes);
+  if ((fl->result.telemetry.flags & IntMeta::kArrived) != 0) {
+    IntMeta& m = fl->result.telemetry;
+    if (m.recircs_blocked < 255) ++m.recircs_blocked;
+    // Lock-blocked loop: everything until the packet is back at ingress is
+    // time spent waiting on another holder's pipeline lock.
+    m.lock_wait_ns += static_cast<uint32_t>(
+        std::min<SimTime>(back_at - sim_->now(), 0xFFFFFFFF));
+  }
   // The recirc span starts when the packet exits the pipeline and covers
   // port queueing + the loopback wire; aux 0 = blocked, 1 = lock holder.
   tracer_->CompleteSpan(sim_->now() + config_.PassLatency(), back_at,
@@ -420,6 +502,14 @@ void Pipeline::RecirculateHolder(InflightRef fl) {
     waiting_port_rr_ = (waiting_port_rr_ + 1) % waiting_port_busy_.size();
   }
   const SimTime back_at = ReserveRecircPort(port, bytes);
+  if ((fl->result.telemetry.flags & IntMeta::kArrived) != 0) {
+    IntMeta& m = fl->result.telemetry;
+    if (m.recircs_holder < 255) ++m.recircs_holder;
+    // Holder-cycling loop: the transaction's own multi-pass structure, not
+    // contention — attributed to the recirc term, not lock wait.
+    m.recirc_ns += static_cast<uint32_t>(
+        std::min<SimTime>(back_at - sim_->now(), 0xFFFFFFFF));
+  }
   tracer_->CompleteSpan(sim_->now() + config_.PassLatency(), back_at,
                         trace::Category::kSwitchRecirc, fl->result.gid,
                         track_, 0, fl->txn.nb_recircs,

@@ -83,8 +83,12 @@ class Pipeline {
   /// `metrics` (optional) is the cluster registry; the pipeline mirrors its
   /// stats into "switch.*" counters/histograms there so benchmark dumps see
   /// them. The local PipelineStats snapshot stays authoritative for tests.
+  /// `switch_id` keys the mirror names per physical switch: switch 0 keeps
+  /// the historical bare "switch." prefix (the K = 1 key set is unchanged),
+  /// switch k >= 1 registers under "switch<k>." so replicated benches can
+  /// tell primary load from backup load.
   Pipeline(sim::Simulator* sim, const PipelineConfig& config,
-           MetricsRegistry* metrics = nullptr);
+           MetricsRegistry* metrics = nullptr, uint16_t switch_id = 0);
   ~Pipeline();
 
   Pipeline(const Pipeline&) = delete;
@@ -191,6 +195,18 @@ class Pipeline {
   uint64_t apply_seq() const { return apply_seq_; }
   void set_apply_seq(uint64_t seq) { apply_seq_ = seq; }
 
+  /// Which physical switch this pipeline models (metric prefix + the
+  /// IntMeta::switch_id stamped into postcards).
+  uint16_t switch_id() const { return switch_id_; }
+
+  /// Whether this pipeline currently serves clients as a primary. Only a
+  /// serving pipeline stamps INT postcards — a backup applying the
+  /// replication stream sees the same writes but none of the client
+  /// traffic, so its "telemetry" would be fiction. The engine flips this at
+  /// promotion/failback. K = 1 pipelines are always serving.
+  bool serving() const { return serving_; }
+  void set_serving(bool serving) { serving_ = serving; }
+
  private:
   /// Handles one arrival at the pipeline ingress (fresh or recirculated).
   void Arrive(InflightRef fl);
@@ -238,6 +254,8 @@ class Pipeline {
   ReplicationSink* rep_sink_ = nullptr;  // unowned; null = no replication
   uint32_t view_ = 0;
   uint64_t apply_seq_ = 0;
+  uint16_t switch_id_ = 0;
+  bool serving_ = true;
 
   /// Heap-allocated and orphan-aware (see InflightPool): queued simulator
   /// events may still hold frame references after this pipeline dies.

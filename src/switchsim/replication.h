@@ -137,6 +137,52 @@ class ReplicaState {
   uint64_t max_apply_seq_ = 0;
 };
 
+/// Sequence validator for the postcard stream one collector absorbs from one
+/// switch. Two concerns, deliberately separate:
+///   - Admit(view): a postcard stamped under a view older than the
+///     collector's current one came from a deposed primary — it must never
+///     fold (its queue/lock terms describe a pipeline that no longer
+///     serves). A newer view fast-forwards the collector.
+///   - AdvanceGid(gid): tracks the per-view GID high-water mark. GIDs are
+///     assigned at admission but postcards fold at completion, so a
+///     multi-pass transaction legitimately folds after later-admitted
+///     single-pass ones — out-of-order is normal and still folded; the
+///     return value only feeds the out-of-order counter.
+/// View changes (promotion restarts the GID counter above the replicated
+/// high-water mark; failback resets it) call Reset() to start a new run.
+class PostcardSeq {
+ public:
+  /// Returns false iff the postcard was stamped under a deposed view.
+  bool Admit(uint32_t view) {
+    if (view < view_) return false;
+    if (view > view_) {
+      view_ = view;
+      max_gid_ = kInvalidGid;
+    }
+    return true;
+  }
+
+  /// Returns true iff `gid` advanced this view's high-water mark.
+  bool AdvanceGid(Gid gid) {
+    if (max_gid_ != kInvalidGid && gid <= max_gid_) return false;
+    max_gid_ = gid;
+    return true;
+  }
+
+  /// View-change fence: promotion/failback restarts the expected run.
+  void Reset(uint32_t view) {
+    view_ = view;
+    max_gid_ = kInvalidGid;
+  }
+
+  uint32_t view() const { return view_; }
+  Gid max_gid() const { return max_gid_; }
+
+ private:
+  uint32_t view_ = 0;
+  Gid max_gid_ = kInvalidGid;
+};
+
 }  // namespace p4db::sw
 
 #endif  // P4DB_SWITCHSIM_REPLICATION_H_

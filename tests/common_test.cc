@@ -261,6 +261,46 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.max(), 0);
 }
 
+TEST(HistogramTest, WideningKeptSub65536BucketMappingIdentical) {
+  // The 1024-bucket layout extends the retired 256-bucket one (PR 9): any
+  // value the old layout resolved maps to the same bucket index with the
+  // same [lower, upper) bounds, so every sub-ceiling committed-baseline
+  // quantile is bit-identical across the widening — only the tail that
+  // used to clamp into the old terminal bucket at 2^16 ns gained
+  // resolution. This pins that contract against the old formula.
+  Histogram h;
+  for (int64_t v = 1; v < 65536; ++v) h.Record(v);
+  int max_bucket = 0;
+  h.ForEachBucket([&](int bucket, int64_t lower, int64_t upper,
+                      uint64_t count) {
+    max_bucket = bucket;
+    // Old formula: 16 sub-buckets per power of two, bucket = 16*log2 + sub
+    // (sub only above the 16-slot granularity floor). Bucket 0's lower
+    // bound is int64 min (it absorbs v <= 0), so index the formula by the
+    // smallest positive value the bucket holds.
+    const int64_t rep = std::max<int64_t>(lower, 1);
+    const int log2 = 63 - std::countl_zero(static_cast<uint64_t>(rep));
+    const int sub = log2 > 4 ? static_cast<int>((rep >> (log2 - 4)) & 15) : 0;
+    EXPECT_EQ(bucket, log2 * 16 + sub);
+    // Bounds are what the old layout used, and the count is exactly the
+    // integers the range holds (no neighbor leakage).
+    EXPECT_EQ(count, static_cast<uint64_t>(upper - rep));
+    EXPECT_LT(bucket, 256);
+  });
+  EXPECT_EQ(max_bucket, 255);
+  // The previously-clamped tail now resolves: a 1 ms sample lands in its
+  // own log-linear bucket far past the old terminal index, bounded within
+  // the layout's ~6% relative error.
+  Histogram tail;
+  tail.Record(1000000);
+  tail.ForEachBucket([](int bucket, int64_t lower, int64_t upper, uint64_t) {
+    EXPECT_GT(bucket, 255);
+    EXPECT_LE(lower, 1000000);
+    EXPECT_GT(upper, 1000000);
+    EXPECT_LT(static_cast<double>(upper - lower) / 1000000.0, 0.07);
+  });
+}
+
 TEST(HistogramTest, HandlesNonPositiveValues) {
   Histogram h;
   h.Record(0);

@@ -102,6 +102,27 @@ TEST(HotpathAllocTest, SteadyStateWithTracingAndSamplingIsAllocationFree) {
             0u);
 }
 
+TEST(HotpathAllocTest, IntArmedSteadyStateIsAllocationFree) {
+  // INT postcard mode must honor the discipline end to end: pipeline
+  // stamping writes into pre-sized inflight frames (the slot tag list is
+  // capped at its inline capacity), and the collector fold path is
+  // pre-bound pointer bumps — so an armed window with full tracing and
+  // sampling live still performs EXACTLY zero allocations.
+  EXPECT_EQ(MeasuredWindowAllocs(core::CcProtocol::k2pl, /*trace_full=*/true,
+                                 /*time_series=*/true,
+                                 [](core::SystemConfig& cfg) {
+                                   cfg.mode = core::EngineMode::kP4db;
+                                   cfg.int_telemetry.enabled = true;
+                                 },
+                                 // P4DB mode (the only mode with switch
+                                 // traffic to stamp): cold-path retry
+                                 // bookkeeping reaches its high-water mark
+                                 // slower than in kNoSwitch, so give warmup
+                                 // the same slack as the open-loop case.
+                                 /*warmup=*/8 * kMillisecond),
+            0u);
+}
+
 TEST(HotpathAllocTest, OpenLoopBatchedSteadyStateIsAllocationFree) {
   // The new machinery must honor the same discipline: open-loop arrival
   // draws, admission-ring pushes/pops, session park/wake, batch joins,

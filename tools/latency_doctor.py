@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Critical-path latency attribution report for INT-armed bench runs.
+
+Reads a BENCH_<name>.json produced with --int (every RunWorkload entry then
+carries a "critical_path" section: per-term histogram summaries folded from
+returned INT postcards plus the host-recorded admission/WAL/commit terms)
+and prints, per load level, where a transaction's latency actually went —
+the dominant term and the share of total attributed time each term holds.
+
+Attribution terms, end to end (see DESIGN.md section 4j):
+  admission_wait_ns   client arrival -> session dispatch (open-loop only)
+  egress_batch_ns     submit -> egress batch flush (0 unbatched)
+  wire_ns             flush -> switch ingress + switch egress -> receipt
+  switch_queue_ns     ingress -> admission, minus lock-blocked loops
+  switch_lock_wait_ns lock-blocked recirculation (contention)
+  switch_recirc_ns    holder-cycling recirculation (multi-pass structure)
+  switch_service_ns   admitted residency minus holder loops
+  wal_ns, commit_ns   host-side durability / commit bookkeeping
+
+With --validate the report becomes a gate on the open-loop knee experiment:
+below and at the knee (largest offered load still served at >= 95%) the
+dominant term must be a service-side one (wire / switch service / switch
+queue / egress batch / lock wait); strictly above the knee the admission
+queue must take over (dominant == admission_wait_ns). That shift IS the
+knee — if saturation does not move attribution onto the admission queue,
+either the telemetry or the admission model is broken. Exit 1 on violation.
+
+With --trace TRACE.json the doctor also cross-checks a Chrome trace from
+the same run: INT runs must carry switch_residency complete spans and
+int_postcard instants (names are validated by trace_check.py; here only
+their presence is required).
+
+Usage:
+  latency_doctor.py BENCH_openloop.json [--validate] [--trace TRACE.json]
+"""
+
+import argparse
+import json
+import sys
+
+KNEE_RATIO = 0.95
+ADMISSION_TERM = "admission_wait_ns"
+SERVICE_TERMS = (
+    "egress_batch_ns",
+    "wire_ns",
+    "switch_queue_ns",
+    "switch_lock_wait_ns",
+    "switch_recirc_ns",
+    "switch_service_ns",
+)
+
+
+def load_points(path):
+    """Ladder entries (offered_load + critical_path), grouped by batch size."""
+    with open(path) as f:
+        doc = json.load(f)
+    series = {}
+    for run in doc.get("runs", []):
+        if not isinstance(run, dict) or "scenario" in run:
+            continue  # summary entries are not load points
+        if "offered_load" not in run or "critical_path" not in run:
+            continue
+        series.setdefault(run.get("batch", 1), []).append(run)
+    for points in series.values():
+        points.sort(key=lambda r: r["offered_load"])
+    return series
+
+
+def knee_index(points):
+    """Largest rung still served at >= KNEE_RATIO of the offered rate."""
+    knee = 0
+    for i, p in enumerate(points):
+        if p["throughput"] >= KNEE_RATIO * p["offered_load"]:
+            knee = i
+    return knee
+
+
+def term_sums(cp):
+    return {name: t.get("sum", 0) for name, t in cp.get("terms", {}).items()}
+
+
+def report_series(batch, points, failures, validate):
+    knee = knee_index(points)
+    print(f"series batch={batch}: knee at offered "
+          f"{points[knee]['offered_load']:.0f} tx/s "
+          f"(rung {knee + 1}/{len(points)})")
+    print(f"  {'offered':>12} {'served%':>8} {'postcards':>10} "
+          f"{'dominant':<20} top terms by share")
+    for i, p in enumerate(points):
+        cp = p["critical_path"]
+        sums = term_sums(cp)
+        total = sum(sums.values())
+        top = sorted(sums.items(), key=lambda kv: -kv[1])[:3]
+        shares = ", ".join(
+            f"{name} {100.0 * s / total:.0f}%" for name, s in top if total > 0)
+        served = 100.0 * p["throughput"] / p["offered_load"]
+        marker = "knee" if i == knee else ("sat" if i > knee else "")
+        print(f"  {p['offered_load']:>12.0f} {served:>7.1f}% "
+              f"{cp.get('postcards', 0):>10} {cp.get('dominant', '?'):<20} "
+              f"{shares}  {marker}")
+        if not validate:
+            continue
+        dominant = cp.get("dominant", "")
+        if cp.get("postcards", 0) == 0:
+            failures.append(
+                f"batch={batch} offered={p['offered_load']:.0f}: "
+                f"no postcards folded (INT not armed?)")
+        elif i > knee and dominant != ADMISSION_TERM:
+            failures.append(
+                f"batch={batch} offered={p['offered_load']:.0f}: saturated "
+                f"rung dominated by {dominant}, expected {ADMISSION_TERM}")
+        elif i <= knee and dominant == ADMISSION_TERM:
+            failures.append(
+                f"batch={batch} offered={p['offered_load']:.0f}: served rung "
+                f"dominated by {ADMISSION_TERM} — knee attribution shifted "
+                f"too early")
+    if validate and knee == len(points) - 1:
+        print(f"  note: batch={batch} never saturates on this ladder — "
+              f"no admission-takeover rung to check")
+    return knee
+
+
+def check_trace(path, failures):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+    residency = sum(1 for e in events
+                    if isinstance(e, dict)
+                    and e.get("name") == "switch_residency"
+                    and e.get("ph") == "X")
+    postcards = sum(1 for e in events
+                    if isinstance(e, dict)
+                    and e.get("name") == "int_postcard"
+                    and e.get("ph") == "i")
+    print(f"trace: {residency} switch_residency spans, "
+          f"{postcards} int_postcard instants")
+    if residency == 0:
+        failures.append("trace has no switch_residency spans")
+    if postcards == 0:
+        failures.append("trace has no int_postcard instants")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="INT critical-path latency attribution report")
+    parser.add_argument("bench_json", help="BENCH_<name>.json from an "
+                        "--int run")
+    parser.add_argument("--validate", action="store_true",
+                        help="gate the knee attribution shift; exit 1 on "
+                        "violation")
+    parser.add_argument("--trace", help="Chrome trace JSON from the same "
+                        "run, cross-checked for INT records")
+    args = parser.parse_args()
+
+    series = load_points(args.bench_json)
+    if not series:
+        print(f"{args.bench_json}: no load points with a critical_path "
+              f"section — run the bench with --int and an open-loop ladder")
+        return 1 if args.validate else 0
+
+    failures = []
+    saturates = False
+    for batch in sorted(series):
+        knee = report_series(batch, series[batch], failures, args.validate)
+        saturates = saturates or knee < len(series[batch]) - 1
+    if args.validate and not saturates:
+        failures.append("no series saturates — the admission-takeover shift "
+                        "was never exercised")
+    if args.trace:
+        check_trace(args.trace, failures)
+
+    if failures:
+        print(f"\nlatency_doctor: {len(failures)} violation(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    if args.validate:
+        print("\nlatency_doctor: attribution shifts service -> admission "
+              "at the knee, as it must")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

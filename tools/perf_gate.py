@@ -21,6 +21,11 @@ transfer across machines:
    cancels out. Gated absolutely (not baseline-relative): full-run tracing
    may not cost more than the tolerance, and the traced run must commit
    exactly as much as the untraced one (tracing is passive).
+ * hotpath `int_overhead` — same contract for in-band telemetry: the
+   INT-armed (postcard mode) figure-11 run may not cost more than the
+   tolerance in wall clock, and must commit exactly what the plain run
+   commits (postcard stamping is passive — it never perturbs the simulated
+   event schedule).
  * openloop knee scenarios — all simulated-time. The knee throughput of
    each series (batch=1, batch=8) must stay within the tolerance of the
    baseline, the saturation speedup from batching may not drop below its
@@ -117,6 +122,18 @@ def gate_hotpath(failures, baseline, fresh):
             else:
                 print(f"  [ok  ] tracing_overhead committed: traced == "
                       f"untraced ({run['traced_committed']})")
+            continue
+        if scenario == "int_overhead":
+            check(failures, "int_overhead overhead_ratio",
+                  run["overhead_ratio"], 1 + TOLERANCE, +1)
+            if run["int_committed"] != run["plain_committed"]:
+                print(f"  [FAIL] int_overhead: INT committed "
+                      f"{run['int_committed']} != plain "
+                      f"{run['plain_committed']} (postcards not passive)")
+                failures.append("int_overhead not passive")
+            else:
+                print(f"  [ok  ] int_overhead committed: INT == plain "
+                      f"({run['int_committed']})")
             continue
         base_allocs = base["window_allocs"]
         limit = 0 if base_allocs == 0 else int(

@@ -46,6 +46,8 @@ KNOWN_NAME_PHASES = {
     "switch_pass": "X",
     "net_drop": "i",
     "net_dup": "i",
+    "switch_residency": "X",  # INT: ingress arrival -> egress departure
+    "int_postcard": "i",      # INT: postcard folded at the home node
 }
 
 SWITCH_PID_BASE = 0xFF00
